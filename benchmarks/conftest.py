@@ -1,0 +1,52 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark reproduces one table/figure of the paper: it runs the
+registered experiment exactly once under pytest-benchmark timing
+(``rounds=1, iterations=1`` — these are multi-second simulations, not
+microbenchmarks), asserts the reproduced *shape* (who wins, roughly by how
+much, what is flat), and registers its headline numbers with the reporter
+below, which prints a paper-vs-measured summary at the end of the session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_RESULTS: list[tuple[str, str, dict]] = []
+
+
+@pytest.fixture
+def record_experiment():
+    """Callable(result: ExperimentResult) -> None; registers a summary."""
+
+    def record(result, extra: dict | None = None):
+        summary = dict(result.summary)
+        if extra:
+            summary.update(extra)
+        _RESULTS.append((result.experiment_id, result.title, summary))
+
+    return record
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("Paper reproduction summary (Saputra et al., DATE 2003)")
+    write("=" * 78)
+    for experiment_id, title, summary in _RESULTS:
+        write(f"[{experiment_id}] {title}")
+        for key, value in summary.items():
+            if isinstance(value, float):
+                write(f"    {key:38s} {value:,.3f}")
+            else:
+                write(f"    {key:38s} {value}")
+        write("")

@@ -1,0 +1,25 @@
+"""Ablation — forward slicing is necessary (paper Section 4.1).
+
+Paper: "It should be emphasized that it is not sufficient to protect only
+the sensitive variables annotated by the programmer.  This is because the
+variables whose values are determined based on the values of the protected
+variables can also be exploited to leak information."
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import ablation_no_slicing
+
+
+def test_annotate_only_leaks_sliced_does_not(benchmark, record_experiment):
+    result = run_once(benchmark, ablation_no_slicing)
+    record_experiment(result)
+
+    summary = result.summary
+    # Annotate-only: key-derived values (C/D registers, subkeys, round
+    # data) still modulate the trace.
+    assert summary["annotate_only_max_abs_diff_pj"] > 0
+    assert summary["annotate_only_nonzero_cycles"] > 100
+    # Full slicing: exactly flat.
+    assert summary["selective_max_abs_diff_pj"] == 0.0
+    assert summary["slicing_required"]

@@ -1,0 +1,26 @@
+"""Extension — Section 5's stated limitation, demonstrated.
+
+The paper's conclusion warns that dual-rail masking does not survive
+inter-wire coupling on on-chip buses (citing Sotiriadis/Chandrakasan).
+With the coupling-aware bus model enabled, the masked program's key
+differential — exactly zero under the paper's main model — becomes
+nonzero again.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import extension_coupling
+
+
+def test_coupling_reintroduces_leakage(benchmark, record_experiment):
+    result = run_once(benchmark, extension_coupling)
+    record_experiment(result)
+
+    summary = result.summary
+    # Paper's main model: masked is exactly flat.
+    assert summary["without_coupling_max_abs_diff_pj"] == 0.0
+    assert summary["without_coupling_nonzero_cycles"] == 0
+    # With coupling: residual data-dependent energy on the secure bus.
+    assert summary["with_coupling_max_abs_diff_pj"] > 1.0
+    assert summary["with_coupling_nonzero_cycles"] > 50
+    assert summary["masking_defeated_by_coupling"]

@@ -1,0 +1,29 @@
+"""Extension — random-noise countermeasure vs masking (paper Section 1).
+
+Paper: "random noises in power measurements can be filtered through the
+averaging process using a large number of samples" — i.e. noise injection
+only raises the attacker's trace budget, while masking removes the signal
+entirely.  This is the paper's core argument for why an architectural
+countermeasure is needed at all.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import extension_noise
+
+
+def test_noise_raises_trace_count_masking_kills_signal(benchmark,
+                                                       record_experiment):
+    result = run_once(benchmark, extension_noise)
+    record_experiment(result)
+
+    summary = result.summary
+    # Noiseless device: a handful of traces recover the subkey.
+    assert summary["clean_rank_of_true"] == 0
+    # The same trace count fails against the noisy device...
+    assert summary["noisy_small_rank_of_true"] >= 5
+    # ...but averaging over more traces filters the noise back out.
+    assert summary["noisy_large_rank_of_true"] == 0
+    # Masking leaves nothing to average: the differential is zero.
+    assert summary["masked_defeats_attack"]
+    assert summary["masked_peak_rho"] < 1e-6

@@ -1,0 +1,30 @@
+"""Extension — the optimizing compiler's effect on the masked binary.
+
+Quantifies -O0/-O1/-O2 on full masked DES: code size, cycles, energy, and
+(crucially) that the masking property survives optimization — only public
+computation can fold, and the -O2 schedule depends only on opcodes and
+register numbers.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import extension_optimizer
+
+
+def test_optimization_levels(benchmark, record_experiment):
+    result = run_once(benchmark, extension_optimizer)
+    record_experiment(result)
+
+    summary = result.summary
+    # -O1 shrinks the binary.
+    assert summary["o1_static_instructions"] \
+        < summary["o0_static_instructions"]
+    # -O2 turns that into real cycles and energy (>=3% on both).
+    assert summary["o2_cycle_ratio"] <= 0.97
+    assert summary["o2_energy_ratio"] <= 0.97
+    # Monotone improvement across levels.
+    assert summary["o0_total_uj"] >= summary["o1_total_uj"] \
+        >= summary["o2_total_uj"]
+    # The masking property holds at every level.
+    for level in (0, 1, 2):
+        assert summary[f"o{level}_masked_max_diff_pj"] == 0.0

@@ -1,0 +1,25 @@
+"""Extension — TVLA leakage assessment of both devices.
+
+Modern side-channel evaluation methodology applied to the paper's design:
+the fixed-vs-random Welch t-test (threshold |t| = 4.5) bounds *all*
+first-order attacks without a key hypothesis.  The selectively-masked
+device doesn't just pass — its secured region scores identically zero.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import extension_tvla
+
+
+def test_tvla_verdicts(benchmark, record_experiment):
+    result = run_once(benchmark, extension_tvla)
+    record_experiment(result)
+
+    summary = result.summary
+    # Unmasked: catastrophic failure (deterministic leaks -> infinite t).
+    assert not summary["unmasked_passes"]
+    assert summary["unmasked_leaky_cycles"] > 100
+    # Masked: identically zero t over the whole secured region.
+    assert summary["masked_passes"]
+    assert summary["masked_max_abs_t"] == 0.0
+    assert summary["masked_leaky_cycles"] == 0

@@ -1,0 +1,15 @@
+"""Fig. 8 — differential trace for two different keys, before masking."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig08_key_diff_unmasked
+
+
+def test_fig08_unmasked_key_leak(benchmark, record_experiment):
+    result = run_once(benchmark, fig08_key_diff_unmasked)
+    record_experiment(result)
+
+    summary = result.summary
+    assert summary["leak_visible"]
+    assert summary["max_abs_diff_pj"] > 1.0
+    assert summary["nonzero_cycles"] > 50

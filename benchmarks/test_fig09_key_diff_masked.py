@@ -1,0 +1,25 @@
+"""Fig. 9 — differential trace for two different keys, after masking.
+
+Paper: "using secure instructions can mask the energy behavior of the key
+related operations ... the mean of the energy consumption traces which
+generate different internal (key related) bits will not exhibit any
+differences that can be exploited by DPA attacks."
+
+Our reproduction is exact: the differential trace is identically zero over
+the whole secured region.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig09_key_diff_masked
+
+
+def test_fig09_masked_differential_is_flat(benchmark, record_experiment):
+    result = run_once(benchmark, fig09_key_diff_masked)
+    record_experiment(result)
+
+    summary = result.summary
+    assert summary["masked_flat"]
+    assert summary["max_abs_diff_pj"] == 0.0
+    assert summary["nonzero_cycles"] == 0
+    assert summary["window_cycles"] > 1000

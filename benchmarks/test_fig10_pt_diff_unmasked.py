@@ -1,0 +1,16 @@
+"""Fig. 10 — differential trace for two plaintexts, before masking."""
+
+from conftest import run_once
+
+from repro.harness.experiments import fig10_pt_diff_unmasked
+
+
+def test_fig10_unmasked_plaintext_leak(benchmark, record_experiment):
+    result = run_once(benchmark, fig10_pt_diff_unmasked)
+    record_experiment(result)
+
+    summary = result.summary
+    # Plaintext differences show in the initial permutation AND the round.
+    assert summary["max_abs_diff_ip_pj"] > 0
+    assert summary["round_leak_visible"]
+    assert summary["max_abs_diff_round_pj"] > 1.0

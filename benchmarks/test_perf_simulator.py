@@ -1,0 +1,72 @@
+"""Simulator performance benchmarks (real pytest-benchmark timing).
+
+Unlike the experiment benchmarks (one-shot reproductions), these measure
+the toolchain's own throughput so performance regressions are visible:
+compilation, assembly, cycle-accurate simulation with energy, and the
+functional interpreter.
+"""
+
+import pytest
+
+from repro.harness.runner import des_run
+from repro.isa.assembler import assemble
+from repro.lang.compiler import compile_source
+from repro.machine.cpu import run_to_halt
+from repro.machine.interpreter import run_functional
+from repro.programs.des_source import DesProgramSpec, des_source
+from repro.programs.workloads import compile_des, key_words, plaintext_words
+
+KEY = 0x133457799BBCDFF1
+PT = 0x0123456789ABCDEF
+
+
+@pytest.fixture(scope="module")
+def round1_source():
+    return des_source(DesProgramSpec(rounds=1))
+
+
+@pytest.fixture(scope="module")
+def round1_program():
+    return compile_des(DesProgramSpec(rounds=1), masking="selective").program
+
+
+@pytest.fixture(scope="module")
+def des_inputs():
+    return {"key": key_words(KEY), "plaintext": plaintext_words(PT)}
+
+
+def test_compile_des_round1(benchmark, round1_source):
+    result = benchmark.pedantic(
+        lambda: compile_source(round1_source, masking="selective"),
+        rounds=3, iterations=1)
+    assert len(result.program.text) > 500
+
+
+def test_assemble_des_round1(benchmark, round1_source):
+    assembly = compile_source(round1_source, masking="selective").assembly
+    program = benchmark.pedantic(lambda: assemble(assembly),
+                                 rounds=3, iterations=1)
+    assert len(program.text) > 500
+
+
+def test_simulate_with_energy(benchmark, round1_program):
+    run = benchmark.pedantic(lambda: des_run(round1_program, KEY, PT),
+                             rounds=3, iterations=1)
+    assert run.cycles > 10_000
+    # Throughput floor: the cycle-accurate loop should stay usable.
+    cycles_per_second = run.cycles / benchmark.stats.stats.mean
+    assert cycles_per_second > 10_000
+
+
+def test_simulate_without_energy(benchmark, round1_program, des_inputs):
+    cpu = benchmark.pedantic(
+        lambda: run_to_halt(round1_program, inputs=des_inputs),
+        rounds=3, iterations=1)
+    assert cpu.cycles > 10_000
+
+
+def test_functional_interpreter(benchmark, round1_program, des_inputs):
+    interp = benchmark.pedantic(
+        lambda: run_functional(round1_program, inputs=des_inputs),
+        rounds=3, iterations=1)
+    assert interp.executed > 10_000

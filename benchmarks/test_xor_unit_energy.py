@@ -1,0 +1,25 @@
+"""Section 4.2 — XOR unit: 0.3 pJ normal (average) vs 0.6 pJ secure
+(constant), and switch-level validation of the pre-charged cell (Fig. 5).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness.experiments import xor_unit_energy
+
+
+def test_xor_unit_operating_points(benchmark, record_experiment):
+    result = run_once(benchmark, xor_unit_energy, samples=8192)
+    record_experiment(result)
+
+    summary = result.summary
+    # "as opposed to energy consumption of .6pJ in the secure mode, the
+    # XOR unit consumes only .3pJ in the normal mode"
+    assert summary["normal_mean_pj"] == pytest.approx(0.3, abs=0.02)
+    assert summary["secure_mean_pj"] == pytest.approx(0.6, abs=1e-9)
+    # Secure mode is a constant, not an average: zero variance.
+    assert summary["secure_std_pj"] == pytest.approx(0.0, abs=1e-12)
+    # Normal mode is genuinely data-dependent.
+    assert summary["normal_std_pj"] > 0.01
+    # Switch-level cell: one charging event per cycle, any input sequence.
+    assert summary["cell_constant_after_first_cycle"]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""The masking scheme generalized to AES-128.
+
+The paper's technique is algorithm-agnostic; this script runs AES-128 on
+the secure-instruction core (with MixColumns reformulated through an XTIME
+table so no secret-dependent branch exists), verifies FIPS-197
+correctness, and mounts a CPA key-byte attack on both the unmasked and the
+masked device.
+
+Usage:  python examples/aes_masking.py [--traces N] [--byte B]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.aes import encrypt_block, int_to_state
+from repro.attacks.aes_selection import (aes_cpa_attack,
+                                         random_aes_plaintexts,
+                                         true_key_byte)
+from repro.attacks.dpa import TraceSet
+from repro.harness.report import ascii_table
+from repro.harness.runner import run_with_trace
+from repro.programs import markers as mk
+from repro.programs.aes_source import AesProgramSpec
+from repro.programs.workloads import aes_ciphertext_of, compile_aes, run_aes
+
+KEY = 0x000102030405060708090a0b0c0d0e0f
+PT = 0x00112233445566778899aabbccddeeff
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--traces", type=int, default=30)
+    parser.add_argument("--byte", type=int, default=0, choices=range(16))
+    arguments = parser.parse_args()
+
+    print("=== functional check (FIPS-197 vector) ===")
+    rows = []
+    for masking in ("none", "selective"):
+        compiled = compile_aes(masking=masking)
+        cpu = run_aes(compiled, KEY, PT)
+        assert aes_ciphertext_of(cpu) == encrypt_block(PT, KEY)
+        rows.append((masking, cpu.cycles,
+                     f"{compiled.secure_static_fraction:.1%}", "ok"))
+    print(ascii_table(["masking", "cycles", "secure instrs", "FIPS-197"],
+                      rows))
+
+    print()
+    print(f"=== CPA attack on key byte {arguments.byte} "
+          f"({arguments.traces} traces) ===")
+    spec = AesProgramSpec(rounds=1, include_output=False)
+    plaintexts = random_aes_plaintexts(arguments.traces)
+    for masking in ("none", "selective"):
+        compiled = compile_aes(spec, masking=masking)
+        trace_rows = []
+        start = None
+        for plaintext in plaintexts:
+            result = run_with_trace(compiled.program, inputs={
+                "key": int_to_state(KEY),
+                "plaintext": int_to_state(plaintext)})
+            if start is None:
+                start = result.trace.marker_cycles(mk.M_ROUND_BASE)[0]
+            trace_rows.append(result.trace.energy[start:])
+        traces = np.vstack(trace_rows)
+        trace_set = TraceSet(plaintexts=plaintexts, traces=traces,
+                             window=(start, start + traces.shape[1]))
+        attack = aes_cpa_attack(trace_set, arguments.byte, key=KEY)
+        truth = true_key_byte(KEY, arguments.byte)
+        top = ", ".join(f"{s.guess:#04x}(ρ={s.peak:.2f})"
+                        for s in attack.scores[:3])
+        verdict = "KEY BYTE RECOVERED" if attack.succeeded() \
+            else "attack defeated"
+        print(f"[{masking}] true byte {truth:#04x}; top guesses: {top}")
+        print(f"         rank of true byte: {attack.rank_of_true} "
+              f"-> {verdict}")
+
+
+if __name__ == "__main__":
+    main()

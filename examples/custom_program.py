@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Protect your own algorithm with the SecureC compiler.
+
+The paper's approach is not DES-specific: annotate the sensitive variables,
+and the compiler forward-slices the annotation and selects secure
+instructions for everything derived from them.  This example protects a
+toy 8-bit XOR/rotate/S-box cipher, shows the generated assembly, and
+verifies the masking property on the simulator.
+
+Usage:  python examples/custom_program.py
+"""
+
+import numpy as np
+
+from repro import compile_source, run_with_trace
+
+SOURCE = """
+// A toy cipher: y = SBOX[(x ^ k) rotl 3] with an 8-entry S-box.
+secure int k;              // the secret -- the only annotation needed
+int x;                     // public input
+int y;                     // public output (left insecure deliberately)
+
+const int SBOX[8] = {6, 4, 0xC, 5, 0, 7, 2, 0xE};
+
+int t;
+int r;
+
+__marker(1);
+t = x ^ k;                           // sxor: key-dependent
+r = ((t << 3) | (t >> 5)) & 0xFF;    // secure shifts and ALU ops
+t = SBOX[r & 7];                     // silw: secret-derived index
+__marker(2);
+__insecure {
+    y = t;                           // output is public by definition
+}
+"""
+
+
+def main() -> None:
+    compiled = compile_source(SOURCE, masking="selective")
+
+    print("=== forward slice ===")
+    print("tainted variables:", ", ".join(sorted(compiled.slice.tainted_vars)))
+    print(f"critical IR operations: {len(compiled.slice.critical)} of "
+          f"{len(compiled.ir)}")
+    for diagnostic in compiled.diagnostics:
+        print("diagnostic:", diagnostic.message)
+
+    print()
+    print("=== generated assembly (text section) ===")
+    in_text = False
+    for line in compiled.assembly.splitlines():
+        if line.startswith(".text"):
+            in_text = True
+        if in_text:
+            print(line)
+
+    print()
+    print("=== dynamic information-flow audit ===")
+    from repro.masking.audit import audit_masking
+
+    report = audit_masking(compiled.program, {"k": 1},
+                           {"k": [0xA5], "x": [0x3C]})
+    print(report.describe())
+    if not report.clean:
+        print("(expected: the flagged instructions are the deliberate "
+              "`__insecure` output\n store of y — declassified because the "
+              "cipher output is public by definition)")
+
+    print()
+    print("=== masking property on the simulator ===")
+    runs = {}
+    for key in (0x00, 0xA5):
+        runs[key] = run_with_trace(compiled.program,
+                                   inputs={"k": [key], "x": [0x3C]})
+    diff = runs[0x00].trace.diff(runs[0xA5].trace)
+    start = runs[0x00].trace.marker_cycles(1)[0]
+    end = runs[0x00].trace.marker_cycles(2)[0]
+    print(f"cycles: {runs[0x00].cycles}, "
+          f"energy: {runs[0x00].total_uj * 1e6:.0f} pJ")
+    print(f"max |energy difference| between k=0x00 and k=0xA5 over the "
+          f"protected region: {np.abs(diff[start:end]).max():.4f} pJ")
+    for key, run in runs.items():
+        print(f"k={key:#04x}: y = "
+              f"{run.cpu.read_symbol_words('y', 1)[0]:#x}")
+
+
+if __name__ == "__main__":
+    main()

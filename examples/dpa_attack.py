@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Mount a differential power analysis attack on the simulated smart card.
+
+The attack is the one the paper defends against (its Section 1): collect
+traces with random known plaintexts and a fixed secret key, guess the 6
+subkey bits feeding one round-1 S-box, partition traces by a predicted
+S-box output bit, and look for a difference-of-means peak.
+
+Against the unmasked device the correct subkey chunk wins outright;
+against the selectively-masked device every differential is zero and the
+attack learns nothing.
+
+Usage:  python examples/dpa_attack.py [--traces N] [--box B]
+"""
+
+import argparse
+
+from repro import (KEY_A, collect_traces, compile_des, des_run, dpa_attack,
+                   random_plaintexts)
+from repro.attacks.selection import true_round1_subkey_chunk
+from repro.harness.report import ascii_table
+from repro.programs import markers as mk
+from repro.programs.des_source import DesProgramSpec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--traces", type=int, default=60)
+    parser.add_argument("--box", type=int, default=0, choices=range(8))
+    arguments = parser.parse_args()
+
+    spec = DesProgramSpec(rounds=1, include_fp=False)
+    plaintexts = random_plaintexts(arguments.traces)
+    true_chunk = true_round1_subkey_chunk(KEY_A, arguments.box)
+    print(f"secret key: {KEY_A:#018x}")
+    print(f"true round-1 subkey chunk for S-box {arguments.box + 1}: "
+          f"{true_chunk} ({true_chunk:06b})")
+    print()
+
+    for masking in ("none", "selective"):
+        compiled = compile_des(spec, masking=masking)
+        scout = des_run(compiled.program, KEY_A, plaintexts[0])
+        window_start = scout.trace.marker_cycles(mk.M_ROUND_BASE)[0]
+
+        print(f"[{masking}] collecting {arguments.traces} traces "
+              f"({scout.cycles} cycles each)...")
+        traces = collect_traces(compiled.program, KEY_A, plaintexts,
+                                window=(window_start, scout.cycles))
+        result = dpa_attack(traces, box=arguments.box, key=KEY_A)
+
+        rows = [(f"{score.guess} ({score.guess:06b})", f"{score.peak:.4f}",
+                 "<- TRUE" if score.guess == true_chunk else "")
+                for score in result.scores[:5]]
+        print(ascii_table(["guess", "DPA peak (pJ)", ""], rows))
+        verdict = ("KEY RECOVERED" if result.succeeded()
+                   and result.scores[0].peak > 1e-6
+                   else "attack failed (no signal)")
+        print(f"-> {verdict}; rank of true subkey: {result.rank_of_true}, "
+              f"margin: {result.margin:.2f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""A non-cryptographic smart-card scenario: power-safe PIN verification.
+
+The paper's opening motivation is exactly this: "power analysis can be
+used to identify the specific portions of the program being executed to
+induce timing glitches that may in turn help to bypass key checking."
+A naive PIN check compares digit by digit and bails out at the first
+mismatch — its power/timing trace reveals *how many digits matched*,
+letting an attacker guess one digit at a time (4 x 10 tries instead of
+10^4).
+
+This script implements the check both ways in SecureC:
+
+* ``naive``  — early-exit loop, digits compared with insecure ops;
+* ``secure`` — branch-free accumulate-all-mismatches comparison over a
+  ``secure``-annotated stored PIN, compiled with forward slicing.
+
+It then shows what the attacker's differential traces reveal about each.
+
+Usage:  python examples/pin_check.py
+"""
+
+import numpy as np
+
+from repro.harness.report import ascii_table
+from repro.harness.runner import run_with_trace
+from repro.lang.compiler import compile_source
+
+NAIVE = """
+int stored[4];
+int guess[4];
+int ok;
+int i;
+
+__marker(1);
+ok = 1;
+i = 0;
+while (i < 4) {
+    if (stored[i] != guess[i]) {
+        ok = 0;
+        i = 4;            // early exit: leaks the match length
+    }
+    i = i + 1;
+}
+__marker(2);
+"""
+
+SECURE = """
+secure int stored[4];
+int guess[4];
+int ok;
+int diff;
+int i;
+
+__marker(1);
+diff = 0;
+for (i = 0; i < 4; i = i + 1) {
+    diff = diff | (stored[i] ^ guess[i]);   // sliced -> sxor/s.or
+}
+__marker(2);
+__insecure {
+    ok = diff == 0;       // the accept/reject outcome is public anyway
+}
+"""
+
+#: The attacker submits one fixed guess and watches the card's power
+#: trace; the secret is the *stored* PIN inside the card.
+ATTACKER_GUESS = [3, 1, 9, 9]
+
+
+def window(run):
+    start = run.trace.marker_cycles(1)[0]
+    end = run.trace.marker_cycles(2)[0]
+    return run.trace.energy[start:end], run.cycles
+
+
+def main() -> None:
+    stored_pins = {
+        "secret matches 0 digits": [7, 7, 7, 7],
+        "secret matches 1 digit": [3, 7, 7, 7],
+        "secret matches 2 digits": [3, 1, 7, 7],
+        "secret is the guess": [3, 1, 9, 9],
+    }
+    for name, source in (("naive", NAIVE), ("secure", SECURE)):
+        compiled = compile_source(source, masking="selective")
+        rows = []
+        reference = None
+        for label, stored in stored_pins.items():
+            run = run_with_trace(compiled.program,
+                                 inputs={"stored": stored,
+                                         "guess": ATTACKER_GUESS})
+            energy, cycles = window(run)
+            if reference is None:
+                reference = energy
+            aligned = (energy.shape == reference.shape)
+            leak = float(np.abs(energy - reference).max()) if aligned \
+                else float("nan")
+            verdict = run.cpu.read_symbol_words("ok", 1)[0]
+            rows.append((label, verdict, cycles,
+                         "-" if not aligned else f"{leak:.2f}",
+                         "" if aligned else "<- timing leak!"))
+        print(f"=== {name} PIN check (attacker's guess fixed) ===")
+        print(ascii_table(
+            ["stored secret", "accepted", "total cycles",
+             "max |Δ| vs first (pJ)", ""], rows))
+        for diagnostic in compiled.diagnostics:
+            print(f"compiler diagnostic: {diagnostic.message}")
+        print()
+
+    print("Against the naive check, one power/timing trace tells the "
+          "attacker how many\ndigits of their guess matched the secret "
+          "(digit-by-digit search, 40 tries).\nThe secure check runs "
+          "cycle- and energy-identically for every stored PIN —\nonly "
+          "the final public accept/reject differs.\n")
+
+    print("=== automated timing extraction (repro.attacks.timing) ===")
+    from repro.attacks.timing import extract_secret_by_timing
+
+    secret = [2, 7, 1, 8]
+    for name, source in (("naive", NAIVE), ("secure", SECURE)):
+        program = compile_source(source, masking="selective").program
+        attack = extract_secret_by_timing(program, "guess", positions=4,
+                                          fixed_inputs={"stored": secret})
+        hits = sum(1 for got, want in zip(attack.recovered, secret)
+                   if got == want)
+        print(f"[{name}] secret={secret} recovered={attack.recovered} "
+              f"-> {hits}/4 digits in {attack.measurements} oracle calls"
+              + ("  (the final digit ties; the accept/reject oracle "
+                 "finishes it in <=10 more)" if hits == 3 else ""))
+
+
+if __name__ == "__main__":
+    main()

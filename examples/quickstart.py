@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: compile DES for the secure-instruction core, run it on the
+cycle-accurate energy simulator, and look at what an attacker would see.
+
+Runs one round of DES (the paper's Figs. 7-11 workload) twice — once
+unmasked, once with compiler-directed selective masking — and prints the
+energy totals plus the key-differential leakage that DPA would exploit.
+
+Usage:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (KEY_A, PT_A, ROUND1_DES, ciphertext_of, compile_des,
+                   des_run, encrypt_block)
+from repro.harness.report import ascii_table
+from repro.programs import markers as mk
+
+
+def main() -> None:
+    print("Compiling DES (SecureC -> forward slicing -> secure "
+          "instructions -> assembly)...")
+    rows = []
+    for masking in ("none", "selective"):
+        compiled = compile_des(ROUND1_DES, masking=masking)
+
+        run_a = des_run(compiled.program, KEY_A, PT_A)
+        run_b = des_run(compiled.program, KEY_A ^ (1 << 63), PT_A)
+
+        # Functional correctness against the FIPS reference.
+        assert ciphertext_of(run_a.cpu) == encrypt_block(PT_A, KEY_A,
+                                                         rounds=1)
+
+        # What the attacker sees: the differential trace over the
+        # key-dependent region (PC-1 through the end of round 1).
+        diff = run_a.trace.diff(run_b.trace)
+        start = run_a.trace.marker_cycles(mk.M_KEYPERM_START)[0]
+        end = run_a.trace.marker_cycles(mk.M_FP_START)[0]
+        leak = float(np.abs(diff[start:end]).max())
+
+        rows.append((masking,
+                     f"{run_a.cycles}",
+                     f"{run_a.total_uj:.2f}",
+                     f"{run_a.average_pj:.1f}",
+                     f"{compiled.secure_static_fraction:.1%}",
+                     f"{leak:.3f}"))
+
+    print()
+    print(ascii_table(
+        ["masking", "cycles", "total µJ", "avg pJ/cycle",
+         "secure instrs", "max |Δ| for 1 key bit (pJ)"],
+        rows))
+    print()
+    print("The selectively-masked binary costs ~12% more energy but its")
+    print("key-differential trace is exactly zero: DPA has nothing to "
+          "measure.")
+
+
+if __name__ == "__main__":
+    main()

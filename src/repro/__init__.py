@@ -1,0 +1,65 @@
+"""repro — reproduction of "Masking the Energy Behavior of DES Encryption"
+(Saputra et al., DATE 2003).
+
+The package implements the paper's full stack from scratch:
+
+* :mod:`repro.isa` — a MIPS-like embedded integer ISA augmented with a
+  per-instruction *secure bit* and the paper's secure mnemonics
+  (``slw``/``ssw``/``sxor``/``ssllv``/``silw``), plus a two-pass assembler;
+* :mod:`repro.machine` — a cycle-accurate five-stage in-order pipeline
+  (forwarding, load-use interlock, EX-resolved branches);
+* :mod:`repro.energy` — SimplePower-style transition-sensitive energy
+  models with pre-charged dual-rail semantics for secure instructions;
+* :mod:`repro.des` — FIPS 46-3 DES reference implementation and tables;
+* :mod:`repro.lang` — the SecureC compiler: ``secure``-annotated mini-C,
+  forward slicing, and secure-instruction selection;
+* :mod:`repro.programs` — the DES workload generated in SecureC;
+* :mod:`repro.masking` — the four masking policies of the paper's Sec. 4.3;
+* :mod:`repro.attacks` — SPA and DPA mounted against simulated traces;
+* :mod:`repro.harness` — one registered experiment per paper table/figure.
+
+Quickstart::
+
+    from repro import compile_des, des_run, KEY_A, PT_A
+    compiled = compile_des(masking="selective")
+    run = des_run(compiled.program, KEY_A, PT_A)
+    print(run.total_uj, "uJ over", run.cycles, "cycles")
+"""
+
+from .attacks import (collect_traces, cpa_attack, dpa_attack,
+                      dpa_attack_multibit, random_plaintexts)
+from .attacks.spa import analyze as spa_analyze
+from .aes import decrypt_block as aes_decrypt_block
+from .aes import encrypt_block as aes_encrypt_block
+from .des import decrypt_block, encrypt_block
+from .energy import (DEFAULT_PARAMS, EnergyParams, EnergyTrace,
+                     EnergyTracker)
+from .harness import (EXPERIMENTS, ExperimentResult, KEY_A, KEY_B_BIT1,
+                      KEY_C, PT_A, PT_B, RunResult, des_run, run_experiment,
+                      run_with_trace)
+from .isa import Instruction, Program, assemble
+from .lang import CompileResult, compile_source
+from .machine import CPU, Memory, Pipeline, run_to_halt
+from .masking import MaskingPolicy, apply_policy
+from .programs import (AesProgramSpec, DesProgramSpec, FULL_AES, FULL_DES,
+                       KEYPERM_ONLY, ROUND1_AES, ROUND1_DES,
+                       aes_ciphertext_of, ciphertext_of, compile_aes,
+                       compile_des, des_source, run_aes, run_des)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AesProgramSpec", "CPU", "CompileResult", "DEFAULT_PARAMS",
+    "DesProgramSpec", "FULL_AES", "ROUND1_AES", "aes_ciphertext_of",
+    "aes_decrypt_block", "aes_encrypt_block", "compile_aes", "cpa_attack",
+    "run_aes",
+    "EXPERIMENTS", "EnergyParams", "EnergyTrace", "EnergyTracker",
+    "ExperimentResult", "FULL_DES", "Instruction", "KEYPERM_ONLY", "KEY_A",
+    "KEY_B_BIT1", "KEY_C", "MaskingPolicy", "Memory", "PT_A", "PT_B",
+    "Pipeline", "Program", "ROUND1_DES", "RunResult", "apply_policy",
+    "assemble", "ciphertext_of", "collect_traces", "compile_des",
+    "compile_source", "decrypt_block", "des_run", "des_source",
+    "dpa_attack", "dpa_attack_multibit", "encrypt_block",
+    "random_plaintexts", "run_des", "run_experiment", "run_to_halt",
+    "run_with_trace", "spa_analyze",
+]

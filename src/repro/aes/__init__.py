@@ -1,0 +1,18 @@
+"""AES-128 substrate: FIPS-197 tables and reference cipher.
+
+The paper's masking technique is algorithm-agnostic ("our approach is
+general and can be extended to other algorithms"); the authors' follow-up
+work applies it to AES.  This package provides the AES golden model; the
+SecureC AES program lives in :mod:`repro.programs.aes_source`.
+"""
+
+from .reference import (BLOCK_BYTES, ROUNDS, decrypt_block, encrypt_block,
+                        expand_key, int_to_state, state_to_int)
+from .tables import (INV_SBOX, INV_SHIFT_ROWS, POLY, RCON, SBOX, SHIFT_ROWS,
+                     XTIME, gf_inv, gf_mul)
+
+__all__ = [
+    "BLOCK_BYTES", "INV_SBOX", "INV_SHIFT_ROWS", "POLY", "RCON", "ROUNDS",
+    "SBOX", "SHIFT_ROWS", "XTIME", "decrypt_block", "encrypt_block",
+    "expand_key", "gf_inv", "gf_mul", "int_to_state", "state_to_int",
+]

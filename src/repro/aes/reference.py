@@ -1,0 +1,128 @@
+"""Reference AES-128 (FIPS-197), byte-oriented.
+
+Golden model for the SecureC AES program and ground truth for attacks.
+State is a list of 16 bytes in FIPS column-major order; block/key I/O uses
+big-endian 128-bit integers (matching the FIPS-197 example vectors).
+"""
+
+from __future__ import annotations
+
+from .tables import INV_SBOX, INV_SHIFT_ROWS, RCON, SBOX, SHIFT_ROWS, gf_mul
+
+BLOCK_BYTES = 16
+ROUNDS = 10
+
+
+def int_to_state(block: int) -> list[int]:
+    """128-bit integer -> 16 bytes (FIPS order)."""
+    if block < 0 or block >= (1 << 128):
+        raise ValueError("block must be a 128-bit integer")
+    return [(block >> (8 * (15 - i))) & 0xFF for i in range(16)]
+
+
+def state_to_int(state: list[int]) -> int:
+    """16 bytes (FIPS order) -> 128-bit integer."""
+    value = 0
+    for byte in state:
+        value = (value << 8) | (byte & 0xFF)
+    return value
+
+
+def expand_key(key: int) -> list[int]:
+    """AES-128 key expansion: 176 bytes (11 round keys of 16 bytes)."""
+    expanded = int_to_state(key)
+    for word_index in range(4, 44):
+        previous = expanded[4 * (word_index - 1): 4 * word_index]
+        if word_index % 4 == 0:
+            previous = previous[1:] + previous[:1]          # RotWord
+            previous = [SBOX[b] for b in previous]          # SubWord
+            previous[0] ^= RCON[word_index // 4 - 1]
+        base = 4 * (word_index - 4)
+        expanded.extend(expanded[base + i] ^ previous[i] for i in range(4))
+    return expanded
+
+
+def add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+def sub_bytes(state: list[int]) -> list[int]:
+    return [SBOX[b] for b in state]
+
+
+def shift_rows(state: list[int]) -> list[int]:
+    return [state[SHIFT_ROWS[i]] for i in range(16)]
+
+
+def mix_columns(state: list[int]) -> list[int]:
+    output = [0] * 16
+    for column in range(4):
+        s0, s1, s2, s3 = state[4 * column: 4 * column + 4]
+        output[4 * column + 0] = gf_mul(s0, 2) ^ gf_mul(s1, 3) ^ s2 ^ s3
+        output[4 * column + 1] = s0 ^ gf_mul(s1, 2) ^ gf_mul(s2, 3) ^ s3
+        output[4 * column + 2] = s0 ^ s1 ^ gf_mul(s2, 2) ^ gf_mul(s3, 3)
+        output[4 * column + 3] = gf_mul(s0, 3) ^ s1 ^ s2 ^ gf_mul(s3, 2)
+    return output
+
+
+def inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[INV_SHIFT_ROWS[i]] for i in range(16)]
+
+
+def inv_sub_bytes(state: list[int]) -> list[int]:
+    return [INV_SBOX[b] for b in state]
+
+
+def inv_mix_columns(state: list[int]) -> list[int]:
+    output = [0] * 16
+    for column in range(4):
+        s0, s1, s2, s3 = state[4 * column: 4 * column + 4]
+        output[4 * column + 0] = (gf_mul(s0, 14) ^ gf_mul(s1, 11)
+                                  ^ gf_mul(s2, 13) ^ gf_mul(s3, 9))
+        output[4 * column + 1] = (gf_mul(s0, 9) ^ gf_mul(s1, 14)
+                                  ^ gf_mul(s2, 11) ^ gf_mul(s3, 13))
+        output[4 * column + 2] = (gf_mul(s0, 13) ^ gf_mul(s1, 9)
+                                  ^ gf_mul(s2, 14) ^ gf_mul(s3, 11))
+        output[4 * column + 3] = (gf_mul(s0, 11) ^ gf_mul(s1, 13)
+                                  ^ gf_mul(s2, 9) ^ gf_mul(s3, 14))
+    return output
+
+
+def encrypt_block(plaintext: int, key: int, rounds: int = ROUNDS) -> int:
+    """Encrypt one 128-bit block with AES-128.
+
+    ``rounds`` < 10 runs a reduced-round variant (the last simulated round
+    is always the MixColumns-free final round, as in the standard).
+    """
+    if not 1 <= rounds <= ROUNDS:
+        raise ValueError("rounds must be in 1..10")
+    round_keys = expand_key(key)
+    state = add_round_key(int_to_state(plaintext), round_keys[:16])
+    for round_index in range(1, rounds):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(
+            state, round_keys[16 * round_index: 16 * round_index + 16])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[16 * rounds: 16 * rounds + 16])
+    return state_to_int(state)
+
+
+def decrypt_block(ciphertext: int, key: int, rounds: int = ROUNDS) -> int:
+    """Decrypt one 128-bit block with AES-128."""
+    if not 1 <= rounds <= ROUNDS:
+        raise ValueError("rounds must be in 1..10")
+    round_keys = expand_key(key)
+    state = add_round_key(int_to_state(ciphertext),
+                          round_keys[16 * rounds: 16 * rounds + 16])
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    for round_index in range(rounds - 1, 0, -1):
+        state = add_round_key(
+            state, round_keys[16 * round_index: 16 * round_index + 16])
+        state = inv_mix_columns(state)
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+    return state_to_int(add_round_key(state, round_keys[:16]))

@@ -1,0 +1,83 @@
+"""AES (FIPS-197) tables, generated from first principles.
+
+The S-box is computed from the GF(2^8) inverse composed with the affine
+transformation rather than hard-coded, so the table itself is covered by
+the algebraic tests.  ``XTIME`` tabulates multiplication by {02} in
+GF(2^8) — the masked AES program performs MixColumns through XTIME table
+lookups (secure indexed loads) instead of a secret-dependent conditional
+reduction, which the architecture could not mask.
+"""
+
+from __future__ import annotations
+
+#: The AES irreducible polynomial x^8 + x^4 + x^3 + x + 1.
+POLY = 0x11B
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= POLY
+        b >>= 1
+    return result
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inv(0) is defined as 0."""
+    if a == 0:
+        return 0
+    # a^(2^8 - 2) = a^254.
+    result = 1
+    power = a
+    exponent = 254
+    while exponent:
+        if exponent & 1:
+            result = gf_mul(result, power)
+        power = gf_mul(power, power)
+        exponent >>= 1
+    return result
+
+
+def _affine(value: int) -> int:
+    result = 0
+    for bit in range(8):
+        parity = ((value >> bit) & 1)
+        for offset in (4, 5, 6, 7):
+            parity ^= (value >> ((bit + offset) % 8)) & 1
+        parity ^= (0x63 >> bit) & 1
+        result |= parity << bit
+    return result
+
+
+def _build_sbox() -> tuple[int, ...]:
+    return tuple(_affine(gf_inv(value)) for value in range(256))
+
+
+#: Forward S-box.
+SBOX: tuple[int, ...] = _build_sbox()
+
+#: Inverse S-box.
+INV_SBOX: tuple[int, ...] = tuple(
+    SBOX.index(value) for value in range(256))
+
+#: Multiplication by {02} in GF(2^8), tabulated.
+XTIME: tuple[int, ...] = tuple(gf_mul(value, 2) for value in range(256))
+
+#: Round constants for AES-128 key expansion.
+RCON: tuple[int, ...] = (0x01, 0x02, 0x04, 0x08, 0x10,
+                         0x20, 0x40, 0x80, 0x1B, 0x36)
+
+#: ShiftRows as a byte permutation over the 16-byte state in column-major
+#: (FIPS) order: output[i] = input[SHIFT_ROWS[i]].
+SHIFT_ROWS: tuple[int, ...] = tuple(
+    (4 * ((column + row) % 4)) + row
+    for column in range(4) for row in range(4))
+
+#: Inverse ShiftRows permutation.
+INV_SHIFT_ROWS: tuple[int, ...] = tuple(
+    SHIFT_ROWS.index(position) for position in range(16))

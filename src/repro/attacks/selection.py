@@ -1,0 +1,50 @@
+"""DPA selection functions for first-round DES.
+
+The classic Kocher-style attack guesses the 6 subkey bits entering one
+S-box in round 1 and predicts one bit of that S-box's output from the known
+plaintext.  A correct guess makes the prediction match the device's real
+intermediate bit, so partitioning traces by the prediction exposes the
+data-dependent energy of the downstream computation.
+"""
+
+from __future__ import annotations
+
+from ..des.bitops import bits_to_int, int_to_bits, permute
+from ..des.keyschedule import key_schedule
+from ..des.tables import E, IP
+from ..des.reference import sbox_lookup
+
+
+def round1_sbox_input_bits(plaintext: int, box: int) -> int:
+    """The 6 bits of E(R0) feeding S-box ``box`` (0-based), as an integer.
+
+    These depend only on the public plaintext.
+    """
+    if not 0 <= box < 8:
+        raise ValueError(f"S-box index out of range: {box}")
+    bits = permute(int_to_bits(plaintext, 64), IP)
+    r0 = bits[32:]
+    expanded = permute(r0, E)
+    return bits_to_int(expanded[6 * box: 6 * box + 6])
+
+
+def predict_sbox_output_bit(plaintext: int, subkey_guess: int, box: int,
+                            bit: int = 0) -> int:
+    """Selection function D(plaintext, guess): a round-1 S-box output bit.
+
+    ``subkey_guess`` is the guessed 6-bit chunk of K1 for S-box ``box``;
+    ``bit`` selects which of the 4 output bits to target (0 = MSB).
+    """
+    if not 0 <= subkey_guess < 64:
+        raise ValueError("subkey guess must be 6 bits")
+    if not 0 <= bit < 4:
+        raise ValueError("S-box output bit must be in 0..3")
+    six = round1_sbox_input_bits(plaintext, box) ^ subkey_guess
+    output = sbox_lookup(box, six)
+    return (output >> (3 - bit)) & 1
+
+
+def true_round1_subkey_chunk(key: int, box: int) -> int:
+    """Ground truth: the 6 bits of K1 feeding S-box ``box``."""
+    k1 = key_schedule(key)[0]
+    return bits_to_int(k1[6 * box: 6 * box + 6])

@@ -1,0 +1,162 @@
+"""Simple power analysis: reading program structure from a single trace.
+
+The paper's Figure 6 shows that one energy trace of the unmasked DES run
+"reveal[s] clearly the 16 rounds of operation".  This module mounts that
+observation as an attack: given a single per-cycle energy trace it recovers
+
+* the dominant repetition period (the round length), via autocorrelation;
+* the number of repetitions (the round count), via matched-filter peak
+  counting.
+
+Nothing here uses the program's phase markers — SPA sees only the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .stats import moving_average
+
+
+@dataclass
+class SpaResult:
+    period: int
+    round_count: int
+    #: Autocorrelation score of the detected period (0..1).
+    score: float
+    #: Start cycles of the detected repetitions.
+    round_starts: list[int]
+
+
+def detect_period(energy: np.ndarray, min_period: int = 64,
+                  max_period: int | None = None) -> tuple[int, float]:
+    """Dominant repetition period of a trace via normalized autocorrelation.
+
+    Returns ``(period, score)`` where score is the normalized correlation at
+    the detected lag.  Searches lags in [min_period, max_period].
+    """
+    signal = np.asarray(energy, dtype=np.float64)
+    n = signal.size
+    if max_period is None:
+        max_period = n // 3
+    if max_period <= min_period:
+        raise ValueError("trace too short for the requested period range")
+    centered = signal - signal.mean()
+    # FFT autocorrelation.
+    size = 1 << int(np.ceil(np.log2(2 * n)))
+    spectrum = np.fft.rfft(centered, size)
+    autocorr = np.fft.irfft(spectrum * np.conj(spectrum), size)[:n]
+    autocorr /= autocorr[0] if autocorr[0] else 1.0
+    window = autocorr[min_period:max_period]
+    # The fundamental period may have a weaker peak than its multiples when
+    # rounds alternate slightly (DES shift amounts 1/2); take the smallest
+    # lag whose correlation is within 90% of the global maximum.
+    best = float(window.max())
+    candidates = np.nonzero(window >= 0.9 * best)[0]
+    lag = int(candidates[0]) + min_period
+    return lag, float(autocorr[lag])
+
+
+def count_rounds(energy: np.ndarray, period: int,
+                 smooth_window: int = 32) -> tuple[int, list[int]]:
+    """Count repetitions of a period-long pattern in the trace.
+
+    Uses the first detected period as a matched filter template and counts
+    well-separated correlation peaks.
+    """
+    signal = moving_average(np.asarray(energy, dtype=np.float64),
+                            smooth_window)
+    signal = signal - signal.mean()
+    n = signal.size
+    if 2 * period >= n:
+        return 0, []
+    # Template selection: find the most *self-similar* segment — one whose
+    # next period repeats it (a round body, not the pre/post-amble).
+    stride = max(1, period // 8)
+    starts_and_sims: list[tuple[int, float]] = []
+    for start in range(0, n - 2 * period, stride):
+        first = signal[start:start + period]
+        second = signal[start + period:start + 2 * period]
+        denom = np.linalg.norm(first) * np.linalg.norm(second)
+        if denom <= 0:
+            continue
+        starts_and_sims.append(
+            (start, float(np.dot(first, second) / denom)))
+    if not starts_and_sims:
+        return 0, []
+    best_sim = max(sim for _, sim in starts_and_sims)
+    # The earliest strongly-repeating position anchors the template near the
+    # first repetition.  The anchor's *phase* within the period decides
+    # whether boundary repetitions fit inside the trace, so try a few phase
+    # shifts of the anchor and keep whichever detects the most repetitions.
+    coarse = next(start for start, sim in starts_and_sims
+                  if sim >= 0.95 * best_sim)
+    squares = np.concatenate(([0.0], np.cumsum(signal * signal)))
+    local = np.sqrt(np.maximum(squares[period:] - squares[:-period], 1e-12))
+
+    threshold = 0.7
+
+    def half_similarity(template: np.ndarray, position: int) -> float:
+        """Cosine over the first half-period only (boundary probe)."""
+        half = period // 2
+        if position < 0 or position + half > n:
+            return -1.0
+        window = signal[position:position + half]
+        head = template[:half]
+        denom = np.linalg.norm(window) * np.linalg.norm(head)
+        if denom <= 0:
+            return -1.0
+        return float(np.dot(window, head) / denom)
+
+    def peaks_for(template_start: int) -> list[int]:
+        template = signal[template_start:template_start + period]
+        template_norm = np.linalg.norm(template)
+        if template_norm == 0:
+            return []
+        correlation = np.correlate(signal, template, mode="valid")
+        similarity = correlation / (template_norm * local)
+        # Greedy peak picking: accept in descending similarity order,
+        # suppressing anything within 3/4 period of an accepted peak.
+        # Repetitions score >0.9 and non-repeating regions ~0.
+        min_distance = (period * 3) // 4
+        candidates = np.nonzero(similarity >= threshold)[0]
+        order = candidates[np.argsort(-similarity[candidates])]
+        accepted: list[int] = []
+        for position in order:
+            if all(abs(int(position) - peak) >= min_distance
+                   for peak in accepted):
+                accepted.append(int(position))
+        accepted.sort()
+        if not accepted:
+            return accepted
+        # Boundary repetitions: a template anchored mid-repetition pushes
+        # the first/last occurrence's full window into the pre/post-amble.
+        # Probe one period beyond each end with a half-period template.
+        leading = accepted[0] - period
+        if half_similarity(template, leading) >= threshold:
+            accepted.insert(0, leading)
+        trailing = accepted[-1] + period
+        if half_similarity(template, trailing) >= threshold:
+            accepted.append(trailing)
+        return accepted
+
+    best_peaks: list[int] = []
+    for shift in range(0, period, max(1, period // 4)):
+        anchor = coarse + shift
+        if anchor + 2 * period > n:
+            break
+        peaks = peaks_for(anchor)
+        if len(peaks) > len(best_peaks):
+            best_peaks = peaks
+    return len(best_peaks), best_peaks
+
+
+def analyze(energy: np.ndarray, min_period: int = 64,
+            max_period: int | None = None) -> SpaResult:
+    """Full SPA pass: period detection + round counting."""
+    period, score = detect_period(energy, min_period, max_period)
+    rounds, starts = count_rounds(energy, period)
+    return SpaResult(period=period, round_count=rounds, score=score,
+                     round_starts=starts)

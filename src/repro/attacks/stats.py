@@ -1,0 +1,82 @@
+"""Statistical primitives for power-analysis attacks.
+
+All functions operate on trace matrices: numpy arrays of shape
+``(n_traces, n_cycles)`` with per-cycle energy in pJ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def difference_of_means(traces: np.ndarray,
+                        partition: np.ndarray) -> np.ndarray:
+    """Kocher's DPA statistic: mean(group 1) - mean(group 0) per cycle.
+
+    ``partition`` is a 0/1 vector of length n_traces (the predicted value of
+    the selection function for each trace).  Returns a vector of per-cycle
+    mean differences; an all-zero vector if either group is empty.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    partition = np.asarray(partition)
+    if partition.shape[0] != traces.shape[0]:
+        raise ValueError("partition length must equal number of traces")
+    ones = partition == 1
+    zeros = ~ones
+    if not ones.any() or not zeros.any():
+        return np.zeros(traces.shape[1])
+    return traces[ones].mean(axis=0) - traces[zeros].mean(axis=0)
+
+
+def max_bias(traces: np.ndarray, partition: np.ndarray) -> float:
+    """Peak absolute difference-of-means over all cycles."""
+    delta = difference_of_means(traces, partition)
+    return float(np.abs(delta).max()) if delta.size else 0.0
+
+
+def welch_t_statistic(traces: np.ndarray,
+                      partition: np.ndarray) -> np.ndarray:
+    """Per-cycle Welch t-statistic between the two partitions.
+
+    A standard leakage-assessment statistic (TVLA-style); more robust than
+    the raw mean difference when group sizes are unbalanced.
+    """
+    traces = np.asarray(traces, dtype=np.float64)
+    partition = np.asarray(partition)
+    ones = partition == 1
+    zeros = ~ones
+    n1, n0 = int(ones.sum()), int(zeros.sum())
+    if n1 < 2 or n0 < 2:
+        return np.zeros(traces.shape[1])
+    m1 = traces[ones].mean(axis=0)
+    m0 = traces[zeros].mean(axis=0)
+    v1 = traces[ones].var(axis=0, ddof=1)
+    v0 = traces[zeros].var(axis=0, ddof=1)
+    denom = np.sqrt(v1 / n1 + v0 / n0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = np.where(denom > 0, (m1 - m0) / denom, 0.0)
+    return t
+
+
+def signal_to_noise(traces: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-cycle SNR: Var_over_classes(mean) / mean_over_classes(var)."""
+    traces = np.asarray(traces, dtype=np.float64)
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if classes.size < 2:
+        return np.zeros(traces.shape[1])
+    means = np.stack([traces[labels == c].mean(axis=0) for c in classes])
+    variances = np.stack([traces[labels == c].var(axis=0) for c in classes])
+    noise = variances.mean(axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        snr = np.where(noise > 0, means.var(axis=0) / noise, 0.0)
+    return snr
+
+
+def moving_average(signal: np.ndarray, window: int) -> np.ndarray:
+    """Simple boxcar smoothing (used by SPA round detection)."""
+    if window <= 1:
+        return np.asarray(signal, dtype=np.float64)
+    kernel = np.ones(window) / window
+    return np.convolve(np.asarray(signal, dtype=np.float64), kernel,
+                       mode="same")

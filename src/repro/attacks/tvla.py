@@ -1,0 +1,107 @@
+"""TVLA-style leakage assessment (fixed-vs-random Welch t-test).
+
+Test Vector Leakage Assessment (Goodwill et al.) is the standard
+non-specific evaluation: collect one trace set with a *fixed* plaintext
+and one with *random* plaintexts (same key), compute Welch's t-statistic
+per cycle, and flag any |t| above the 4.5 threshold as evidence of
+data-dependent leakage.  Unlike DPA/CPA it needs no key hypothesis or
+leakage model, so it bounds *all* first-order attacks at once.
+
+For this reproduction it gives a single pass/fail number per device:
+
+* the unmasked DES fails massively (the plaintext-derived round data
+  modulates the trace);
+* the selectively-masked DES shows |t| = 0 on every secured cycle — not
+  merely below threshold, identically zero, because the secured cycles
+  are constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..energy.params import DEFAULT_PARAMS, EnergyParams
+from ..isa.program import Program
+from .stats import welch_t_statistic
+
+#: Conventional TVLA pass/fail threshold.
+T_THRESHOLD = 4.5
+
+
+@dataclass
+class TvlaResult:
+    """Outcome of one fixed-vs-random assessment."""
+
+    t_statistic: np.ndarray        # per cycle
+    threshold: float = T_THRESHOLD
+
+    @property
+    def max_abs_t(self) -> float:
+        return float(np.abs(self.t_statistic).max()) \
+            if self.t_statistic.size else 0.0
+
+    @property
+    def leaky_cycles(self) -> int:
+        return int((np.abs(self.t_statistic) > self.threshold).sum())
+
+    @property
+    def passes(self) -> bool:
+        """True when no cycle exceeds the threshold (no detected leak)."""
+        return self.leaky_cycles == 0
+
+
+def fixed_vs_random(fixed_traces: np.ndarray,
+                    random_traces: np.ndarray,
+                    threshold: float = T_THRESHOLD) -> TvlaResult:
+    """Welch t-test between a fixed-input set and a random-input set.
+
+    Deterministic-simulator corner case: a cycle where *both* groups have
+    zero variance but different means is a definite leak (infinite t in
+    the limit); it is reported as ±inf rather than the 0 the plain Welch
+    formula would produce.
+    """
+    fixed_traces = np.asarray(fixed_traces, dtype=np.float64)
+    random_traces = np.asarray(random_traces, dtype=np.float64)
+    if fixed_traces.shape[1] != random_traces.shape[1]:
+        raise ValueError("trace sets are not cycle-aligned")
+    traces = np.vstack([fixed_traces, random_traces])
+    partition = np.concatenate([np.zeros(fixed_traces.shape[0], dtype=int),
+                                np.ones(random_traces.shape[0], dtype=int)])
+    t = welch_t_statistic(traces, partition)
+    mean_diff = random_traces.mean(axis=0) - fixed_traces.mean(axis=0)
+    zero_variance = (fixed_traces.var(axis=0) == 0) \
+        & (random_traces.var(axis=0) == 0)
+    definite = zero_variance & (mean_diff != 0)
+    t = np.where(definite, np.copysign(np.inf, mean_diff), t)
+    return TvlaResult(t_statistic=t, threshold=threshold)
+
+
+def assess_des_program(program: Program, key: int, fixed_plaintext: int,
+                       random_plaintexts: list[int],
+                       params: EnergyParams = DEFAULT_PARAMS,
+                       window: Optional[tuple[int, int]] = None,
+                       noise_sigma: float = 0.0) -> TvlaResult:
+    """Run the full fixed-vs-random acquisition against a DES program.
+
+    The fixed set re-measures the same plaintext ``len(random_plaintexts)``
+    times (identical traces when ``noise_sigma`` is 0 — the simulator is
+    deterministic, which only makes the test *more* sensitive).
+    """
+    from ..harness.runner import des_run
+
+    def acquire(plaintext: int, seed: int) -> np.ndarray:
+        run = des_run(program, key, plaintext, params=params,
+                      noise_sigma=noise_sigma, noise_seed=seed)
+        energy = run.trace.energy
+        if window is not None:
+            energy = energy[window[0]:window[1]]
+        return energy
+
+    fixed = np.vstack([acquire(fixed_plaintext, seed=1000 + i)
+                       for i in range(len(random_plaintexts))])
+    randoms = np.vstack([acquire(plaintext, seed=2000 + i)
+                         for i, plaintext in enumerate(random_plaintexts)])
+    return fixed_vs_random(fixed, randoms)

@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile FILE.sc``   — compile SecureC to secure-tagged assembly
+* ``asm FILE.s``        — assemble and print the program listing
+* ``run FILE``          — run a .s or .sc file on the energy simulator
+* ``experiment ID``     — run one registered paper experiment
+* ``experiments``       — list the experiment registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _read(path: str) -> str:
+    return Path(path).read_text()
+
+
+def _parse_inputs(pairs: list[str]) -> dict[str, list[int]]:
+    """``sym=1,2,3`` pairs -> {symbol: [words]}."""
+    inputs: dict[str, list[int]] = {}
+    for pair in pairs:
+        symbol, _, values = pair.partition("=")
+        if not values:
+            raise SystemExit(f"bad --input {pair!r}; expected sym=v1,v2,...")
+        inputs[symbol] = [int(v, 0) for v in values.split(",")]
+    return inputs
+
+
+def cmd_compile(arguments: argparse.Namespace) -> int:
+    from .lang.compiler import compile_source
+
+    result = compile_source(_read(arguments.file),
+                            masking=arguments.masking,
+                            optimize=arguments.optimize)
+    output = arguments.output
+    if output:
+        Path(output).write_text(result.assembly)
+        print(f"wrote {output}")
+    else:
+        print(result.assembly, end="")
+    print(f"# {len(result.program.text)} instructions, "
+          f"{result.secure_static_fraction:.1%} secure",
+          file=sys.stderr)
+    for diagnostic in result.diagnostics:
+        print(f"# diagnostic: {diagnostic.message}", file=sys.stderr)
+    return 0
+
+
+def cmd_asm(arguments: argparse.Namespace) -> int:
+    from .isa.assembler import assemble
+
+    program = assemble(_read(arguments.file))
+    print(program.listing())
+    print(f"# {len(program.text)} instructions, "
+          f"{len(program.data)} data words", file=sys.stderr)
+    return 0
+
+
+def cmd_run(arguments: argparse.Namespace) -> int:
+    from .harness.runner import run_with_trace
+    from .isa.assembler import assemble
+    from .lang.compiler import compile_source
+    from .machine.interpreter import run_functional
+
+    source = _read(arguments.file)
+    if arguments.file.endswith(".sc"):
+        program = compile_source(source, masking=arguments.masking,
+                                 optimize=arguments.optimize).program
+    else:
+        program = assemble(source)
+    inputs = _parse_inputs(arguments.input or [])
+
+    if arguments.fast:
+        interpreter = run_functional(program, inputs=inputs,
+                                     max_instructions=arguments.max_cycles)
+        print(f"instructions:      {interpreter.executed} "
+              "(functional mode: no timing/energy)")
+        if arguments.dump:
+            for symbol_count in arguments.dump:
+                symbol, _, count = symbol_count.partition(":")
+                base = program.address_of(symbol)
+                words = interpreter.memory.read_words(
+                    base, int(count) if count else 1)
+                print(f"{symbol} = {words}")
+        return 0
+
+    result = run_with_trace(program, inputs=inputs,
+                            max_cycles=arguments.max_cycles)
+    print(f"cycles:            {result.cycles}")
+    print(f"total energy:      {result.total_uj:.3f} uJ")
+    print(f"average power:     {result.average_pj:.1f} pJ/cycle")
+    for key, value in result.cpu.pipeline.stats.items():
+        if key in ("cycles",):
+            continue
+        formatted = f"{value:.3f}" if isinstance(value, float) else value
+        print(f"{key + ':':<18} {formatted}")
+    if arguments.dump:
+        for symbol_count in arguments.dump:
+            symbol, _, count = symbol_count.partition(":")
+            words = result.cpu.read_symbol_words(symbol,
+                                                 int(count) if count else 1)
+            print(f"{symbol} = {words}")
+    return 0
+
+
+def cmd_experiment(arguments: argparse.Namespace) -> int:
+    from .harness.experiments import run_experiment
+
+    result = run_experiment(arguments.id)
+    print(f"[{result.experiment_id}] {result.title}")
+    for key, value in result.summary.items():
+        formatted = f"{value:,.3f}" if isinstance(value, float) else value
+        print(f"  {key:<40} {formatted}")
+    if result.notes:
+        print(f"  note: {result.notes}")
+    if arguments.json:
+        from .harness.io import save_experiment_json
+
+        save_experiment_json(result, arguments.json,
+                             include_series=not arguments.no_series)
+        print(f"saved {arguments.json}")
+    return 0
+
+
+def cmd_experiments(arguments: argparse.Namespace) -> int:
+    from .harness.experiments import EXPERIMENTS
+
+    for experiment_id, function in sorted(EXPERIMENTS.items()):
+        first_line = (function.__doc__ or "").strip().splitlines()[0] \
+            if function.__doc__ else ""
+        print(f"{experiment_id:<22} {first_line}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure-instruction DES/AES energy-masking simulator "
+                    "(DATE 2003 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = subparsers.add_parser(
+        "compile", help="compile SecureC to assembly")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--masking", default="selective",
+                           choices=["selective", "annotate-only", "none"])
+    p_compile.add_argument("-O", "--optimize", type=int, default=0,
+                           choices=[0, 1, 2])
+    p_compile.add_argument("-o", "--output")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_asm = subparsers.add_parser("asm", help="assemble and list a program")
+    p_asm.add_argument("file")
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_run = subparsers.add_parser(
+        "run", help="simulate a .s or .sc file with energy tracking")
+    p_run.add_argument("file")
+    p_run.add_argument("--masking", default="selective",
+                       choices=["selective", "annotate-only", "none"])
+    p_run.add_argument("-O", "--optimize", type=int, default=0,
+                       choices=[0, 1, 2])
+    p_run.add_argument("--input", action="append", metavar="SYM=V1,V2,...",
+                       help="write words into a data symbol before running")
+    p_run.add_argument("--dump", action="append", metavar="SYM[:COUNT]",
+                       help="print a data symbol after the run")
+    p_run.add_argument("--max-cycles", type=int, default=50_000_000)
+    p_run.add_argument("--fast", action="store_true",
+                       help="functional interpreter (no timing/energy)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_exp = subparsers.add_parser("experiment",
+                                  help="run one paper experiment")
+    p_exp.add_argument("id")
+    p_exp.add_argument("--json", help="save the full result as JSON")
+    p_exp.add_argument("--no-series", action="store_true",
+                       help="omit per-cycle series from the JSON")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_list = subparsers.add_parser("experiments",
+                                   help="list registered experiments")
+    p_list.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.func(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Bit-vector utilities shared by the DES reference and program builders.
+
+DES is specified over MSB-first bit strings with 1-based indices; the
+simulated DES program stores each bit in its own 32-bit word (the bit-array
+style of the paper's Figure 4 loop ``newL[i] = oldR[i]``).  These helpers
+convert between integers, MSB-first bit lists, and apply permutation tables.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Integer -> MSB-first bit list of the given width."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    return [(value >> (width - 1 - i)) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """MSB-first bit list -> integer."""
+    value = 0
+    for bit in bits:
+        if bit not in (0, 1):
+            raise ValueError(f"not a bit: {bit!r}")
+        value = (value << 1) | bit
+    return value
+
+
+def permute(bits: Sequence[int], table: Sequence[int]) -> list[int]:
+    """Apply a 1-based FIPS permutation table to an MSB-first bit list."""
+    return [bits[position - 1] for position in table]
+
+
+def xor_bits(a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Bit-by-bit addition modulo two of two equal-length bit lists."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def rotate_left(bits: Sequence[int], amount: int) -> list[int]:
+    """Rotate a bit list left by ``amount`` positions."""
+    amount %= len(bits)
+    return list(bits[amount:]) + list(bits[:amount])
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits (population count)."""
+    return value.bit_count()
+
+
+def parity_adjust_key(key56: int) -> int:
+    """Expand a 56-bit key to 64 bits with odd-parity bytes (FIPS key form)."""
+    if key56 < 0 or key56 >= (1 << 56):
+        raise ValueError("key must be 56 bits")
+    key64 = 0
+    for byte_index in range(8):
+        seven = (key56 >> (49 - 7 * byte_index)) & 0x7F
+        parity = 1 ^ (bin(seven).count("1") & 1)
+        key64 = (key64 << 8) | (seven << 1) | parity
+    return key64

@@ -1,0 +1,41 @@
+"""DES key schedule (FIPS 46-3, Section "Key Schedule Calculation").
+
+The key schedule is one of the key-dependent computations the paper secures:
+key permutation (PC-1), the per-round rotations of C and D, and the subkey
+selection (PC-2) all operate directly on secret data.
+"""
+
+from __future__ import annotations
+
+from .bitops import int_to_bits, permute, rotate_left
+from .tables import PC1, PC2, SHIFTS
+
+
+def key_schedule(key64: int) -> list[list[int]]:
+    """Derive the sixteen 48-bit round subkeys from a 64-bit key.
+
+    Returns a list of sixteen MSB-first 48-entry bit lists.  The 8 parity
+    bits of the input key are ignored, per the standard.
+    """
+    key_bits = int_to_bits(key64, 64)
+    cd = permute(key_bits, PC1)
+    c, d = cd[:28], cd[28:]
+    subkeys = []
+    for amount in SHIFTS:
+        c = rotate_left(c, amount)
+        d = rotate_left(d, amount)
+        subkeys.append(permute(c + d, PC2))
+    return subkeys
+
+
+def cd_sequence(key64: int) -> list[tuple[list[int], list[int]]]:
+    """The (C_n, D_n) register pairs for n = 1..16 (useful for tests)."""
+    key_bits = int_to_bits(key64, 64)
+    cd = permute(key_bits, PC1)
+    c, d = cd[:28], cd[28:]
+    pairs = []
+    for amount in SHIFTS:
+        c = rotate_left(c, amount)
+        d = rotate_left(d, amount)
+        pairs.append((list(c), list(d)))
+    return pairs

@@ -1,0 +1,109 @@
+"""Block modes of operation over the DES reference cipher.
+
+ECB and CBC with PKCS#7 padding, plus two-key/three-key Triple DES (EDE).
+These operate on Python ``bytes`` at the library level — the simulator
+workloads stay single-block, as in the paper's evaluation — and exist so
+the package is usable as an actual DES implementation, not only as a
+side-channel testbed.
+"""
+
+from __future__ import annotations
+
+from .reference import decrypt_block, encrypt_block
+
+BLOCK_SIZE = 8
+
+
+class PaddingError(ValueError):
+    """Raised when ciphertext unpadding fails (wrong key or corruption)."""
+
+
+def pkcs7_pad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Append PKCS#7 padding (always adds 1..block_size bytes)."""
+    pad_length = block_size - (len(data) % block_size)
+    return data + bytes([pad_length] * pad_length)
+
+
+def pkcs7_unpad(data: bytes, block_size: int = BLOCK_SIZE) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise PaddingError("data length is not a multiple of the block size")
+    pad_length = data[-1]
+    if not 1 <= pad_length <= block_size:
+        raise PaddingError("invalid padding length")
+    if data[-pad_length:] != bytes([pad_length] * pad_length):
+        raise PaddingError("inconsistent padding bytes")
+    return data[:-pad_length]
+
+
+def _blocks(data: bytes):
+    for offset in range(0, len(data), BLOCK_SIZE):
+        yield int.from_bytes(data[offset:offset + BLOCK_SIZE], "big")
+
+
+def _to_bytes(block: int) -> bytes:
+    return block.to_bytes(BLOCK_SIZE, "big")
+
+
+def ecb_encrypt(plaintext: bytes, key: int) -> bytes:
+    """DES-ECB with PKCS#7 padding."""
+    padded = pkcs7_pad(plaintext)
+    return b"".join(_to_bytes(encrypt_block(block, key))
+                    for block in _blocks(padded))
+
+
+def ecb_decrypt(ciphertext: bytes, key: int) -> bytes:
+    """Inverse of :func:`ecb_encrypt`."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise PaddingError("ciphertext length is not block-aligned")
+    padded = b"".join(_to_bytes(decrypt_block(block, key))
+                      for block in _blocks(ciphertext))
+    return pkcs7_unpad(padded)
+
+
+def cbc_encrypt(plaintext: bytes, key: int, iv: int) -> bytes:
+    """DES-CBC with PKCS#7 padding; ``iv`` is a 64-bit integer."""
+    if not 0 <= iv < (1 << 64):
+        raise ValueError("IV must be a 64-bit integer")
+    padded = pkcs7_pad(plaintext)
+    previous = iv
+    output = []
+    for block in _blocks(padded):
+        previous = encrypt_block(block ^ previous, key)
+        output.append(_to_bytes(previous))
+    return b"".join(output)
+
+
+def cbc_decrypt(ciphertext: bytes, key: int, iv: int) -> bytes:
+    """Inverse of :func:`cbc_encrypt`."""
+    if len(ciphertext) % BLOCK_SIZE:
+        raise PaddingError("ciphertext length is not block-aligned")
+    previous = iv
+    output = []
+    for block in _blocks(ciphertext):
+        output.append(_to_bytes(decrypt_block(block, key) ^ previous))
+        previous = block
+    return pkcs7_unpad(b"".join(output))
+
+
+# ---------------------------------------------------------------------------
+# Triple DES (EDE)
+# ---------------------------------------------------------------------------
+
+
+def tdes_encrypt_block(plaintext: int, key1: int, key2: int,
+                       key3: int | None = None) -> int:
+    """EDE Triple DES on one block; omit ``key3`` for two-key 3DES."""
+    if key3 is None:
+        key3 = key1
+    middle = decrypt_block(encrypt_block(plaintext, key1), key2)
+    return encrypt_block(middle, key3)
+
+
+def tdes_decrypt_block(ciphertext: int, key1: int, key2: int,
+                       key3: int | None = None) -> int:
+    """Inverse of :func:`tdes_encrypt_block`."""
+    if key3 is None:
+        key3 = key1
+    middle = encrypt_block(decrypt_block(ciphertext, key3), key2)
+    return decrypt_block(middle, key1)

@@ -1,0 +1,13 @@
+"""Transition-sensitive energy modeling (SimplePower-style)."""
+
+from .circuits import CycleEnergy, PrechargedXorCell
+from .models import BusModel, FunctionalUnitModel, LatchModel
+from .params import DEFAULT_PARAMS, EnergyParams, single_wire_event_energy
+from .trace import EnergyTrace
+from .tracker import COMPONENTS, EnergyTracker
+
+__all__ = [
+    "BusModel", "COMPONENTS", "CycleEnergy", "DEFAULT_PARAMS", "EnergyParams",
+    "EnergyTrace", "EnergyTracker", "FunctionalUnitModel", "LatchModel",
+    "PrechargedXorCell", "single_wire_event_energy",
+]

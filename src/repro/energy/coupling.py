@@ -1,0 +1,114 @@
+"""Inter-wire coupling bus model — the paper's Section 5 limitation.
+
+The paper closes with: *"The use of complementary values and dual rail
+logic alone will not be sufficient in the future.  This is because power
+consumption differences will also arise due to signal transitions on
+adjacent lines of on-chip buses [Sotiriadis/Chandrakasan].  Current
+dual-rail encoding schemes do not mask the key leakage arising due to
+these differences."*
+
+This module models exactly that effect so the limitation can be
+demonstrated (experiment ``ext-coupling``).  Each adjacent wire pair
+carries a coupling capacitance C_c; switching activity on the pair costs:
+
+* 0 coupling events when both lines switch the same way (the coupling cap
+  sees no voltage change),
+* 1 event when exactly one line switches,
+* 2 events when they switch in opposite directions (Miller doubling).
+
+On the *dual-rail pre-charged* secure bus the rails are interleaved
+``d0, ~d0, d1, ~d1, ...``.  Within a pair exactly one rail discharges per
+cycle — data-independent.  But across pair boundaries, whether ``~d_k``
+and ``d_{k+1}`` switch together depends on the data, so with C_c > 0 the
+"secure" bus leaks again, exactly as the paper warns.
+"""
+
+from __future__ import annotations
+
+_WORD = 0xFFFF_FFFF
+
+
+def _spread_bits_32_to_64(value: int) -> int:
+    """Place bit k of a 32-bit value at bit 2k of a 64-bit word."""
+    value &= _WORD
+    value = (value | (value << 16)) & 0x0000FFFF0000FFFF
+    value = (value | (value << 8)) & 0x00FF00FF00FF00FF
+    value = (value | (value << 4)) & 0x0F0F0F0F0F0F0F0F
+    value = (value | (value << 2)) & 0x3333333333333333
+    value = (value | (value << 1)) & 0x5555555555555555
+    return value
+
+
+def interleave_rails(value: int) -> int:
+    """64-bit dual-rail falling mask for the evaluate phase.
+
+    Rail layout d0, ~d0, d1, ~d1, ... with bit k of the value on rails
+    (2k, 2k+1).  Starting from all-pre-charged (all ones), rail ``d_k``
+    falls iff bit k is 0 and rail ``~d_k`` falls iff bit k is 1.
+    """
+    return _spread_bits_32_to_64(~value) | (_spread_bits_32_to_64(value) << 1)
+
+
+def coupling_events_normal(rising: int, falling: int,
+                           width: int = 32) -> int:
+    """Coupling events between adjacent lines of a single-rail bus."""
+    mask = (1 << (width - 1)) - 1
+    switching = rising | falling
+    exactly_one = (switching ^ (switching >> 1)) & mask
+    # Both switch, opposite directions: one rises while its neighbor falls.
+    opposite = ((rising & (falling >> 1)) | (falling & (rising >> 1))) & mask
+    return exactly_one.bit_count() + 2 * opposite.bit_count()
+
+
+def coupling_events_secure(value: int, width: int = 32) -> int:
+    """Coupling events on the interleaved dual-rail bus, per phase.
+
+    During evaluation every transition is a fall, so pairs where exactly
+    one rail switches contribute one event; the pre-charge phase restores
+    them symmetrically (the caller doubles this count).
+    """
+    mask = (1 << (2 * width - 1)) - 1
+    falling = interleave_rails(value)
+    exactly_one = (falling ^ (falling >> 1)) & mask
+    return exactly_one.bit_count()
+
+
+class CoupledBusModel:
+    """Bus with self capacitance plus adjacent-line coupling.
+
+    With ``coupling_event_energy == 0`` this degenerates exactly to
+    :class:`repro.energy.models.BusModel` (same totals, same state).
+    """
+
+    __slots__ = ("event_energy", "coupling_event_energy", "width", "prev",
+                 "base_secure_energy")
+
+    def __init__(self, event_energy: float, coupling_event_energy: float,
+                 width: int = 32):
+        self.event_energy = event_energy
+        self.coupling_event_energy = coupling_event_energy
+        self.width = width
+        self.prev = 0
+        self.base_secure_energy = width * event_energy
+
+    def transfer(self, value: int, secure: bool) -> float:
+        if secure:
+            energy = self.base_secure_energy
+            if self.coupling_event_energy:
+                # Evaluate discharges + pre-charge restores: two phases of
+                # identical coupling activity — and both depend on the data.
+                events = coupling_events_secure(value, self.width)
+                energy += 2 * events * self.coupling_event_energy
+            self.prev = _WORD
+            return energy
+        rising = value & ~self.prev & _WORD
+        energy = rising.bit_count() * self.event_energy
+        if self.coupling_event_energy:
+            falling = ~value & self.prev & _WORD
+            events = coupling_events_normal(rising, falling, self.width)
+            energy += events * self.coupling_event_energy
+        self.prev = value
+        return energy
+
+    def reset(self) -> None:
+        self.prev = 0

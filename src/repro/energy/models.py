@@ -1,0 +1,123 @@
+"""Transition-sensitive component energy models.
+
+These mirror SimplePower's modeling style: each datapath component remembers
+its previous electrical state and charges energy per 0->1 (charging) event,
+E = C · V² per event (the paper's single-wire example fixes this convention:
+1 pF at 2.5 V = 6.25 pJ per event).
+
+Secure-mode semantics (Section 4.2 of the paper):
+
+* **Pre-charged dual-rail bus** — the 32-bit bus becomes 64 lines carrying
+  value and complement.  All lines pre-charge to one each cycle; evaluation
+  discharges exactly 32 of them, so each secure cycle costs a constant
+  ``width`` charging events *and leaves the bus pre-charged* (all ones).
+  The all-ones resting state is what prevents a secure value from modulating
+  the energy of a following normal-mode transfer.
+* **Pre-charged complementary functional unit** (Fig. 5) — per output bit,
+  the true and complementary nodes are both pre-charged; evaluation
+  discharges exactly one of the two.  Constant ``width`` events per cycle.
+* **Dual-rail pipeline latches** — secure operands propagate with their
+  complements to write-back with return-to-precharge clocking; constant
+  ``width`` events per latched field, with a dummy capacitive load
+  terminating the complementary rails at WB.
+"""
+
+from __future__ import annotations
+
+_WORD_MASK = 0xFFFF_FFFF
+
+
+class BusModel:
+    """A bus that is dual-rail pre-charged when driven by a secure op."""
+
+    __slots__ = ("event_energy", "width", "prev", "secure_energy")
+
+    def __init__(self, event_energy: float, width: int = 32):
+        self.event_energy = event_energy
+        self.width = width
+        self.prev = 0
+        # Exactly `width` of the 2*width rails recharge per secure cycle.
+        self.secure_energy = width * event_energy
+
+    def transfer(self, value: int, secure: bool) -> float:
+        """Drive ``value`` onto the bus; returns pJ consumed."""
+        if secure:
+            # Pre-charged: constant energy, rails left at logic one.
+            self.prev = _WORD_MASK
+            return self.secure_energy
+        rising = (value & ~self.prev & _WORD_MASK).bit_count()
+        self.prev = value
+        return rising * self.event_energy
+
+    def reset(self) -> None:
+        self.prev = 0
+
+
+class FunctionalUnitModel:
+    """ALU / XOR unit / shifter with static and pre-charged modes.
+
+    Normal mode charges per rising event on the two input operand nodes and
+    the output nodes (``static_event_energy`` each).  Secure mode is the
+    pre-charged complementary circuit: a constant ``width`` events at
+    ``precharge_event_energy``, independent of the operands.
+    """
+
+    __slots__ = ("static_event_energy", "precharge_event_energy", "width",
+                 "prev_a", "prev_b", "prev_out", "secure_energy")
+
+    def __init__(self, static_event_energy: float,
+                 precharge_event_energy: float, width: int = 32):
+        self.static_event_energy = static_event_energy
+        self.precharge_event_energy = precharge_event_energy
+        self.width = width
+        self.prev_a = 0
+        self.prev_b = 0
+        self.prev_out = 0
+        self.secure_energy = width * precharge_event_energy
+
+    def execute(self, a: int, b: int, out: int, secure: bool) -> float:
+        if secure:
+            # Evaluation discharges one of each complementary node pair;
+            # pre-charge restores them.  Inputs are latched dual-rail too.
+            self.prev_a = _WORD_MASK
+            self.prev_b = _WORD_MASK
+            self.prev_out = _WORD_MASK
+            return self.secure_energy
+        rising = ((a & ~self.prev_a & _WORD_MASK).bit_count()
+                  + (b & ~self.prev_b & _WORD_MASK).bit_count()
+                  + (out & ~self.prev_out & _WORD_MASK).bit_count())
+        self.prev_a = a
+        self.prev_b = b
+        self.prev_out = out
+        return rising * self.static_event_energy
+
+    def reset(self) -> None:
+        self.prev_a = self.prev_b = self.prev_out = 0
+
+
+class LatchModel:
+    """One pipeline register holding a fixed number of 32-bit fields."""
+
+    __slots__ = ("event_energy", "fields", "width", "prev", "secure_energy")
+
+    def __init__(self, event_energy: float, fields: int, width: int = 32):
+        self.event_energy = event_energy
+        self.fields = fields
+        self.width = width
+        self.prev = [0] * fields
+        self.secure_energy = fields * width * event_energy
+
+    def latch(self, values: tuple[int, ...], secure: bool) -> float:
+        prev = self.prev
+        if secure:
+            for i in range(self.fields):
+                prev[i] = _WORD_MASK
+            return self.secure_energy
+        energy_events = 0
+        for i, value in enumerate(values):
+            energy_events += (value & ~prev[i] & _WORD_MASK).bit_count()
+            prev[i] = value
+        return energy_events * self.event_energy
+
+    def reset(self) -> None:
+        self.prev = [0] * self.fields

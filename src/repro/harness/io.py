@@ -1,0 +1,110 @@
+"""Persistence for traces, trace sets, and experiment results.
+
+Energy traces are the expensive artifact in this system (seconds of
+simulation each); saving them lets attack development iterate offline, and
+lets experiment results be archived/diffed across code changes.
+
+Formats: numpy ``.npz`` for numeric data, JSON for experiment summaries,
+CSV for tabular rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..attacks.dpa import TraceSet
+from ..energy.trace import EnergyTrace
+from .experiments import ExperimentResult
+
+PathLike = Union[str, Path]
+
+
+def save_trace(trace: EnergyTrace, path: PathLike) -> None:
+    """Save an EnergyTrace to ``.npz`` (energy, markers, components)."""
+    markers = np.asarray(trace.markers, dtype=np.int64).reshape(-1, 2)
+    payload = {"energy": trace.energy, "markers": markers,
+               "label": np.array(trace.label)}
+    if trace.components is not None:
+        payload["components"] = trace.components
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_trace(path: PathLike) -> EnergyTrace:
+    """Load an EnergyTrace saved by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        markers = tuple((int(cycle), int(value))
+                        for cycle, value in data["markers"])
+        components = data["components"] if "components" in data else None
+        return EnergyTrace(energy=data["energy"], markers=markers,
+                           components=components,
+                           label=str(data["label"]))
+
+
+def save_trace_set(trace_set: TraceSet, path: PathLike) -> None:
+    """Save a DPA/CPA trace set to ``.npz``."""
+    # 128-bit plaintexts exceed int64; store as high/low halves.
+    high = np.array([p >> 64 for p in trace_set.plaintexts],
+                    dtype=np.uint64)
+    low = np.array([p & ((1 << 64) - 1) for p in trace_set.plaintexts],
+                   dtype=np.uint64)
+    np.savez_compressed(Path(path), traces=trace_set.traces,
+                        plaintexts_high=high, plaintexts_low=low,
+                        window=np.asarray(trace_set.window, dtype=np.int64))
+
+
+def load_trace_set(path: PathLike) -> TraceSet:
+    """Load a trace set saved by :func:`save_trace_set`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        plaintexts = [(int(h) << 64) | int(l)
+                      for h, l in zip(data["plaintexts_high"],
+                                      data["plaintexts_low"])]
+        window = tuple(int(v) for v in data["window"])
+        return TraceSet(plaintexts=plaintexts, traces=data["traces"],
+                        window=window)
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable representation of an experiment result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "summary": {key: (value.item()
+                          if isinstance(value, np.generic) else value)
+                    for key, value in result.summary.items()},
+        "series": {name: values.tolist()
+                   for name, values in result.series.items()},
+        "rows": [list(row) for row in result.rows],
+        "notes": result.notes,
+    }
+
+
+def save_experiment_json(result: ExperimentResult, path: PathLike,
+                         include_series: bool = True) -> None:
+    """Save an experiment result as JSON."""
+    payload = experiment_to_dict(result)
+    if not include_series:
+        payload["series"] = {name: f"<{len(values)} values omitted>"
+                             for name, values in result.series.items()}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_experiment_json(path: PathLike) -> dict:
+    """Load a saved experiment result (as a plain dict)."""
+    return json.loads(Path(path).read_text())
+
+
+def save_summary_csv(results: list[ExperimentResult],
+                     path: PathLike) -> None:
+    """Save experiment summaries as long-format CSV
+    (experiment_id, key, value)."""
+    with open(Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["experiment_id", "key", "value"])
+        for result in results:
+            for key, value in result.summary.items():
+                writer.writerow([result.experiment_id, key, value])

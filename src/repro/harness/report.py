@@ -1,0 +1,81 @@
+"""Plain-text reporting of experiment results (tables and series).
+
+The paper's figures are line plots of per-cycle energy; with no display in
+a CI environment we report the same data as decimated numeric series plus
+summary statistics, which is what the benchmark assertions consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a fixed-width table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def series_preview(values: np.ndarray, count: int = 12,
+                   fmt: str = "{:.1f}") -> str:
+    """First/last few values of a long series, for log output."""
+    values = np.asarray(values)
+    if values.size <= 2 * count:
+        return " ".join(fmt.format(v) for v in values)
+    head = " ".join(fmt.format(v) for v in values[:count])
+    tail = " ".join(fmt.format(v) for v in values[-count:])
+    return f"{head} ... {tail}  (n={values.size})"
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 72) -> str:
+    """Render a series as a unicode sparkline (the terminal's Fig. 6).
+
+    The series is resampled to ``width`` buckets (bucket mean) and each
+    bucket maps to one of eight block characters by value.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        n = (values.size // width) * width
+        buckets = values[:n].reshape(width, -1).mean(axis=1)
+    else:
+        buckets = values
+    low = float(buckets.min())
+    high = float(buckets.max())
+    if high == low:
+        return _SPARK_LEVELS[0] * buckets.size
+    scaled = (buckets - low) / (high - low) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(level))] for level in scaled)
+
+
+def summarize_series(values: np.ndarray) -> dict[str, float]:
+    """Common scalar summaries of a per-cycle series."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return {"n": 0, "mean": 0.0, "max": 0.0, "min": 0.0, "rms": 0.0,
+                "nonzero_fraction": 0.0}
+    return {
+        "n": int(values.size),
+        "mean": float(values.mean()),
+        "max": float(values.max()),
+        "min": float(values.min()),
+        "rms": float(np.sqrt((values ** 2).mean())),
+        "nonzero_fraction": float(np.count_nonzero(values) / values.size),
+    }

@@ -1,0 +1,70 @@
+"""Run programs under the energy tracker and capture traces."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..energy.params import DEFAULT_PARAMS, EnergyParams
+from ..energy.trace import EnergyTrace
+from ..energy.tracker import EnergyTracker
+from ..isa.program import Program
+from ..machine.cpu import CPU
+from ..programs.workloads import key_words, plaintext_words
+
+
+class RunResult:
+    """A finished simulation: CPU state plus its energy trace."""
+
+    def __init__(self, cpu: CPU, tracker: EnergyTracker, label: str = ""):
+        self.cpu = cpu
+        self.tracker = tracker
+        self.trace = EnergyTrace.from_tracker(tracker,
+                                              markers=cpu.pipeline.markers,
+                                              label=label)
+
+    @property
+    def cycles(self) -> int:
+        return self.cpu.cycles
+
+    @property
+    def total_uj(self) -> float:
+        return self.tracker.total_energy_uj
+
+    @property
+    def average_pj(self) -> float:
+        return self.tracker.average_energy_pj
+
+
+def run_with_trace(program: Program,
+                   inputs: Optional[dict[str, list[int]]] = None,
+                   params: EnergyParams = DEFAULT_PARAMS,
+                   collect_components: bool = False,
+                   label: str = "",
+                   max_cycles: int = 50_000_000,
+                   noise_sigma: float = 0.0,
+                   noise_seed: int = 0,
+                   operand_isolation: bool = True) -> RunResult:
+    """Assembled program + symbol inputs -> executed RunResult with trace."""
+    tracker = EnergyTracker(params, collect_components=collect_components,
+                            noise_sigma=noise_sigma, noise_seed=noise_seed)
+    cpu = CPU(program, tracker=tracker,
+              operand_isolation=operand_isolation)
+    if inputs:
+        for symbol, words in inputs.items():
+            cpu.write_symbol_words(symbol, words)
+    cpu.run(max_cycles=max_cycles)
+    return RunResult(cpu, tracker, label=label)
+
+
+def des_run(program: Program, key64: int, plaintext64: int,
+            params: EnergyParams = DEFAULT_PARAMS,
+            collect_components: bool = False,
+            label: str = "", noise_sigma: float = 0.0,
+            noise_seed: int = 0) -> RunResult:
+    """Run a DES program image on one (key, plaintext) pair with tracing."""
+    inputs = {"key": key_words(key64)}
+    if "plaintext" in program.symbols:
+        inputs["plaintext"] = plaintext_words(plaintext64)
+    return run_with_trace(program, inputs, params=params,
+                          collect_components=collect_components, label=label,
+                          noise_sigma=noise_sigma, noise_seed=noise_seed)

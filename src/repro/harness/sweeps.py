@@ -1,0 +1,98 @@
+"""Parameter sweeps and sensitivity analysis.
+
+The headline claims are reproduced with a calibrated parameter set; a fair
+question is whether they are artifacts of that calibration.  The
+sensitivity sweep perturbs one technology parameter at a time across a
+wide range and re-measures the four-policy comparison: the *ordering*
+(none < selective < naive < all) and the sign of the overhead saving must
+survive every perturbation, even though the exact ratios move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..energy.params import DEFAULT_PARAMS, EnergyParams
+from ..masking.policy import MaskingPolicy, apply_policy
+from ..programs.des_source import DesProgramSpec
+from ..programs.workloads import compile_des
+from .runner import des_run
+
+#: Parameters worth perturbing (each scaled by the sweep factors).
+SWEEPABLE = ("c_data_bus", "c_latch_bit", "c_alu_node", "c_instr_bus",
+             "e_clock_cycle", "e_regfile_port", "e_dummy_load")
+
+
+@dataclass
+class PolicyMeasurement:
+    factor: float
+    totals_uj: dict[str, float]
+
+    @property
+    def ordering_holds(self) -> bool:
+        t = self.totals_uj
+        return t["none"] < t["selective"] < t["all-loads-stores"] < t["all"]
+
+    @property
+    def overhead_saving(self) -> float:
+        t = self.totals_uj
+        denominator = t["all"] - t["none"]
+        if denominator <= 0:
+            return float("nan")
+        return 1.0 - (t["selective"] - t["none"]) / denominator
+
+
+@dataclass
+class SweepResult:
+    parameter: str
+    measurements: list[PolicyMeasurement] = field(default_factory=list)
+
+    @property
+    def always_ordered(self) -> bool:
+        return all(m.ordering_holds for m in self.measurements)
+
+    @property
+    def min_saving(self) -> float:
+        return min(m.overhead_saving for m in self.measurements)
+
+    @property
+    def max_saving(self) -> float:
+        return max(m.overhead_saving for m in self.measurements)
+
+
+def measure_policies(params: EnergyParams, rounds: int = 2,
+                     key: int = 0x133457799BBCDFF1,
+                     plaintext: int = 0x0123456789ABCDEF
+                     ) -> dict[str, float]:
+    """Total µJ for the four masking policies under given parameters."""
+    spec = DesProgramSpec(rounds=rounds)
+    base = compile_des(spec, masking="none")
+    selective = compile_des(spec, masking="selective")
+    programs = {
+        "none": base.program,
+        "selective": selective.program,
+        "all-loads-stores": apply_policy(base.program,
+                                         MaskingPolicy.ALL_LOADS_STORES),
+        "all": apply_policy(base.program, MaskingPolicy.ALL),
+    }
+    return {name: des_run(program, key, plaintext, params=params).total_uj
+            for name, program in programs.items()}
+
+
+def sensitivity_sweep(parameter: str,
+                      factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5,
+                                                    2.0),
+                      base_params: EnergyParams = DEFAULT_PARAMS,
+                      rounds: int = 2) -> SweepResult:
+    """Scale one parameter by each factor and re-measure the policies."""
+    if parameter not in SWEEPABLE:
+        raise ValueError(f"unknown sweep parameter {parameter!r}; "
+                         f"choose from {SWEEPABLE}")
+    result = SweepResult(parameter=parameter)
+    for factor in factors:
+        scaled = base_params.scaled(
+            **{parameter: getattr(base_params, parameter) * factor})
+        totals = measure_policies(scaled, rounds=rounds)
+        result.measurements.append(PolicyMeasurement(factor=factor,
+                                                     totals_uj=totals))
+    return result

@@ -1,0 +1,181 @@
+"""Pseudo-instruction expansion.
+
+The assembler accepts the usual MIPS convenience mnemonics and lowers them to
+real instructions before layout.  Expansions that need a scratch register use
+``$at`` (register 1), as MIPS assemblers conventionally do.
+
+Pseudo-ops that reference a data label (``la``, and the label forms of
+``lw``/``sw``) expand to a ``lui``/``ori`` pair so the generated code is
+independent of where the data segment lands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+from .instructions import Instruction
+from .registers import AT, ZERO
+
+#: Sentinel operand classes used by the expander: parsed operands arrive as
+#: ints (registers/immediates) or strings (labels).
+Operand = Union[int, str]
+
+
+class PseudoError(ValueError):
+    """Raised for a malformed pseudo-instruction."""
+
+
+class HiRef:
+    """Placeholder immediate: upper 16 bits of a label's address."""
+
+    def __init__(self, label: str, offset: int = 0):
+        self.label = label
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"%hi({self.label}+{self.offset})"
+
+
+class LoRef:
+    """Placeholder immediate: lower 16 bits of a label's address."""
+
+    def __init__(self, label: str, offset: int = 0):
+        self.label = label
+        self.offset = offset
+
+    def __repr__(self) -> str:
+        return f"%lo({self.label}+{self.offset})"
+
+
+def expand_la(rd: int, label: str, offset: int = 0,
+              secure: bool = False) -> list[Instruction]:
+    """``la rd, label`` -> ``lui $at, %hi; addiu rd, $at, %lo``.
+
+    Uses the GNU-style adjusted ``%hi`` so the signed ``%lo`` half always
+    reconstructs the full address.
+    """
+    return [
+        Instruction("lui", rt=AT, imm=HiRef(label, offset), secure=secure),
+        Instruction("addiu", rt=rd, rs=AT, imm=LoRef(label, offset),
+                    secure=secure),
+    ]
+
+
+def expand_li(rd: int, value: int, secure: bool = False) -> list[Instruction]:
+    """``li rd, imm`` -> one or two instructions depending on range."""
+    value &= 0xFFFF_FFFF
+    if value < 0x8000:
+        return [Instruction("ori", rt=rd, rs=ZERO, imm=value, secure=secure)]
+    if value >= 0xFFFF_8000:  # small negative constant
+        return [Instruction("addiu", rt=rd, rs=ZERO,
+                            imm=value - 0x1_0000_0000, secure=secure)]
+    hi = (value >> 16) & 0xFFFF
+    lo = value & 0xFFFF
+    out = [Instruction("lui", rt=rd, imm=hi, secure=secure)]
+    if lo:
+        out.append(Instruction("ori", rt=rd, rs=rd, imm=lo, secure=secure))
+    return out
+
+
+def expand_load_label(op: str, rt: int, label: str, offset: int = 0,
+                      secure: bool = False) -> list[Instruction]:
+    """``lw rt, label`` -> ``lui $at, %hi; lw rt, %lo($at)`` (same for sw/lb...)."""
+    return [
+        Instruction("lui", rt=AT, imm=HiRef(label, offset)),
+        Instruction(op, rt=rt, rs=AT, imm=LoRef(label, offset), secure=secure),
+    ]
+
+
+def _move(rd: int, rs: int, secure: bool) -> list[Instruction]:
+    return [Instruction("addu", rd=rd, rs=rs, rt=ZERO, secure=secure)]
+
+
+def _not(rd: int, rs: int, secure: bool) -> list[Instruction]:
+    return [Instruction("nor", rd=rd, rs=rs, rt=ZERO, secure=secure)]
+
+
+def _neg(rd: int, rs: int, secure: bool) -> list[Instruction]:
+    return [Instruction("subu", rd=rd, rs=ZERO, rt=rs, secure=secure)]
+
+
+def _branch_pair(cmp_op: str, swap: bool, branch: str):
+    """Build blt/bgt/ble/bge style expanders via slt + beq/bne on $at."""
+
+    def expand(rs: int, rt: int, label: str, secure: bool) -> list[Instruction]:
+        a, b = (rt, rs) if swap else (rs, rt)
+        return [
+            Instruction(cmp_op, rd=AT, rs=a, rt=b, secure=secure),
+            Instruction(branch, rs=AT, rt=ZERO, target=label, secure=secure),
+        ]
+
+    return expand
+
+
+_BLT = _branch_pair("slt", swap=False, branch="bne")
+_BGT = _branch_pair("slt", swap=True, branch="bne")
+_BGE = _branch_pair("slt", swap=False, branch="beq")
+_BLE = _branch_pair("slt", swap=True, branch="beq")
+_BLTU = _branch_pair("sltu", swap=False, branch="bne")
+_BGTU = _branch_pair("sltu", swap=True, branch="bne")
+_BGEU = _branch_pair("sltu", swap=False, branch="beq")
+_BLEU = _branch_pair("sltu", swap=True, branch="beq")
+
+#: Names handled by :func:`is_pseudo` / :func:`expand`, with arity hints used
+#: by the assembler's operand parser: 'rr' = two registers, 'ri' = register +
+#: immediate, 'rl' = register + label, 'rrl' = two registers + label,
+#: 'l' = label only.
+PSEUDO_SHAPES: dict[str, str] = {
+    "move": "rr", "smove": "rr",
+    "not": "rr", "neg": "rr",
+    "li": "ri",
+    "la": "rl",
+    "b": "l",
+    "beqz": "rl2", "bnez": "rl2",
+    "blt": "rrl", "bgt": "rrl", "ble": "rrl", "bge": "rrl",
+    "bltu": "rrl", "bgtu": "rrl", "bleu": "rrl", "bgeu": "rrl",
+}
+
+
+def is_pseudo(name: str) -> bool:
+    return name in PSEUDO_SHAPES
+
+
+def expand(name: str, operands: list[Operand],
+           secure: bool = False) -> list[Instruction]:
+    """Expand one pseudo-instruction into real instructions."""
+    if name == "smove":
+        name, secure = "move", True
+    shape = PSEUDO_SHAPES[name]
+    if shape == "rr":
+        rd, rs = operands
+        if name == "move":
+            return _move(rd, rs, secure)
+        if name == "not":
+            return _not(rd, rs, secure)
+        return _neg(rd, rs, secure)
+    if name == "li":
+        rd, value = operands
+        if not isinstance(value, int):
+            raise PseudoError("li requires an integer immediate")
+        return expand_li(rd, value, secure)
+    if name == "la":
+        rd, label = operands
+        if isinstance(label, tuple):
+            label, offset = label
+        else:
+            offset = 0
+        return expand_la(rd, label, offset, secure)
+    if name == "b":
+        (label,) = operands
+        return [Instruction("beq", rs=ZERO, rt=ZERO, target=label,
+                            secure=secure)]
+    if name in ("beqz", "bnez"):
+        rs, label = operands
+        op = "beq" if name == "beqz" else "bne"
+        return [Instruction(op, rs=rs, rt=ZERO, target=label, secure=secure)]
+    expander: Callable = {
+        "blt": _BLT, "bgt": _BGT, "ble": _BLE, "bge": _BGE,
+        "bltu": _BLTU, "bgtu": _BGTU, "bleu": _BLEU, "bgeu": _BGEU,
+    }[name]
+    rs, rt, label = operands
+    return expander(rs, rt, label, secure)

@@ -1,0 +1,59 @@
+"""Register file naming for the target 32-bit embedded core.
+
+The paper's target is a five-stage pipelined 32-bit embedded processor
+implementing the integer subset of the SimpleScalar ISA, which follows MIPS
+register conventions.  We adopt the standard 32-register MIPS naming so that
+the assembly in the paper's Figure 4 (``lw $2,i`` / ``la $4,newL`` / ...)
+assembles unchanged.
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+#: Conventional MIPS register names, indexed by register number.
+REGISTER_NAMES: tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Map from every accepted register spelling (without the ``$``) to its number.
+_NAME_TO_NUMBER: dict[str, int] = {}
+for _num, _name in enumerate(REGISTER_NAMES):
+    _NAME_TO_NUMBER[_name] = _num
+    _NAME_TO_NUMBER[str(_num)] = _num
+# Common aliases.
+_NAME_TO_NUMBER["s8"] = 30  # $fp is also called $s8
+
+ZERO, AT, V0, V1 = 0, 1, 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15
+S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23
+T8, T9, K0, K1, GP, SP, FP, RA = 24, 25, 26, 27, 28, 29, 30, 31
+
+
+class RegisterError(ValueError):
+    """Raised for an unrecognized register spelling or number."""
+
+
+def parse_register(token: str) -> int:
+    """Parse a register operand such as ``$t0``, ``$8`` or ``t0``.
+
+    Returns the register number (0..31).
+    """
+    name = token.strip()
+    if name.startswith("$"):
+        name = name[1:]
+    number = _NAME_TO_NUMBER.get(name.lower())
+    if number is None:
+        raise RegisterError(f"unknown register {token!r}")
+    return number
+
+
+def register_name(number: int) -> str:
+    """Return the canonical ``$name`` spelling for a register number."""
+    if not 0 <= number < NUM_REGISTERS:
+        raise RegisterError(f"register number out of range: {number}")
+    return "$" + REGISTER_NAMES[number]

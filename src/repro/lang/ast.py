@@ -1,0 +1,191 @@
+"""Abstract syntax tree for SecureC, the annotated mini-C of this repo.
+
+SecureC is the source language the paper's programmer writes: C-like
+statements over 32-bit ints and int arrays, with a ``secure`` storage
+qualifier that marks the sensitive seed variables (the key).  The compiler
+propagates the annotation by forward slicing and selects secure instructions
+for every operation on seed-derived data.
+
+The language deliberately matches the paper's code style (Figure 4): global
+bit arrays, index loops, no functions, every scalar lives in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass
+class Node:
+    """Base AST node with a source line for diagnostics."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IntLiteral(Node):
+    value: int = 0
+
+
+@dataclass
+class VarRef(Node):
+    name: str = ""
+
+
+@dataclass
+class IndexRef(Node):
+    """``name[index]`` — array element access."""
+
+    name: str = ""
+    index: "Expr" = None
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""      # '-', '~', '!'
+    operand: "Expr" = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""      # + - & | ^ << >> < > <= >= == != && ||
+    left: "Expr" = None
+    right: "Expr" = None
+
+
+@dataclass
+class CallExpr(Node):
+    """``name(arg, ...)`` — call to a SecureC function."""
+
+    name: str = ""
+    args: list["Expr"] = field(default_factory=list)
+
+
+Expr = Union[IntLiteral, VarRef, IndexRef, Unary, Binary, CallExpr]
+
+
+# ---------------------------------------------------------------------------
+# Statements and declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VarDecl(Node):
+    """``[secure] [const] int name[size] = init;``"""
+
+    name: str = ""
+    size: Optional[int] = None          # None -> scalar
+    init: Optional[list[int]] = None    # constant initializer(s)
+    secure: bool = False                # seed annotation
+    const: bool = False                 # read-only table -> .data
+
+
+@dataclass
+class Assign(Node):
+    target: Union[VarRef, IndexRef] = None
+    value: Expr = None
+
+
+@dataclass
+class If(Node):
+    cond: Expr = None
+    then_body: list["Stmt"] = field(default_factory=list)
+    else_body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class While(Node):
+    cond: Expr = None
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class For(Node):
+    init: Optional[Assign] = None
+    cond: Optional[Expr] = None
+    step: Optional[Assign] = None
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Marker(Node):
+    """``__marker(value);`` — phase marker store, see MARKER_ADDR."""
+
+    value: Expr = None
+
+
+@dataclass
+class InsecureBlock(Node):
+    """``__insecure { ... }`` — declassified region.
+
+    Operations inside execute with normal (insecure) instructions even when
+    they touch sliced data.  This models the paper's manual decision for the
+    output inverse permutation: "this operation does not need any secure
+    instruction although it uses data generated from secure instructions as
+    it reveals only the information already available from the output
+    cipher".
+    """
+
+    body: list["Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class Return(Node):
+    """``return expr;`` — only valid inside a function body."""
+
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Node):
+    """``name(args);`` — a call evaluated for its side effects."""
+
+    expr: "Expr" = None
+
+
+@dataclass
+class LocalDecl(Node):
+    """``int name;`` / ``int name = expr;`` / ``int name[N];`` inside a
+    function body.
+
+    Storage is static and function-scoped (no block scoping) — like C
+    ``static`` locals, matching the language's static-frame model.  A
+    scalar initializer executes as an assignment each time control
+    reaches the declaration.
+    """
+
+    name: str = ""
+    size: Optional[int] = None        # None -> scalar
+    init: Optional["Expr"] = None     # scalars only
+
+
+Stmt = Union[Assign, If, While, For, Marker, InsecureBlock, Return,
+             ExprStmt, LocalDecl]
+
+
+@dataclass
+class FuncDecl(Node):
+    """``int name(int p0, int p1) { ... return expr; }``
+
+    Parameters are int scalars; function bodies see the globals plus their
+    parameters.  Functions use static frames (argument/return slots in
+    .data), which matches small embedded firmware and keeps taint analysis
+    purely variable-based — recursion is rejected at semantic analysis.
+    """
+
+    name: str = ""
+    params: list[str] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ProgramAst(Node):
+    decls: list[VarDecl] = field(default_factory=list)
+    funcs: list[FuncDecl] = field(default_factory=list)
+    body: list[Stmt] = field(default_factory=list)

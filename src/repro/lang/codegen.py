@@ -1,0 +1,431 @@
+"""IR -> assembly code generation with secure instruction selection.
+
+The generator emits textual assembly (re-parsed by :mod:`repro.isa`), in the
+exact code style of the paper's Figure 4: scalars are reloaded from memory,
+array accesses are la/sll/addu/lw sequences, and the critical operations the
+slicer identified use the secure mnemonics (``slw``, ``ssw``, ``sxor``,
+``ssllv``, ``silw``...).
+
+Secure-instruction selection rules (Section 4.2 of the paper):
+
+* loads/stores of sliced data -> ``slw``/``ssw`` (secure assignment);
+* XOR on sliced data -> ``sxor``;
+* shifts on sliced data -> ``ssllv``/``ssrlv``/``ssrav``;
+* table lookups at a secret-derived index -> aligned table + ``silw``,
+  with the index-scaling arithmetic also in secure mode;
+* other ALU ops on sliced data -> generic ``s.<op>`` (the architecture's
+  secure bit applies to any opcode; the paper's four canonical classes
+  cover DES, and this generalization covers other programs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ir import (Bin, BinOp, BranchZero, Call, Const, FuncBegin, HaltOp,
+                 Instr, Jump, Label, LoadArr, LoadVar, MarkerOp, ReturnOp,
+                 StoreArr, StoreVar, Temp)
+from .semantics import SymbolTable
+from .slicing import SliceResult
+
+#: Byte address of the phase-marker MMIO word (see repro.machine.pipeline).
+MARKER_ADDRESS = 0x0000_FF00
+
+#: Registers available to the allocator; $at, $v0, $v1 stay scratch.
+_POOL = ("$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+         "$t8", "$t9", "$s0", "$s1", "$s2", "$s3", "$s4", "$s5",
+         "$s6", "$s7", "$a0", "$a1", "$a2", "$a3")
+
+_R3_MNEMONIC = {
+    BinOp.ADD: "addu", BinOp.SUB: "subu", BinOp.AND: "and",
+    BinOp.OR: "or", BinOp.XOR: "xor", BinOp.NOR: "nor",
+    BinOp.SLT: "slt", BinOp.SLTU: "sltu",
+    BinOp.SLL: "sllv", BinOp.SRL: "srlv", BinOp.SRA: "srav",
+}
+
+_SECURE_MNEMONIC = {
+    BinOp.XOR: "sxor",
+    BinOp.SLL: "ssllv", BinOp.SRL: "ssrlv", BinOp.SRA: "ssrav",
+}
+
+
+class CodegenError(ValueError):
+    """Raised when code generation fails (e.g. register pressure)."""
+
+
+@dataclass
+class CodegenOptions:
+    #: Secure non-canonical ALU ops on sliced data via the generic s.-prefix.
+    secure_tainted_alu: bool = True
+    #: Emit a trailing halt (disable when splicing fragments).
+    emit_halt: bool = True
+    #: Fold small constants into immediate instruction forms (addiu, andi,
+    #: ori, xori, slti, immediate shifts, load/store offsets) instead of
+    #: materializing them with ``li``.  Part of the -O1 pipeline.
+    use_immediates: bool = False
+
+
+class _Allocator:
+    """Linear-scan allocator over single-assignment temps."""
+
+    def __init__(self, code: list[Instr]):
+        self._free = list(reversed(_POOL))
+        self._assigned: dict[Temp, str] = {}
+        self._last_use: dict[Temp, int] = {}
+        for position, instr in enumerate(code):
+            for temp in _uses(instr):
+                self._last_use[temp] = position
+
+    def define(self, temp: Temp) -> str:
+        if temp in self._assigned:
+            raise CodegenError(f"temp {temp} defined twice")
+        if not self._free:
+            raise CodegenError("out of registers (expression too deep)")
+        register = self._free.pop()
+        self._assigned[temp] = register
+        if temp not in self._last_use:
+            # Dead value: release immediately after its defining instruction.
+            self._last_use[temp] = -1
+        return register
+
+    def use(self, temp: Temp) -> str:
+        try:
+            return self._assigned[temp]
+        except KeyError:
+            raise CodegenError(f"temp {temp} used before definition") from None
+
+    def release_dead(self, position: int) -> None:
+        dead = [temp for temp, last in self._last_use.items()
+                if last <= position and temp in self._assigned]
+        for temp in dead:
+            self._free.append(self._assigned.pop(temp))
+            del self._last_use[temp]
+
+    def live(self) -> list[tuple[Temp, str]]:
+        """Currently-assigned (temp, register) pairs, deterministic order."""
+        return sorted(self._assigned.items(), key=lambda kv: kv[1])
+
+
+def _uses(instr: Instr) -> tuple[Temp, ...]:
+    if isinstance(instr, Bin):
+        return (instr.a, instr.b)
+    if isinstance(instr, StoreVar):
+        return (instr.src,)
+    if isinstance(instr, LoadArr):
+        return (instr.index,)
+    if isinstance(instr, StoreArr):
+        return (instr.index, instr.src)
+    if isinstance(instr, BranchZero):
+        return (instr.cond,)
+    if isinstance(instr, MarkerOp):
+        return (instr.src,)
+    return ()
+
+
+#: Immediate instruction per foldable BinOp (b-operand constant).
+_IMM_MNEMONIC = {
+    BinOp.ADD: "addiu", BinOp.AND: "andi", BinOp.OR: "ori",
+    BinOp.XOR: "xori", BinOp.SLT: "slti", BinOp.SLTU: "sltiu",
+    BinOp.SLL: "sll", BinOp.SRL: "srl", BinOp.SRA: "sra",
+}
+
+_SECURE_IMM_MNEMONIC = {
+    BinOp.XOR: "sxori", BinOp.SLL: "ssll", BinOp.SRL: "ssrl",
+    BinOp.SRA: "ssra",
+}
+
+_COMMUTATIVE = frozenset({BinOp.ADD, BinOp.AND, BinOp.OR, BinOp.XOR})
+
+
+def _fits_signed16(value: int) -> bool:
+    return value < 0x8000 or value >= 0xFFFF_8000
+
+
+def _signed16(value: int) -> int:
+    return value - 0x1_0000_0000 if value >= 0xFFFF_8000 else value
+
+
+def _immediate_ok(op: BinOp, value: int) -> bool:
+    if op in (BinOp.SLL, BinOp.SRL, BinOp.SRA):
+        return 0 <= value <= 31
+    if op in (BinOp.AND, BinOp.OR, BinOp.XOR):
+        return 0 <= value <= 0xFFFF
+    if op in (BinOp.ADD, BinOp.SLT, BinOp.SLTU):
+        return _fits_signed16(value)
+    if op is BinOp.SUB:
+        # a - c  ->  addiu a, -c
+        return _fits_signed16((-value) & 0xFFFF_FFFF)
+    return False
+
+
+class CodeGenerator:
+    def __init__(self, code: list[Instr], table: SymbolTable,
+                 slice_result: SliceResult,
+                 options: CodegenOptions | None = None):
+        self.code = code
+        self.table = table
+        self.slice = slice_result
+        self.options = options or CodegenOptions()
+        self._lines: list[str] = []
+        #: Temps holding constants that are folded into immediates at every
+        #: use and therefore never materialized into a register.
+        self._inlined: dict[Temp, int] = {}
+        if self.options.use_immediates:
+            self._inlined = self._compute_inlined()
+
+    # -- immediate folding --------------------------------------------------
+
+    def _compute_inlined(self) -> dict[Temp, int]:
+        const_value = {instr.dest: instr.value for instr in self.code
+                       if isinstance(instr, Const)}
+        blocked: set[Temp] = set()
+        for instr in self.code:
+            if isinstance(instr, Bin):
+                b_const = instr.b in const_value
+                a_const = instr.a in const_value
+                if b_const and not _immediate_ok(instr.op,
+                                                 const_value[instr.b]):
+                    blocked.add(instr.b)
+                if a_const:
+                    # Only commutative ops can take the constant on the
+                    # left, and only if the right side needs the register.
+                    if instr.op in _COMMUTATIVE and not b_const \
+                            and _immediate_ok(instr.op,
+                                              const_value[instr.a]):
+                        pass
+                    else:
+                        blocked.add(instr.a)
+            elif isinstance(instr, (LoadArr, StoreArr)):
+                index = instr.index
+                if index in const_value:
+                    offset = const_value[index] * 4
+                    secure_index = isinstance(instr, LoadArr) \
+                        and instr.secure_index
+                    if secure_index or not 0 <= offset <= 0x7FFF:
+                        blocked.add(index)
+                if isinstance(instr, StoreArr) and instr.src in const_value:
+                    blocked.add(instr.src)
+            elif isinstance(instr, StoreVar):
+                blocked.add(instr.src)
+            elif isinstance(instr, BranchZero):
+                blocked.add(instr.cond)
+            elif isinstance(instr, MarkerOp):
+                blocked.add(instr.src)
+        return {temp: value for temp, value in const_value.items()
+                if temp not in blocked}
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Emit the complete assembly module (data + text)."""
+        # Text first: it discovers how many caller-save spill slots the
+        # data segment must provide.
+        self._lines = []
+        self._spill_slots = 0
+        self._emit_text()
+        text_lines = self._lines
+        self._lines = []
+        self._emit_data()
+        data_lines = self._lines
+        self._lines = data_lines + text_lines
+        return "\n".join(self._lines) + "\n"
+
+    # -- data segment -----------------------------------------------------
+
+    def _aligned_arrays(self) -> set[str]:
+        """Arrays accessed via the secure-indexed load need power-of-two
+        alignment so the index forms the low address bits (paper 4.2)."""
+        names = set()
+        for position in self.slice.secure_index_loads:
+            instr = self.code[position]
+            if isinstance(instr, LoadArr):
+                names.add(instr.array)
+        return names
+
+    def _emit_data(self) -> None:
+        aligned = self._aligned_arrays()
+        self._lines.append(".data")
+        for symbol in self.table.symbols():
+            if symbol.name in aligned:
+                span = symbol.size * 4
+                exponent = max(2, (span - 1).bit_length())
+                self._lines.append(f".align {exponent}")
+            if symbol.init is not None:
+                words = list(symbol.init)
+                words += [0] * (symbol.size - len(words))
+                text = ", ".join(str(w & 0xFFFF_FFFF) for w in words)
+                self._lines.append(f"{symbol.name}: .word {text}")
+            else:
+                self._lines.append(f"{symbol.name}: .space {symbol.size * 4}")
+        for slot in range(self._spill_slots):
+            self._lines.append(f"__spill{slot}: .space 4")
+
+    # -- text segment -------------------------------------------------------
+
+    def _emit_text(self) -> None:
+        emit = self._lines.append
+        emit(".text")
+        allocator = _Allocator(self.code)
+        critical = self.slice.critical
+        saw_halt_op = False
+        for position, instr in enumerate(self.code):
+            secure = position in critical
+            if isinstance(instr, Label):
+                emit(f"{instr.name}:")
+            elif isinstance(instr, Const):
+                if instr.dest in self._inlined:
+                    pass  # folded into immediate forms at every use
+                else:
+                    rd = allocator.define(instr.dest)
+                    emit(f"    li {rd}, {instr.value}")
+            elif isinstance(instr, Bin):
+                self._emit_bin(instr, allocator, secure)
+            elif isinstance(instr, LoadVar):
+                rd_name = "slw" if secure else "lw"
+                ra = allocator.define(instr.dest)
+                emit(f"    {rd_name} {ra}, {instr.var}")
+            elif isinstance(instr, StoreVar):
+                rs = allocator.use(instr.src)
+                mnemonic = "ssw" if secure else "sw"
+                emit(f"    {mnemonic} {rs}, {instr.var}")
+            elif isinstance(instr, LoadArr):
+                self._emit_load_arr(instr, allocator, secure)
+            elif isinstance(instr, StoreArr):
+                self._emit_store_arr(instr, allocator, secure)
+            elif isinstance(instr, Jump):
+                emit(f"    j {instr.target}")
+            elif isinstance(instr, BranchZero):
+                cond = allocator.use(instr.cond)
+                emit(f"    beq {cond}, $zero, {instr.target}")
+            elif isinstance(instr, MarkerOp):
+                src = allocator.use(instr.src)
+                emit(f"    li $v0, {MARKER_ADDRESS}")
+                emit(f"    sw {src}, 0($v0)")
+            elif isinstance(instr, Call):
+                self._emit_call(instr, allocator)
+            elif isinstance(instr, HaltOp):
+                emit("    halt")
+                saw_halt_op = True
+            elif isinstance(instr, FuncBegin):
+                emit(f"{instr.name}:")
+                emit(f"    sw $ra, {instr.name}$ra")
+            elif isinstance(instr, ReturnOp):
+                emit(f"    lw $ra, {instr.name}$ra")
+                emit("    jr $ra")
+            allocator.release_dead(position)
+        if self.options.emit_halt and not saw_halt_op:
+            emit("    halt")
+
+    def _emit_call(self, instr: Call, allocator: _Allocator) -> None:
+        """Caller-save call: spill live registers around the jal.
+
+        Spill slots are static (functions cannot recurse), mirroring the
+        static argument/return storage.
+        """
+        emit = self._lines.append
+        live = allocator.live()
+        self._spill_slots = max(self._spill_slots, len(live))
+        for slot, (_, register) in enumerate(live):
+            emit(f"    sw {register}, __spill{slot}")
+        emit(f"    jal {instr.name}")
+        for slot, (_, register) in enumerate(live):
+            emit(f"    lw {register}, __spill{slot}")
+
+    def _emit_bin(self, instr: Bin, allocator: _Allocator,
+                  secure: bool) -> None:
+        inlined = self._inlined
+        if instr.b in inlined or instr.a in inlined:
+            self._emit_bin_immediate(instr, allocator, secure)
+            return
+        ra = allocator.use(instr.a)
+        rb = allocator.use(instr.b)
+        rd = allocator.define(instr.dest)
+        base = _R3_MNEMONIC[instr.op]
+        if secure:
+            mnemonic = _SECURE_MNEMONIC.get(instr.op)
+            if mnemonic is None:
+                mnemonic = f"s.{base}" if self.options.secure_tainted_alu \
+                    else base
+        else:
+            mnemonic = base
+        # For variable shifts the assembler syntax is op rd, rt(value),
+        # rs(amount), which matches (a, b) ordering here.
+        self._lines.append(f"    {mnemonic} {rd}, {ra}, {rb}")
+
+    def _emit_bin_immediate(self, instr: Bin, allocator: _Allocator,
+                            secure: bool) -> None:
+        """Emit the immediate form of a Bin with one constant operand."""
+        if instr.b in self._inlined:
+            register_operand, value = instr.a, self._inlined[instr.b]
+            op = instr.op
+        else:
+            # Constant on the left: only reachable for commutative ops.
+            register_operand, value = instr.b, self._inlined[instr.a]
+            op = instr.op
+        if op is BinOp.SUB:
+            op = BinOp.ADD
+            value = (-value) & 0xFFFF_FFFF
+        ra = allocator.use(register_operand)
+        rd = allocator.define(instr.dest)
+        base = _IMM_MNEMONIC[op]
+        if secure:
+            mnemonic = _SECURE_IMM_MNEMONIC.get(op)
+            if mnemonic is None:
+                mnemonic = f"s.{base}" if self.options.secure_tainted_alu \
+                    else base
+        else:
+            mnemonic = base
+        if op in (BinOp.ADD, BinOp.SLT, BinOp.SLTU):
+            value = _signed16(value)
+        self._lines.append(f"    {mnemonic} {rd}, {ra}, {value}")
+
+    def _emit_load_arr(self, instr: LoadArr, allocator: _Allocator,
+                       secure: bool) -> None:
+        emit = self._lines.append
+        if instr.index in self._inlined:
+            # Constant index: fold into the load offset.
+            offset = self._inlined[instr.index] * 4
+            rd = allocator.define(instr.dest)
+            mnemonic = "slw" if secure else "lw"
+            emit(f"    {mnemonic} {rd}, {instr.array}+{offset}")
+            return
+        index = allocator.use(instr.index)
+        rd = allocator.define(instr.dest)
+        secure_index = instr.secure_index
+        emit(f"    la $v0, {instr.array}")
+        if secure_index:
+            # Index scaling and address formation are masked too: the
+            # aligned table base makes the add carry-free and the inverted
+            # index is propagated alongside (paper Section 4.2).
+            emit(f"    ssll $v1, {index}, 2")
+            emit(f"    s.addu $v0, $v0, $v1")
+            emit(f"    silw {rd}, 0($v0)")
+        else:
+            emit(f"    sll $v1, {index}, 2")
+            emit(f"    addu $v0, $v0, $v1")
+            mnemonic = "slw" if secure else "lw"
+            emit(f"    {mnemonic} {rd}, 0($v0)")
+
+    def _emit_store_arr(self, instr: StoreArr, allocator: _Allocator,
+                        secure: bool) -> None:
+        emit = self._lines.append
+        if instr.index in self._inlined:
+            offset = self._inlined[instr.index] * 4
+            src = allocator.use(instr.src)
+            mnemonic = "ssw" if secure else "sw"
+            emit(f"    {mnemonic} {src}, {instr.array}+{offset}")
+            return
+        index = allocator.use(instr.index)
+        src = allocator.use(instr.src)
+        emit(f"    la $v0, {instr.array}")
+        emit(f"    sll $v1, {index}, 2")
+        emit(f"    addu $v0, $v0, $v1")
+        mnemonic = "ssw" if secure else "sw"
+        emit(f"    {mnemonic} {src}, 0($v0)")
+
+
+def generate(code: list[Instr], table: SymbolTable,
+             slice_result: SliceResult,
+             options: CodegenOptions | None = None) -> str:
+    """Generate assembly for analyzed + sliced IR."""
+    return CodeGenerator(code, table, slice_result, options).generate()

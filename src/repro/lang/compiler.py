@@ -1,0 +1,116 @@
+"""Compiler driver: SecureC source -> linked simulator program.
+
+Pipeline: parse -> semantic analysis -> lowering -> forward slicing ->
+code generation -> assembly.  The result bundles every intermediate artifact
+so tests and experiments can inspect the slice, the assembly, and the final
+program image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from .ast import ProgramAst
+from .codegen import CodegenOptions, generate
+from .ir import Instr
+from .lowering import lower
+from .optimizer import optimize as optimize_ir
+from .parser import parse
+from .semantics import SymbolTable, analyze
+from .slicing import Diagnostic, ForwardSlicer, SliceResult
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compilation."""
+
+    program: Program
+    assembly: str
+    ir: list[Instr]
+    table: SymbolTable
+    slice: SliceResult
+    ast: ProgramAst
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return self.slice.diagnostics
+
+    @property
+    def secure_static_fraction(self) -> float:
+        """Fraction of emitted instructions carrying the secure bit."""
+        return self.program.secure_fraction()
+
+
+def compile_source(source: str, *, masking: str = "selective",
+                   optimize: int = 0,
+                   extra_seeds: frozenset[str] = frozenset(),
+                   options: Optional[CodegenOptions] = None) -> CompileResult:
+    """Compile SecureC source.
+
+    masking:
+      * ``"selective"`` — the paper's scheme: annotation + forward slicing.
+      * ``"annotate-only"`` — no slicing; only direct uses of annotated
+        variables are secured (ablation).
+      * ``"none"`` — ignore annotations entirely (insecure baseline).
+
+    optimize:
+      * ``0`` — straightforward code in the paper's Figure 4 style.
+      * ``1`` — constant folding, algebraic simplification, dead-code
+        elimination, and immediate-form instruction selection.  Only
+        public (untainted) computation can ever fold, so the masking
+        property is unaffected.
+      * ``2`` — additionally list-schedules basic blocks to fill load-use
+        interlock slots (schedules depend only on opcodes/registers, so
+        masked and unmasked builds stay cycle-aligned).
+    """
+    if masking not in ("selective", "annotate-only", "none"):
+        raise ValueError(f"unknown masking mode {masking!r}")
+    ast = parse(source)
+    table = analyze(ast)
+    ir = lower(ast, table)
+    ir = optimize_ir(ir, level=optimize)
+    if options is None and optimize >= 1:
+        options = CodegenOptions(use_immediates=True)
+    if masking == "none":
+        slicer = ForwardSlicer(ir, table, propagate=True)
+        # Run the analysis for diagnostics but discard the criticality.
+        result = slicer.run(extra_seeds=extra_seeds)
+        empty = SliceResult(tainted_vars=result.tainted_vars,
+                            critical=frozenset(),
+                            secure_index_loads=frozenset(),
+                            diagnostics=result.diagnostics,
+                            passes=result.passes,
+                            cfg_edges=result.cfg_edges)
+        # Clear the secure_index flags the slicer set on the IR.
+        for instr in ir:
+            if hasattr(instr, "secure_index"):
+                instr.secure_index = False
+        slice_result = empty
+    else:
+        propagate = masking == "selective"
+        slicer = ForwardSlicer(ir, table, propagate=propagate)
+        slice_result = slicer.run(extra_seeds=extra_seeds)
+        if not propagate:
+            # Annotate-only mode still must not use silw (that is part of
+            # the sliced scheme); drop index security.
+            for instr in ir:
+                if hasattr(instr, "secure_index"):
+                    instr.secure_index = False
+            slice_result = SliceResult(
+                tainted_vars=slice_result.tainted_vars,
+                critical=slice_result.critical,
+                secure_index_loads=frozenset(),
+                diagnostics=slice_result.diagnostics,
+                passes=slice_result.passes,
+                cfg_edges=slice_result.cfg_edges)
+    assembly = generate(ir, table, slice_result, options)
+    program = assemble(assembly)
+    if optimize >= 2:
+        from .scheduler import schedule_program
+
+        program = schedule_program(program)
+    return CompileResult(program=program, assembly=assembly, ir=ir,
+                         table=table, slice=slice_result, ast=ast)

@@ -1,0 +1,66 @@
+"""Tokenizer for SecureC."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = frozenset({
+    "int", "secure", "const", "if", "else", "while", "for", "return",
+    "__marker", "__insecure",
+})
+
+#: Multi-character operators first so maximal munch works.
+_OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "[", "]", "{", "}", ";", ",",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<number>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognized character."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str        # 'number' | 'name' | 'keyword' | 'op' | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens; a final synthetic 'eof' token is always produced."""
+    position = 0
+    line = 1
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise LexError(
+                f"unexpected character {source[position]!r} on line {line}")
+        text = match.group(0)
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+        elif kind == "name" and text in KEYWORDS:
+            yield Token("keyword", text, line)
+        else:
+            yield Token(kind, text, line)
+        position = match.end()
+    yield Token("eof", "", line)

@@ -1,0 +1,261 @@
+"""AST -> three-address IR lowering."""
+
+from __future__ import annotations
+
+from .ast import (Assign, Binary, CallExpr, Expr, ExprStmt, For, If,
+                  IndexRef, InsecureBlock, IntLiteral, LocalDecl, Marker,
+                  ProgramAst, Return, Stmt, Unary, VarRef, While)
+from .ir import (Bin, BinOp, BranchZero, Call, Const, FuncBegin, HaltOp,
+                 Instr, Jump, Label, LoadArr, LoadVar, MarkerOp, ReturnOp,
+                 StoreArr, StoreVar, Temp)
+from .semantics import SymbolTable
+
+
+class LoweringError(ValueError):
+    """Raised when an AST construct cannot be lowered."""
+
+
+#: Direct binary-op mappings.
+_DIRECT = {
+    "+": BinOp.ADD, "-": BinOp.SUB,
+    "&": BinOp.AND, "|": BinOp.OR, "^": BinOp.XOR,
+    "<<": BinOp.SLL, ">>": BinOp.SRL,
+    "<": BinOp.SLT,
+}
+
+
+class Lowerer:
+    def __init__(self, table: SymbolTable):
+        self.table = table
+        self.code: list[Instr] = []
+        self._next_temp = 0
+        self._next_label = 0
+        self._insecure_depth = 0
+        self._current_function: str = ""
+
+    # -- helpers -----------------------------------------------------------
+
+    def _temp(self) -> Temp:
+        self._next_temp += 1
+        return Temp(self._next_temp)
+
+    def _label(self, hint: str) -> str:
+        self._next_label += 1
+        return f"$L{hint}{self._next_label}"
+
+    def _emit(self, instr: Instr) -> None:
+        if self._insecure_depth:
+            instr.declassified = True
+        self.code.append(instr)
+
+    def _const(self, value: int, line: int) -> Temp:
+        dest = self._temp()
+        self._emit(Const(dest=dest, value=value & 0xFFFF_FFFF, line=line))
+        return dest
+
+    def _bin(self, op: BinOp, a: Temp, b: Temp, line: int) -> Temp:
+        dest = self._temp()
+        self._emit(Bin(dest=dest, op=op, a=a, b=b, line=line))
+        return dest
+
+    def _normalize_bool(self, value: Temp, line: int) -> Temp:
+        """Map any nonzero value to 1 (for && / ||)."""
+        zero = self._const(0, line)
+        return self._bin(BinOp.SLTU, zero, value, line)  # 0 < v
+
+    # -- program -----------------------------------------------------------
+
+    def lower(self, program: ProgramAst) -> list[Instr]:
+        for stmt in program.body:
+            self._stmt(stmt)
+        if program.funcs:
+            # Halt separates the main body from the function bodies, which
+            # are only reachable through calls.
+            self._emit(HaltOp())
+            for func in program.funcs:
+                self._current_function = func.name
+                self._emit(FuncBegin(name=func.name, line=func.line))
+                for stmt in func.body:
+                    self._stmt(stmt)
+                self._current_function = ""
+        return self.code
+
+    # -- statements ----------------------------------------------------------
+
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, If):
+            self._if(stmt)
+        elif isinstance(stmt, While):
+            self._while(stmt)
+        elif isinstance(stmt, For):
+            self._for(stmt)
+        elif isinstance(stmt, Marker):
+            value = self._expr(stmt.value)
+            self._emit(MarkerOp(src=value, line=stmt.line))
+        elif isinstance(stmt, InsecureBlock):
+            self._insecure_depth += 1
+            try:
+                for child in stmt.body:
+                    self._stmt(child)
+            finally:
+                self._insecure_depth -= 1
+        elif isinstance(stmt, Return):
+            value = self._expr(stmt.value)
+            info = self.table.functions[self._current_function]
+            self._emit(StoreVar(var=info.ret_var, src=value,
+                                line=stmt.line))
+            self._emit(ReturnOp(name=self._current_function,
+                                line=stmt.line))
+        elif isinstance(stmt, ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, LocalDecl):
+            # Storage is static; only a scalar initializer generates code
+            # (it runs as an assignment whenever control reaches it).
+            if stmt.init is not None:
+                value = self._expr(stmt.init)
+                self._emit(StoreVar(var=stmt.name, src=value,
+                                    line=stmt.line))
+        else:  # pragma: no cover
+            raise LoweringError(f"cannot lower {stmt!r}")
+
+    def _assign(self, assign: Assign) -> None:
+        value = self._expr(assign.value)
+        target = assign.target
+        if isinstance(target, VarRef):
+            self._emit(StoreVar(var=target.name, src=value, line=assign.line))
+        else:
+            index = self._expr(target.index)
+            self._emit(StoreArr(array=target.name, index=index, src=value,
+                                line=assign.line))
+
+    def _if(self, stmt: If) -> None:
+        cond = self._expr(stmt.cond)
+        else_label = self._label("else")
+        end_label = self._label("fi")
+        self._emit(BranchZero(cond=cond, target=else_label, line=stmt.line))
+        for child in stmt.then_body:
+            self._stmt(child)
+        if stmt.else_body:
+            self._emit(Jump(target=end_label, line=stmt.line))
+            self._emit(Label(name=else_label, line=stmt.line))
+            for child in stmt.else_body:
+                self._stmt(child)
+            self._emit(Label(name=end_label, line=stmt.line))
+        else:
+            self._emit(Label(name=else_label, line=stmt.line))
+
+    def _while(self, stmt: While) -> None:
+        head = self._label("loop")
+        end = self._label("pool")
+        self._emit(Label(name=head, line=stmt.line))
+        cond = self._expr(stmt.cond)
+        self._emit(BranchZero(cond=cond, target=end, line=stmt.line))
+        for child in stmt.body:
+            self._stmt(child)
+        self._emit(Jump(target=head, line=stmt.line))
+        self._emit(Label(name=end, line=stmt.line))
+
+    def _for(self, stmt: For) -> None:
+        if stmt.init is not None:
+            self._assign(stmt.init)
+        head = self._label("for")
+        end = self._label("rof")
+        self._emit(Label(name=head, line=stmt.line))
+        if stmt.cond is not None:
+            cond = self._expr(stmt.cond)
+            self._emit(BranchZero(cond=cond, target=end, line=stmt.line))
+        for child in stmt.body:
+            self._stmt(child)
+        if stmt.step is not None:
+            self._assign(stmt.step)
+        self._emit(Jump(target=head, line=stmt.line))
+        self._emit(Label(name=end, line=stmt.line))
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr(self, expr: Expr) -> Temp:
+        if isinstance(expr, IntLiteral):
+            return self._const(expr.value, expr.line)
+        if isinstance(expr, VarRef):
+            dest = self._temp()
+            self._emit(LoadVar(dest=dest, var=expr.name, line=expr.line))
+            return dest
+        if isinstance(expr, IndexRef):
+            index = self._expr(expr.index)
+            dest = self._temp()
+            self._emit(LoadArr(dest=dest, array=expr.name, index=index,
+                               line=expr.line))
+            return dest
+        if isinstance(expr, Unary):
+            return self._unary(expr)
+        if isinstance(expr, Binary):
+            return self._binary(expr)
+        if isinstance(expr, CallExpr):
+            return self._call(expr)
+        raise LoweringError(f"cannot lower expression {expr!r}")
+
+    def _call(self, expr: CallExpr) -> Temp:
+        info = self.table.functions[expr.name]
+        argument_temps = [self._expr(arg) for arg in expr.args]
+        for var, temp in zip(info.param_vars(), argument_temps):
+            self._emit(StoreVar(var=var, src=temp, line=expr.line))
+        self._emit(Call(name=expr.name, line=expr.line))
+        dest = self._temp()
+        self._emit(LoadVar(dest=dest, var=info.ret_var, line=expr.line))
+        return dest
+
+    def _unary(self, expr: Unary) -> Temp:
+        operand = self._expr(expr.operand)
+        line = expr.line
+        if expr.op == "-":
+            zero = self._const(0, line)
+            return self._bin(BinOp.SUB, zero, operand, line)
+        if expr.op == "~":
+            zero = self._const(0, line)
+            return self._bin(BinOp.NOR, operand, zero, line)
+        if expr.op == "!":
+            one = self._const(1, line)
+            return self._bin(BinOp.SLTU, operand, one, line)  # v < 1
+        raise LoweringError(f"unknown unary operator {expr.op!r}")
+
+    def _binary(self, expr: Binary) -> Temp:
+        line = expr.line
+        op = expr.op
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        direct = _DIRECT.get(op)
+        if direct is not None:
+            return self._bin(direct, left, right, line)
+        if op == ">":
+            return self._bin(BinOp.SLT, right, left, line)
+        if op == "<=":  # !(right < left)
+            less = self._bin(BinOp.SLT, right, left, line)
+            one = self._const(1, line)
+            return self._bin(BinOp.XOR, less, one, line)
+        if op == ">=":  # !(left < right)
+            less = self._bin(BinOp.SLT, left, right, line)
+            one = self._const(1, line)
+            return self._bin(BinOp.XOR, less, one, line)
+        if op == "==":  # (left ^ right) < 1  (unsigned)
+            diff = self._bin(BinOp.XOR, left, right, line)
+            one = self._const(1, line)
+            return self._bin(BinOp.SLTU, diff, one, line)
+        if op == "!=":  # 0 < (left ^ right)
+            diff = self._bin(BinOp.XOR, left, right, line)
+            zero = self._const(0, line)
+            return self._bin(BinOp.SLTU, zero, diff, line)
+        if op == "&&":
+            left_b = self._normalize_bool(left, line)
+            right_b = self._normalize_bool(right, line)
+            return self._bin(BinOp.AND, left_b, right_b, line)
+        if op == "||":
+            joined = self._bin(BinOp.OR, left, right, line)
+            return self._normalize_bool(joined, line)
+        raise LoweringError(f"unknown binary operator {op!r}")
+
+
+def lower(program: ProgramAst, table: SymbolTable) -> list[Instr]:
+    """Lower an analyzed AST to IR."""
+    return Lowerer(table).lower(program)

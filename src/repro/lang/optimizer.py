@@ -1,0 +1,155 @@
+"""IR optimization passes (the ``-O1`` pipeline).
+
+The paper calls its compiler an *optimizing* compiler; these passes make
+that real while preserving the security analysis:
+
+* **constant folding** — Bin ops over constant temps evaluate at compile
+  time (32-bit wrap-around semantics identical to the ALU's);
+* **algebraic simplification / copy propagation** — identities such as
+  ``x + 0``, ``x ^ 0``, ``x << 0`` alias their destination to the source
+  operand, and later uses are rewritten;
+* **dead code elimination** — Const/Bin/LoadVar/LoadArr whose results are
+  never used are removed (loads have no side effects on this machine).
+
+All passes run *before* forward slicing, so the slicer sees (and codegen
+secures) exactly the instructions that will execute.  Only untainted
+values can ever fold (constants are public by definition), so optimization
+can only ever remove insecure work — the masking property is preserved,
+which `tests/lang/test_optimizer.py` verifies on the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ir import (Bin, BinOp, BranchZero, Const, Instr, LoadArr, LoadVar,
+                 MarkerOp, StoreArr, StoreVar, Temp, uses_of)
+
+_WORD = 0xFFFF_FFFF
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def _eval(op: BinOp, a: int, b: int) -> int:
+    if op is BinOp.ADD:
+        return (a + b) & _WORD
+    if op is BinOp.SUB:
+        return (a - b) & _WORD
+    if op is BinOp.AND:
+        return a & b
+    if op is BinOp.OR:
+        return a | b
+    if op is BinOp.XOR:
+        return a ^ b
+    if op is BinOp.NOR:
+        return (~(a | b)) & _WORD
+    if op is BinOp.SLL:
+        return (a << (b & 31)) & _WORD
+    if op is BinOp.SRL:
+        return a >> (b & 31)
+    if op is BinOp.SRA:
+        return (_signed(a) >> (b & 31)) & _WORD
+    if op is BinOp.SLT:
+        return 1 if _signed(a) < _signed(b) else 0
+    if op is BinOp.SLTU:
+        return 1 if a < b else 0
+    raise AssertionError(op)  # pragma: no cover
+
+
+#: (op, const_operand_is_b, const_value) patterns where the result equals
+#: the other operand.
+def _is_identity(op: BinOp, const_on_b: bool, value: int) -> bool:
+    if value == 0:
+        if op in (BinOp.ADD, BinOp.OR, BinOp.XOR):
+            return True
+        if const_on_b and op in (BinOp.SUB, BinOp.SLL, BinOp.SRL, BinOp.SRA):
+            return True
+    return False
+
+
+def _substitute(instr: Instr, mapping: dict[Temp, Temp]) -> None:
+    """Rewrite temp uses in-place through an alias mapping."""
+
+    def resolve(temp: Optional[Temp]) -> Optional[Temp]:
+        while temp in mapping:
+            temp = mapping[temp]
+        return temp
+
+    if isinstance(instr, Bin):
+        instr.a = resolve(instr.a)
+        instr.b = resolve(instr.b)
+    elif isinstance(instr, StoreVar):
+        instr.src = resolve(instr.src)
+    elif isinstance(instr, LoadArr):
+        instr.index = resolve(instr.index)
+    elif isinstance(instr, StoreArr):
+        instr.index = resolve(instr.index)
+        instr.src = resolve(instr.src)
+    elif isinstance(instr, BranchZero):
+        instr.cond = resolve(instr.cond)
+    elif isinstance(instr, MarkerOp):
+        instr.src = resolve(instr.src)
+
+
+def fold_constants(code: list[Instr]) -> list[Instr]:
+    """Fold Bin ops over constants; propagate aliases for identities.
+
+    Temps are single-assignment, so one forward pass with a global
+    environment is sound: a temp's defining instruction dominates every
+    use (loops re-execute the same definition with the same constant).
+    """
+    env: dict[Temp, int] = {}
+    aliases: dict[Temp, Temp] = {}
+    output: list[Instr] = []
+    for instr in code:
+        _substitute(instr, aliases)
+        if isinstance(instr, Const):
+            env[instr.dest] = instr.value & _WORD
+            output.append(instr)
+            continue
+        if isinstance(instr, Bin):
+            a_const = env.get(instr.a)
+            b_const = env.get(instr.b)
+            if a_const is not None and b_const is not None:
+                value = _eval(instr.op, a_const, b_const)
+                env[instr.dest] = value
+                output.append(Const(dest=instr.dest, value=value,
+                                    line=instr.line,
+                                    declassified=instr.declassified))
+                continue
+            if b_const is not None and _is_identity(instr.op, True, b_const):
+                aliases[instr.dest] = instr.a
+                continue
+            if a_const is not None and _is_identity(instr.op, False, a_const):
+                aliases[instr.dest] = instr.b
+                continue
+        output.append(instr)
+    return output
+
+
+def eliminate_dead_code(code: list[Instr]) -> list[Instr]:
+    """Drop value-producing instructions whose results are never used."""
+    while True:
+        used: set[Temp] = set()
+        for instr in code:
+            used.update(uses_of(instr))
+        kept = [instr for instr in code
+                if not (isinstance(instr, (Const, Bin, LoadVar, LoadArr))
+                        and instr.dest not in used)]
+        if len(kept) == len(code):
+            return kept
+        code = kept
+
+
+def optimize(code: list[Instr], level: int = 1) -> list[Instr]:
+    """Run the optimization pipeline at the given level (0 = off)."""
+    if level <= 0:
+        return code
+    previous_length = -1
+    while len(code) != previous_length:
+        previous_length = len(code)
+        code = fold_constants(code)
+        code = eliminate_dead_code(code)
+    return code

@@ -1,0 +1,326 @@
+"""Recursive-descent parser for SecureC.
+
+Grammar (top level is declarations plus straight statements; execution halts
+after the last statement):
+
+    program   := item*
+    item      := decl | stmt
+    decl      := ("secure" | "const")* "int" NAME ("[" NUMBER "]")?
+                 ("=" init)? ";"
+    init      := expr | "{" expr ("," expr)* "}"
+    stmt      := assign ";"
+               | "if" "(" expr ")" block ("else" (block | if_stmt))?
+               | "while" "(" expr ")" block
+               | "for" "(" assign? ";" expr? ";" assign? ")" block
+               | "__marker" "(" expr ")" ";"
+    block     := "{" stmt* "}" | stmt
+    assign    := lvalue "=" expr
+    expr      := precedence-climbing over || && | ^ & ==/!= relational
+                 shifts additive unary primary
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (Assign, Binary, CallExpr, Expr, ExprStmt, For, FuncDecl,
+                  If, IndexRef, InsecureBlock, IntLiteral, LocalDecl,
+                  Marker, ProgramAst, Return, Stmt, Unary, VarDecl, VarRef,
+                  While)
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """Raised with line information on malformed source."""
+
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = list(tokenize(source))
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._cur
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            token = self._cur
+            want = text or kind
+            raise ParseError(
+                f"line {token.line}: expected {want!r}, found {token.text!r}")
+        return self._advance()
+
+    # -- program ---------------------------------------------------------
+
+    def parse(self) -> ProgramAst:
+        program = ProgramAst(line=1)
+        while not self._check("eof"):
+            if self._check("keyword", "secure") \
+                    or self._check("keyword", "const"):
+                program.decls.append(self._decl())
+            elif self._check("keyword", "int"):
+                if self._is_function_def():
+                    program.funcs.append(self._func())
+                else:
+                    program.decls.append(self._decl())
+            else:
+                program.body.append(self._stmt())
+        return program
+
+    def _is_function_def(self) -> bool:
+        """Lookahead: ``int NAME (`` starts a function definition."""
+        after_int = self._tokens[self._pos + 1]
+        after_name = self._tokens[self._pos + 2]
+        return after_int.kind == "name" and after_name.kind == "op" \
+            and after_name.text == "("
+
+    def _func(self) -> FuncDecl:
+        line = self._cur.line
+        self._expect("keyword", "int")
+        name = self._expect("name").text
+        self._expect("op", "(")
+        params: list[str] = []
+        if not self._check("op", ")"):
+            while True:
+                self._expect("keyword", "int")
+                params.append(self._expect("name").text)
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        self._expect("op", "{")
+        body: list[Stmt] = []
+        while not self._accept("op", "}"):
+            body.append(self._stmt())
+        return FuncDecl(name=name, params=params, body=body, line=line)
+
+    def _decl(self) -> VarDecl:
+        line = self._cur.line
+        secure = False
+        const = False
+        while True:
+            if self._accept("keyword", "secure"):
+                secure = True
+            elif self._accept("keyword", "const"):
+                const = True
+            else:
+                break
+        self._expect("keyword", "int")
+        name = self._expect("name").text
+        size: Optional[int] = None
+        if self._accept("op", "["):
+            size = self._int_token()
+            self._expect("op", "]")
+        init: Optional[list[int]] = None
+        if self._accept("op", "="):
+            if self._accept("op", "{"):
+                init = [self._const_expr()]
+                while self._accept("op", ","):
+                    init.append(self._const_expr())
+                self._expect("op", "}")
+            else:
+                init = [self._const_expr()]
+        self._expect("op", ";")
+        if const and init is None:
+            raise ParseError(f"line {line}: const {name!r} needs an initializer")
+        if size is not None and init is not None and len(init) > size:
+            raise ParseError(
+                f"line {line}: initializer for {name!r} has {len(init)} "
+                f"elements, array size is {size}")
+        return VarDecl(name=name, size=size, init=init, secure=secure,
+                       const=const, line=line)
+
+    def _int_token(self) -> int:
+        token = self._expect("number")
+        return int(token.text, 0)
+
+    def _const_expr(self) -> int:
+        """Constant initializer element: integer with optional unary minus."""
+        if self._accept("op", "-"):
+            return -self._int_token() & 0xFFFF_FFFF
+        return self._int_token()
+
+    # -- statements --------------------------------------------------------
+
+    def _stmt(self) -> Stmt:
+        token = self._cur
+        if self._accept("keyword", "if"):
+            return self._if_stmt(token.line)
+        if self._accept("keyword", "while"):
+            self._expect("op", "(")
+            cond = self._expr()
+            self._expect("op", ")")
+            return While(cond=cond, body=self._block(), line=token.line)
+        if self._accept("keyword", "for"):
+            return self._for_stmt(token.line)
+        if self._accept("keyword", "__insecure"):
+            self._expect("op", "{")
+            body = []
+            while not self._accept("op", "}"):
+                body.append(self._stmt())
+            return InsecureBlock(body=body, line=token.line)
+        if self._accept("keyword", "__marker"):
+            self._expect("op", "(")
+            value = self._expr()
+            self._expect("op", ")")
+            self._expect("op", ";")
+            return Marker(value=value, line=token.line)
+        if self._accept("keyword", "return"):
+            value = self._expr()
+            self._expect("op", ";")
+            return Return(value=value, line=token.line)
+        if self._accept("keyword", "int"):
+            name = self._expect("name").text
+            size = None
+            init = None
+            if self._accept("op", "["):
+                size = self._int_token()
+                self._expect("op", "]")
+            elif self._accept("op", "="):
+                init = self._expr()
+            self._expect("op", ";")
+            return LocalDecl(name=name, size=size, init=init,
+                             line=token.line)
+        if token.kind == "name":
+            following = self._tokens[self._pos + 1]
+            if following.kind == "op" and following.text == "(":
+                call = self._primary()
+                self._expect("op", ";")
+                return ExprStmt(expr=call, line=token.line)
+        assign = self._assign()
+        self._expect("op", ";")
+        return assign
+
+    def _if_stmt(self, line: int) -> If:
+        self._expect("op", "(")
+        cond = self._expr()
+        self._expect("op", ")")
+        then_body = self._block()
+        else_body: list[Stmt] = []
+        if self._accept("keyword", "else"):
+            if self._check("keyword", "if"):
+                nested_line = self._cur.line
+                self._advance()
+                else_body = [self._if_stmt(nested_line)]
+            else:
+                else_body = self._block()
+        return If(cond=cond, then_body=then_body, else_body=else_body,
+                  line=line)
+
+    def _for_stmt(self, line: int) -> For:
+        self._expect("op", "(")
+        init = None if self._check("op", ";") else self._assign()
+        self._expect("op", ";")
+        cond = None if self._check("op", ";") else self._expr()
+        self._expect("op", ";")
+        step = None if self._check("op", ")") else self._assign()
+        self._expect("op", ")")
+        return For(init=init, cond=cond, step=step, body=self._block(),
+                   line=line)
+
+    def _block(self) -> list[Stmt]:
+        if self._accept("op", "{"):
+            body = []
+            while not self._accept("op", "}"):
+                body.append(self._stmt())
+            return body
+        return [self._stmt()]
+
+    def _assign(self) -> Assign:
+        line = self._cur.line
+        target = self._lvalue()
+        self._expect("op", "=")
+        value = self._expr()
+        return Assign(target=target, value=value, line=line)
+
+    def _lvalue(self):
+        token = self._expect("name")
+        if self._accept("op", "["):
+            index = self._expr()
+            self._expect("op", "]")
+            return IndexRef(name=token.text, index=index, line=token.line)
+        return VarRef(name=token.text, line=token.line)
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, min_precedence: int = 1) -> Expr:
+        left = self._unary()
+        while True:
+            token = self._cur
+            if token.kind != "op":
+                break
+            precedence = _PRECEDENCE.get(token.text)
+            if precedence is None or precedence < min_precedence:
+                break
+            self._advance()
+            right = self._expr(precedence + 1)
+            left = Binary(op=token.text, left=left, right=right,
+                          line=token.line)
+        return left
+
+    def _unary(self) -> Expr:
+        token = self._cur
+        if token.kind == "op" and token.text in ("-", "~", "!"):
+            self._advance()
+            return Unary(op=token.text, operand=self._unary(),
+                         line=token.line)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._cur
+        if token.kind == "number":
+            self._advance()
+            return IntLiteral(value=int(token.text, 0), line=token.line)
+        if token.kind == "name":
+            following = self._tokens[self._pos + 1]
+            if following.kind == "op" and following.text == "(":
+                self._advance()
+                self._advance()
+                args: list[Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self._accept("op", ","):
+                            break
+                self._expect("op", ")")
+                return CallExpr(name=token.text, args=args, line=token.line)
+            return self._lvalue()
+        if self._accept("op", "("):
+            expr = self._expr()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(
+            f"line {token.line}: unexpected token {token.text!r}")
+
+
+def parse(source: str) -> ProgramAst:
+    """Parse SecureC source into an AST."""
+    return Parser(source).parse()

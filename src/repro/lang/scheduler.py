@@ -1,0 +1,147 @@
+"""Basic-block instruction scheduling (the ``-O2`` pass).
+
+On the five-stage core, an instruction that consumes a load result in the
+very next slot pays a one-cycle load-use interlock.  Straightforward
+-O1 code is full of such pairs (``lw $t0, i`` / ``addiu $t1, $t0, 1``),
+because constant folding removes exactly the filler instructions that used
+to sit between them.  This pass list-schedules each basic block with a
+one-cycle load-latency model to fill those slots with independent work.
+
+Scheduling is a pure permutation *within* basic blocks: labels start
+blocks, control transfers end them, and instruction counts are unchanged,
+so no address or branch target moves.  Because the schedule depends only
+on opcodes and register numbers — never on the secure bit or on data —
+masked and unmasked builds of the same program stay cycle-aligned, and the
+differential-trace methodology is unaffected.
+
+Dependency edges (conservative):
+
+* RAW / WAR / WAW on architectural registers (including $at/$v0/$v1
+  scratch from pseudo-expansion);
+* total order among memory operations except load/load pairs
+  (marker stores are stores, so phase markers keep their order).
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+
+
+def _block_ranges(program: Program) -> list[tuple[int, int]]:
+    """Half-open [start, end) index ranges of basic blocks."""
+    leaders = {0}
+    label_addresses = set(program.symbols.values())
+    for index, ins in enumerate(program.text):
+        address = program.address_of_index(index)
+        if address in label_addresses:
+            leaders.add(index)
+        if ins.spec.is_branch or ins.spec.is_jump or ins.spec.halts:
+            leaders.add(index + 1)
+    ordered = sorted(leader for leader in leaders
+                     if leader < len(program.text))
+    ranges = []
+    for position, start in enumerate(ordered):
+        end = ordered[position + 1] if position + 1 < len(ordered) \
+            else len(program.text)
+        ranges.append((start, end))
+    return ranges
+
+
+def _build_dependencies(block: list[Instruction]) -> list[set[int]]:
+    """predecessors[j] = indices that must execute before block[j]."""
+    predecessors: list[set[int]] = [set() for _ in block]
+    last_write: dict[int, int] = {}
+    reads_since_write: dict[int, list[int]] = {}
+    last_memory: int | None = None
+    for j, ins in enumerate(block):
+        spec = ins.spec
+        sources = [r for r in ins.sources if r]
+        dest = ins.dest
+        for register in sources:                      # RAW
+            if register in last_write:
+                predecessors[j].add(last_write[register])
+        if dest:
+            if dest in last_write:                    # WAW
+                predecessors[j].add(last_write[dest])
+            for reader in reads_since_write.get(dest, ()):   # WAR
+                if reader != j:
+                    predecessors[j].add(reader)
+        if spec.is_load or spec.is_store:
+            if last_memory is not None:
+                previous = block[last_memory].spec
+                if spec.is_store or previous.is_store:
+                    predecessors[j].add(last_memory)
+                else:
+                    # load after load: only ordered through registers.
+                    pass
+            # Stores must also wait for every earlier load (a load moved
+            # after an aliasing store would read the new value).
+            if spec.is_store:
+                for k in range(j):
+                    if block[k].spec.is_load:
+                        predecessors[j].add(k)
+            last_memory = j
+        for register in sources:
+            reads_since_write.setdefault(register, []).append(j)
+        if dest:
+            last_write[dest] = j
+            reads_since_write[dest] = []
+    return predecessors
+
+
+def _schedule_block(block: list[Instruction]) -> list[Instruction]:
+    """List-schedule one block under a 1-cycle load-latency model."""
+    if len(block) <= 2:
+        return block
+    terminator: Instruction | None = None
+    body = block
+    last = block[-1]
+    if last.spec.is_branch or last.spec.is_jump or last.spec.halts:
+        terminator = last
+        body = block[:-1]
+    if len(body) <= 1:
+        return block
+
+    predecessors = _build_dependencies(body)
+    remaining_preds = [set(p) for p in predecessors]
+    successors: list[list[int]] = [[] for _ in body]
+    for j, preds in enumerate(predecessors):
+        for i in preds:
+            successors[i].append(j)
+
+    scheduled: list[Instruction] = []
+    done = [False] * len(body)
+    previous_load_dest: int | None = None
+    count = 0
+    while count < len(body):
+        ready = [j for j in range(len(body))
+                 if not done[j] and not remaining_preds[j]]
+        # Prefer a ready instruction that does not consume the previous
+        # slot's load result (no interlock); tie-break on original order.
+        choice = None
+        if previous_load_dest is not None:
+            for j in ready:
+                if previous_load_dest not in body[j].sources:
+                    choice = j
+                    break
+        if choice is None:
+            choice = ready[0]
+        ins = body[choice]
+        scheduled.append(ins)
+        done[choice] = True
+        count += 1
+        for j in successors[choice]:
+            remaining_preds[j].discard(choice)
+        previous_load_dest = ins.dest if ins.spec.is_load else None
+    if terminator is not None:
+        scheduled.append(terminator)
+    return scheduled
+
+
+def schedule_program(program: Program) -> Program:
+    """Return a copy of ``program`` with stall-avoiding block schedules."""
+    text = list(program.text)
+    for start, end in _block_ranges(program):
+        text[start:end] = _schedule_block(text[start:end])
+    return program.replace_text(text)

@@ -1,0 +1,362 @@
+"""Semantic analysis: symbol table construction and checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .ast import (Assign, Binary, CallExpr, Expr, ExprStmt, For, FuncDecl,
+                  If, IndexRef, InsecureBlock, IntLiteral, LocalDecl,
+                  Marker, ProgramAst, Return, Stmt, Unary, VarDecl, VarRef,
+                  While)
+
+
+def mangle_param(function: str, param: str) -> str:
+    """Static storage name for a parameter (``f$p``)."""
+    return f"{function}${param}"
+
+
+def mangle_ret(function: str) -> str:
+    """Static storage name for a function's return value (``f$ret``)."""
+    return f"{function}$ret"
+
+
+class SemanticError(ValueError):
+    """Raised for type/name errors in SecureC source."""
+
+
+@dataclass
+class Symbol:
+    """One declared variable."""
+
+    name: str
+    is_array: bool
+    size: int               # words (1 for scalars)
+    secure: bool
+    const: bool
+    init: Optional[list[int]]
+    line: int
+
+
+@dataclass
+class FuncInfo:
+    """One declared function."""
+
+    name: str
+    params: list[str]       # original parameter names
+    line: int
+    #: Local (static) variable names declared in the body.
+    locals: set[str] = None
+
+    def __post_init__(self) -> None:
+        if self.locals is None:
+            self.locals = set()
+
+    @property
+    def arity(self) -> int:
+        return len(self.params)
+
+    def param_vars(self) -> list[str]:
+        return [mangle_param(self.name, p) for p in self.params]
+
+    @property
+    def ret_var(self) -> str:
+        return mangle_ret(self.name)
+
+
+class SymbolTable:
+    """Declared variables and functions, including the synthetic static
+    storage slots for parameters, locals, and return values."""
+
+    def __init__(self) -> None:
+        self._symbols: dict[str, Symbol] = {}
+        self.functions: dict[str, FuncInfo] = {}
+
+    def declare_function(self, decl: FuncDecl) -> FuncInfo:
+        if decl.name in self.functions:
+            raise SemanticError(
+                f"line {decl.line}: duplicate function {decl.name!r}")
+        if decl.name in self._symbols:
+            raise SemanticError(
+                f"line {decl.line}: {decl.name!r} already declared as a "
+                "variable")
+        if len(set(decl.params)) != len(decl.params):
+            raise SemanticError(
+                f"line {decl.line}: duplicate parameter in {decl.name!r}")
+        info = FuncInfo(name=decl.name, params=list(decl.params),
+                        line=decl.line)
+        self.functions[decl.name] = info
+        # Static storage for parameters and the return value.
+        for var in info.param_vars() + [info.ret_var]:
+            self._declare_synthetic(var, decl.line)
+        self._declare_synthetic(f"{decl.name}$ra", decl.line)
+        return info
+
+    def _declare_synthetic(self, name: str, line: int,
+                           size: int = 1, is_array: bool = False) -> None:
+        self._symbols[name] = Symbol(name=name, is_array=is_array,
+                                     size=size, secure=False, const=False,
+                                     init=None, line=line)
+
+    def lookup_function(self, name: str, line: int) -> FuncInfo:
+        info = self.functions.get(name)
+        if info is None:
+            raise SemanticError(f"line {line}: undefined function {name!r}")
+        return info
+
+    def declare(self, decl: VarDecl) -> Symbol:
+        if decl.name in self._symbols:
+            raise SemanticError(
+                f"line {decl.line}: duplicate declaration of {decl.name!r}")
+        is_array = decl.size is not None or (
+            decl.init is not None and len(decl.init) > 1)
+        if is_array:
+            size = decl.size if decl.size is not None else len(decl.init)
+            if size <= 0:
+                raise SemanticError(
+                    f"line {decl.line}: array {decl.name!r} has size {size}")
+        else:
+            size = 1
+        symbol = Symbol(name=decl.name, is_array=is_array, size=size,
+                        secure=decl.secure, const=decl.const, init=decl.init,
+                        line=decl.line)
+        self._symbols[decl.name] = symbol
+        return symbol
+
+    def lookup(self, name: str, line: int) -> Symbol:
+        symbol = self._symbols.get(name)
+        if symbol is None:
+            raise SemanticError(f"line {line}: undeclared variable {name!r}")
+        return symbol
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def symbols(self) -> list[Symbol]:
+        return list(self._symbols.values())
+
+    def secure_seeds(self) -> list[str]:
+        """Names of ``secure``-annotated variables (the slicing seeds)."""
+        return [s.name for s in self._symbols.values() if s.secure]
+
+
+class Analyzer:
+    """Builds the symbol table and checks every statement/expression.
+
+    Parameter references inside function bodies are rewritten in place to
+    their mangled static-storage names (``f$p``), so later phases treat
+    every variable uniformly.
+    """
+
+    def __init__(self, program: ProgramAst):
+        self.program = program
+        self.table = SymbolTable()
+        self._current_function: Optional[FuncInfo] = None
+        self._calls: dict[str, set[str]] = {}
+
+    def analyze(self) -> SymbolTable:
+        for decl in self.program.decls:
+            self.table.declare(decl)
+        for func in self.program.funcs:
+            self.table.declare_function(func)
+        self._calls = {func.name: set() for func in self.program.funcs}
+        self._calls[""] = set()  # main
+        for stmt in self.program.body:
+            self._check_stmt(stmt)
+        for func in self.program.funcs:
+            self._check_function(func)
+        self._reject_recursion()
+        return self.table
+
+    @staticmethod
+    def _ends_with_return(body: list) -> bool:
+        if not body:
+            return False
+        last = body[-1]
+        if isinstance(last, Return):
+            return True
+        # A trailing __insecure block counts if it itself ends in return
+        # (the declassified-return pattern).
+        if isinstance(last, InsecureBlock):
+            return Analyzer._ends_with_return(last.body)
+        return False
+
+    def _check_function(self, func: FuncDecl) -> None:
+        info = self.table.functions[func.name]
+        self._current_function = info
+        try:
+            if not self._ends_with_return(func.body):
+                raise SemanticError(
+                    f"line {func.line}: function {func.name!r} must end "
+                    "with a return statement")
+            for stmt in func.body:
+                self._check_stmt(stmt)
+        finally:
+            self._current_function = None
+
+    def _reject_recursion(self) -> None:
+        """Static frames cannot support recursion; reject call cycles."""
+
+        def reachable(start: str, target: str,
+                      seen: set[str]) -> bool:
+            for callee in self._calls.get(start, ()):
+                if callee == target:
+                    return True
+                if callee not in seen:
+                    seen.add(callee)
+                    if reachable(callee, target, seen):
+                        return True
+            return False
+
+        for name in self.table.functions:
+            if reachable(name, name, set()):
+                raise SemanticError(
+                    f"function {name!r} is recursive; SecureC functions "
+                    "use static frames and cannot recurse")
+
+    def _resolve_name(self, node) -> None:
+        """Rewrite a parameter/local reference to its mangled name."""
+        info = self._current_function
+        if info is not None and (node.name in info.params
+                                 or node.name in info.locals):
+            node.name = mangle_param(info.name, node.name)
+
+    # -- statements --------------------------------------------------------
+
+    def _check_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            self._check_assign(stmt)
+        elif isinstance(stmt, If):
+            self._check_expr(stmt.cond)
+            for child in stmt.then_body:
+                self._check_stmt(child)
+            for child in stmt.else_body:
+                self._check_stmt(child)
+        elif isinstance(stmt, While):
+            self._check_expr(stmt.cond)
+            for child in stmt.body:
+                self._check_stmt(child)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                self._check_assign(stmt.init)
+            if stmt.cond is not None:
+                self._check_expr(stmt.cond)
+            if stmt.step is not None:
+                self._check_assign(stmt.step)
+            for child in stmt.body:
+                self._check_stmt(child)
+        elif isinstance(stmt, Marker):
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, InsecureBlock):
+            for child in stmt.body:
+                self._check_stmt(child)
+        elif isinstance(stmt, Return):
+            if self._current_function is None:
+                raise SemanticError(
+                    f"line {stmt.line}: return outside a function")
+            self._check_expr(stmt.value)
+        elif isinstance(stmt, ExprStmt):
+            if not isinstance(stmt.expr, CallExpr):
+                raise SemanticError(
+                    f"line {stmt.line}: expression statement must be a "
+                    "function call")
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, LocalDecl):
+            self._check_local_decl(stmt)
+        else:  # pragma: no cover - parser only produces the above
+            raise SemanticError(f"unknown statement {stmt!r}")
+
+    def _check_local_decl(self, stmt: LocalDecl) -> None:
+        info = self._current_function
+        if info is None:
+            # A declaration statement in the main body: plain global.
+            self.table.declare(VarDecl(name=stmt.name, size=stmt.size,
+                                       init=None, line=stmt.line))
+        else:
+            if stmt.name in info.params or stmt.name in info.locals:
+                raise SemanticError(
+                    f"line {stmt.line}: duplicate local {stmt.name!r} in "
+                    f"function {info.name!r}")
+            info.locals.add(stmt.name)
+            mangled = mangle_param(info.name, stmt.name)
+            if stmt.size is not None:
+                if stmt.size <= 0:
+                    raise SemanticError(
+                        f"line {stmt.line}: array {stmt.name!r} has size "
+                        f"{stmt.size}")
+                self.table._declare_synthetic(mangled, stmt.line,
+                                              size=stmt.size, is_array=True)
+            else:
+                self.table._declare_synthetic(mangled, stmt.line)
+            stmt.name = mangled
+        if stmt.init is not None:
+            self._check_expr(stmt.init)
+
+    def _check_assign(self, assign: Assign) -> None:
+        target = assign.target
+        if isinstance(target, VarRef):
+            self._resolve_name(target)
+            symbol = self.table.lookup(target.name, target.line)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"line {target.line}: cannot assign whole array "
+                    f"{target.name!r}")
+        elif isinstance(target, IndexRef):
+            self._resolve_name(target)
+            symbol = self.table.lookup(target.name, target.line)
+            if not symbol.is_array:
+                raise SemanticError(
+                    f"line {target.line}: {target.name!r} is not an array")
+            self._check_expr(target.index)
+        else:  # pragma: no cover
+            raise SemanticError(f"bad assignment target {target!r}")
+        if symbol.const:
+            raise SemanticError(
+                f"line {assign.line}: cannot assign to const {symbol.name!r}")
+        self._check_expr(assign.value)
+
+    # -- expressions -------------------------------------------------------
+
+    def _check_expr(self, expr: Expr) -> None:
+        if isinstance(expr, IntLiteral):
+            if not -0x8000_0000 <= expr.value <= 0xFFFF_FFFF:
+                raise SemanticError(
+                    f"line {expr.line}: literal {expr.value} out of 32-bit "
+                    "range")
+        elif isinstance(expr, VarRef):
+            self._resolve_name(expr)
+            symbol = self.table.lookup(expr.name, expr.line)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"line {expr.line}: array {expr.name!r} used without "
+                    "index")
+        elif isinstance(expr, IndexRef):
+            self._resolve_name(expr)
+            symbol = self.table.lookup(expr.name, expr.line)
+            if not symbol.is_array:
+                raise SemanticError(
+                    f"line {expr.line}: {expr.name!r} is not an array")
+            self._check_expr(expr.index)
+        elif isinstance(expr, Unary):
+            self._check_expr(expr.operand)
+        elif isinstance(expr, Binary):
+            self._check_expr(expr.left)
+            self._check_expr(expr.right)
+        elif isinstance(expr, CallExpr):
+            info = self.table.lookup_function(expr.name, expr.line)
+            if len(expr.args) != info.arity:
+                raise SemanticError(
+                    f"line {expr.line}: {expr.name!r} takes {info.arity} "
+                    f"argument(s), got {len(expr.args)}")
+            caller = self._current_function.name \
+                if self._current_function else ""
+            self._calls.setdefault(caller, set()).add(expr.name)
+            for arg in expr.args:
+                self._check_expr(arg)
+        else:  # pragma: no cover
+            raise SemanticError(f"unknown expression {expr!r}")
+
+
+def analyze(program: ProgramAst) -> SymbolTable:
+    """Run semantic analysis; returns the symbol table."""
+    return Analyzer(program).analyze()

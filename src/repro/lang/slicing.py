@@ -1,0 +1,176 @@
+"""Forward slicing: propagate the ``secure`` annotation to derived data.
+
+The paper (Section 4.1): *"It is not sufficient to protect only the
+sensitive variables annotated by the programmer ... we achieve this using a
+technique called forward slicing.  In forward slicing, given a set of
+variables and/or instructions (called seeds), the compiler determines all
+the variables/instructions whose values depend on the seeds."*
+
+Implementation: a monotone taint fixpoint over the IR.  Memory locations
+(scalars and whole arrays) form the lattice state; temporaries are
+single-assignment, so their taint is recomputed functionally on each pass.
+The iteration count is bounded by the number of memory variables, and each
+pass is linear in the IR, so the total cost is within the paper's
+"bounded by the number of edges of the control-flow graph" budget.
+
+Two properties of the analysis matter for the experiments:
+
+* **Index taint**: loading a public table at a secret-derived index (the
+  S-box lookup) taints the loaded value AND flags the load as
+  ``secure_index`` so codegen uses the secure-indexed load (``silw``).
+* **Secret-dependent control flow cannot be masked** by secure instructions
+  (the branch outcome changes the instruction stream itself); the slicer
+  reports it as a diagnostic, matching the paper's position that such code
+  must be restructured (their Section 1 cites Coron's restructuring).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .ir import (Bin, BranchZero, Const, Instr, LoadArr, LoadVar, MarkerOp,
+                 StoreArr, StoreVar, Temp)
+from .semantics import SymbolTable
+
+
+@dataclass
+class Diagnostic:
+    """A security finding the compiler cannot fix by instruction selection."""
+
+    kind: str      # 'secret-branch' | 'secret-store-index'
+    line: int
+    message: str
+
+
+@dataclass
+class SliceResult:
+    """Output of the forward-slicing pass."""
+
+    #: Memory variables (scalars and arrays) whose values depend on seeds.
+    tainted_vars: frozenset[str]
+    #: IR instruction indices that must execute in secure mode.
+    critical: frozenset[int]
+    #: Indices of LoadArr instructions needing the secure-indexed load.
+    secure_index_loads: frozenset[int]
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Number of fixpoint passes (for the complexity claim in tests).
+    passes: int = 0
+    cfg_edges: int = 0
+
+
+class ForwardSlicer:
+    """Computes the forward slice of the ``secure``-annotated seeds.
+
+    ``propagate=False`` disables the slicing step and secures only the
+    operations that touch an annotated variable *directly* — the ablation
+    the paper argues against (indirect leakage through derived values).
+    """
+
+    def __init__(self, code: list[Instr], table: SymbolTable,
+                 propagate: bool = True):
+        self.code = code
+        self.table = table
+        self.propagate = propagate
+
+    def run(self, extra_seeds: frozenset[str] = frozenset()) -> SliceResult:
+        seeds = frozenset(self.table.secure_seeds()) | extra_seeds
+        cfg = CFG(self.code)
+        tainted_vars: set[str] = set(seeds)
+        passes = 0
+        if self.propagate:
+            changed = True
+            while changed:
+                passes += 1
+                changed = self._pass(tainted_vars)
+        # Final classification pass with the stable var-taint set.
+        temp_taint = self._temp_taint(tainted_vars)
+        critical: set[int] = set()
+        secure_index_loads: set[int] = set()
+        diagnostics: list[Diagnostic] = []
+        for position, instr in enumerate(self.code):
+            if instr.declassified:
+                continue
+            if self._is_critical(instr, tainted_vars, temp_taint, seeds):
+                critical.add(position)
+            if isinstance(instr, LoadArr) and instr.index in temp_taint:
+                secure_index_loads.add(position)
+                instr.secure_index = True
+            if isinstance(instr, StoreArr) and instr.index in temp_taint:
+                diagnostics.append(Diagnostic(
+                    kind="secret-store-index", line=instr.line,
+                    message=f"line {instr.line}: store to {instr.array!r} at "
+                            "a secret-derived index; the secure store does "
+                            "not mask write addresses"))
+            if isinstance(instr, BranchZero) and instr.cond in temp_taint:
+                diagnostics.append(Diagnostic(
+                    kind="secret-branch", line=instr.line,
+                    message=f"line {instr.line}: branch condition depends on "
+                            "secure data; control flow cannot be masked — "
+                            "restructure the code"))
+        return SliceResult(tainted_vars=frozenset(tainted_vars),
+                           critical=frozenset(critical),
+                           secure_index_loads=frozenset(secure_index_loads),
+                           diagnostics=diagnostics, passes=passes,
+                           cfg_edges=cfg.edge_count)
+
+    # ------------------------------------------------------------------
+
+    def _temp_taint(self, tainted_vars: set[str]) -> set[Temp]:
+        """One linear pass computing temp taint from current var taint."""
+        taint: set[Temp] = set()
+        for instr in self.code:
+            if isinstance(instr, Const):
+                taint.discard(instr.dest)
+            elif isinstance(instr, LoadVar):
+                if instr.var in tainted_vars:
+                    taint.add(instr.dest)
+            elif isinstance(instr, LoadArr):
+                if instr.array in tainted_vars or instr.index in taint:
+                    taint.add(instr.dest)
+            elif isinstance(instr, Bin):
+                if instr.a in taint or instr.b in taint:
+                    taint.add(instr.dest)
+        return taint
+
+    def _pass(self, tainted_vars: set[str]) -> bool:
+        temp_taint = self._temp_taint(tainted_vars)
+        changed = False
+        for instr in self.code:
+            if isinstance(instr, StoreVar):
+                if instr.src in temp_taint and instr.var not in tainted_vars:
+                    tainted_vars.add(instr.var)
+                    changed = True
+            elif isinstance(instr, StoreArr):
+                if (instr.src in temp_taint or instr.index in temp_taint) \
+                        and instr.array not in tainted_vars:
+                    tainted_vars.add(instr.array)
+                    changed = True
+        return changed
+
+    def _is_critical(self, instr: Instr, tainted_vars: set[str],
+                     temp_taint: set[Temp], seeds: frozenset[str]) -> bool:
+        if not self.propagate:
+            # Annotate-only ablation: direct touches of seed variables.
+            if isinstance(instr, LoadVar):
+                return instr.var in seeds
+            if isinstance(instr, StoreVar):
+                return instr.var in seeds
+            if isinstance(instr, LoadArr):
+                return instr.array in seeds
+            if isinstance(instr, StoreArr):
+                return instr.array in seeds
+            return False
+        if isinstance(instr, LoadVar):
+            return instr.var in tainted_vars
+        if isinstance(instr, StoreVar):
+            return instr.src in temp_taint
+        if isinstance(instr, LoadArr):
+            return instr.array in tainted_vars or instr.index in temp_taint
+        if isinstance(instr, StoreArr):
+            return instr.src in temp_taint or instr.index in temp_taint
+        if isinstance(instr, Bin):
+            return instr.a in temp_taint or instr.b in temp_taint
+        if isinstance(instr, MarkerOp):
+            return False
+        return False

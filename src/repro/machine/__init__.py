@@ -1,0 +1,15 @@
+"""Micro-architecture layer: memory, register file, ALU, pipeline, CPU."""
+
+from .alu import alu_execute
+from .cpu import CPU, run_to_halt
+from .exceptions import CpuError, MemoryError_, SimulationError
+from .interpreter import Interpreter, run_functional
+from .memory import Memory
+from .pipeline import BUBBLE, Pipeline
+from .regfile import RegisterFile
+
+__all__ = [
+    "BUBBLE", "CPU", "CpuError", "Memory", "MemoryError_", "Pipeline",
+    "Interpreter", "RegisterFile", "SimulationError", "alu_execute",
+    "run_functional", "run_to_halt",
+]

@@ -1,0 +1,54 @@
+"""Integer ALU for the EX stage.
+
+All values are 32-bit unsigned Python ints; signed comparisons convert on the
+fly.  The ALU is purely functional; its switching energy is modeled by the
+energy tracker from the (a, b, result) values the pipeline reports.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import AluOp
+from .exceptions import SimulationError
+
+_WORD_MASK = 0xFFFF_FFFF
+
+
+def _signed(value: int) -> int:
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def alu_execute(op: AluOp, a: int, b: int) -> int:
+    """Compute ``a op b`` as the EX-stage ALU does.
+
+    For shifts, ``a`` is the value to shift and ``b`` the shift amount
+    (only the low 5 bits are used, as on MIPS).
+    """
+    if op is AluOp.ADD:
+        return (a + b) & _WORD_MASK
+    if op is AluOp.SUB:
+        return (a - b) & _WORD_MASK
+    if op is AluOp.AND:
+        return a & b
+    if op is AluOp.OR:
+        return a | b
+    if op is AluOp.XOR:
+        return a ^ b
+    if op is AluOp.NOR:
+        return (~(a | b)) & _WORD_MASK
+    if op is AluOp.SLT:
+        return 1 if _signed(a) < _signed(b) else 0
+    if op is AluOp.SLTU:
+        return 1 if (a & _WORD_MASK) < (b & _WORD_MASK) else 0
+    if op is AluOp.SLL:
+        return (a << (b & 31)) & _WORD_MASK
+    if op is AluOp.SRL:
+        return (a & _WORD_MASK) >> (b & 31)
+    if op is AluOp.SRA:
+        return (_signed(a) >> (b & 31)) & _WORD_MASK
+    if op is AluOp.LUI:
+        return (b << 16) & _WORD_MASK
+    if op is AluOp.PASS_A:
+        return a & _WORD_MASK
+    if op is AluOp.NONE:
+        return 0
+    raise SimulationError(f"ALU cannot execute {op}")  # pragma: no cover

@@ -1,0 +1,68 @@
+"""Top-level CPU wrapper: program loading, execution, and result extraction."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.program import Program
+from .memory import Memory
+from .pipeline import Pipeline
+
+
+class CPU:
+    """Convenience driver around :class:`Pipeline`.
+
+    Owns memory and exposes symbol-based data access, which the harness and
+    tests use to inject plaintext/key images and read back ciphertext.
+    """
+
+    def __init__(self, program: Program, tracker=None,
+                 operand_isolation: bool = True):
+        self.program = program
+        self.memory = Memory()
+        self.pipeline = Pipeline(program, self.memory, tracker=tracker,
+                                 operand_isolation=operand_isolation)
+
+    @property
+    def regs(self):
+        return self.pipeline.regs
+
+    @property
+    def cycles(self) -> int:
+        return self.pipeline.cycle
+
+    @property
+    def retired(self) -> int:
+        return self.pipeline.retired
+
+    @property
+    def cpi(self) -> float:
+        return self.pipeline.cycle / max(1, self.pipeline.retired)
+
+    def write_symbol_words(self, symbol: str, values: list[int],
+                           offset: int = 0) -> None:
+        """Write 32-bit words into memory starting at ``symbol + offset``."""
+        base = self.program.address_of(symbol) + offset
+        self.memory.write_words(base, values)
+
+    def read_symbol_words(self, symbol: str, count: int,
+                          offset: int = 0) -> list[int]:
+        """Read 32-bit words from memory starting at ``symbol + offset``."""
+        base = self.program.address_of(symbol) + offset
+        return self.memory.read_words(base, count)
+
+    def run(self, max_cycles: int = 50_000_000) -> int:
+        """Run to completion; returns total cycles."""
+        return self.pipeline.run(max_cycles=max_cycles)
+
+
+def run_to_halt(program: Program, tracker=None,
+                inputs: Optional[dict[str, list[int]]] = None,
+                max_cycles: int = 50_000_000) -> CPU:
+    """Load ``program``, write ``inputs`` (symbol -> words), run to halt."""
+    cpu = CPU(program, tracker=tracker)
+    if inputs:
+        for symbol, words in inputs.items():
+            cpu.write_symbol_words(symbol, words)
+    cpu.run(max_cycles=max_cycles)
+    return cpu

@@ -1,0 +1,15 @@
+"""Simulator exception types."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for runtime errors inside the simulated machine."""
+
+
+class MemoryError_(SimulationError):
+    """Unaligned or out-of-range memory access."""
+
+
+class CpuError(SimulationError):
+    """Pipeline-level error (bad PC, runaway execution, ...)."""

@@ -1,0 +1,69 @@
+"""Word-addressable memory for the simulated smart-card core.
+
+The memory array itself is modeled as data-independent in energy (the paper:
+"the memory access itself is not sensitive to the data being read due to the
+differential nature of the memory reads"); the data-dependent energy lives on
+the *bus* between memory and the pipeline, which the pipeline reports to the
+energy tracker.  This module is purely functional state.
+"""
+
+from __future__ import annotations
+
+from .exceptions import MemoryError_
+
+_WORD_MASK = 0xFFFF_FFFF
+
+
+class Memory:
+    """Sparse little-endian byte-addressable memory, stored as 32-bit words."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def clear(self) -> None:
+        self._words.clear()
+
+    def load_image(self, base: int, words: list[int]) -> None:
+        """Copy a contiguous word image starting at byte address ``base``."""
+        if base & 3:
+            raise MemoryError_(f"image base not word aligned: 0x{base:08x}")
+        start = base >> 2
+        for offset, word in enumerate(words):
+            self._words[start + offset] = word & _WORD_MASK
+
+    # -- word access ----------------------------------------------------
+
+    def read_word(self, address: int) -> int:
+        if address & 3:
+            raise MemoryError_(f"unaligned word read at 0x{address:08x}")
+        return self._words.get(address >> 2, 0)
+
+    def write_word(self, address: int, value: int) -> None:
+        if address & 3:
+            raise MemoryError_(f"unaligned word write at 0x{address:08x}")
+        self._words[address >> 2] = value & _WORD_MASK
+
+    # -- byte access ----------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        word = self._words.get(address >> 2, 0)
+        return (word >> ((address & 3) * 8)) & 0xFF
+
+    def write_byte(self, address: int, value: int) -> None:
+        index = address >> 2
+        shift = (address & 3) * 8
+        word = self._words.get(index, 0)
+        word = (word & ~(0xFF << shift)) | ((value & 0xFF) << shift)
+        self._words[index] = word & _WORD_MASK
+
+    # -- convenience ----------------------------------------------------
+
+    def read_words(self, address: int, count: int) -> list[int]:
+        return [self.read_word(address + 4 * i) for i in range(count)]
+
+    def write_words(self, address: int, values: list[int]) -> None:
+        for i, value in enumerate(values):
+            self.write_word(address + 4 * i, value)
+
+    def __contains__(self, address: int) -> bool:
+        return (address >> 2) in self._words

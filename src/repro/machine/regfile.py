@@ -1,0 +1,36 @@
+"""32-entry register file.
+
+Register 0 is hardwired to zero.  Energy per port access is data-independent
+(the paper treats the register file as a memory array with differential
+reads), so this module only exposes functional state; port-activity counts
+are reported by the pipeline.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import NUM_REGISTERS
+
+_WORD_MASK = 0xFFFF_FFFF
+
+
+class RegisterFile:
+    """Simple 32 x 32-bit register file with $zero hardwired."""
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_REGISTERS
+
+    def read(self, number: int) -> int:
+        return self._regs[number]
+
+    def write(self, number: int, value: int) -> None:
+        if number:
+            self._regs[number] = value & _WORD_MASK
+
+    def dump(self) -> list[int]:
+        return list(self._regs)
+
+    def load(self, values: list[int]) -> None:
+        if len(values) != NUM_REGISTERS:
+            raise ValueError("register dump must have 32 entries")
+        self._regs = [v & _WORD_MASK for v in values]
+        self._regs[0] = 0

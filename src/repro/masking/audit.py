@@ -1,0 +1,173 @@
+"""Dynamic information-flow audit of compiled programs.
+
+The compiler's forward slicing is *static*; this module verifies it
+*dynamically*: it runs the program on the functional interpreter while
+tracking a shadow taint bit per register and per memory word (seeded from
+the secret symbols), and records a violation whenever an instruction
+touches tainted data **without** its secure bit set:
+
+* an ALU/compare/shift instruction reading a tainted register;
+* a load from a tainted word or through a tainted address (index leak);
+* a store of a tainted value (or through a tainted address);
+* a branch/jump whose operands are tainted (control flow — unmaskable).
+
+Because the audit is dynamic it is *more precise* than the
+flow-insensitive static slice (overwriting a register or word with clean
+data clears its taint), so "zero violations" is a strong statement: on
+this input, every instruction that handled secret-derived data ran in
+secure mode.  Declassified regions (``__insecure``) are insecure by
+design and show up as violations — audit programs built without their
+declassified output phase (e.g. ``include_fp=False``) for a clean check,
+or inspect ``AuditReport.violations`` for location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..isa.instructions import Instruction
+from ..isa.program import Program
+from ..machine.interpreter import Interpreter
+from ..machine.pipeline import MARKER_ADDR
+
+
+@dataclass
+class Violation:
+    """One insecure touch of tainted data."""
+
+    pc: int
+    instruction: str
+    kind: str        # 'data' | 'load-address' | 'store-address' | 'control'
+
+    def __str__(self) -> str:
+        return f"0x{self.pc:08x}: {self.instruction}  [{self.kind}]"
+
+
+@dataclass
+class AuditReport:
+    violations: list[Violation] = field(default_factory=list)
+    instructions_executed: int = 0
+    tainted_instructions: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        if self.clean:
+            return (f"audit clean: {self.tainted_instructions} of "
+                    f"{self.instructions_executed} executed instructions "
+                    "touched secret data, all in secure mode")
+        head = "\n".join(f"  {v}" for v in self.violations[:10])
+        more = "" if len(self.violations) <= 10 \
+            else f"\n  ... and {len(self.violations) - 10} more"
+        return (f"AUDIT FAILED: {len(self.violations)} insecure touches of "
+                f"secret data:\n{head}{more}")
+
+
+class TaintAuditor:
+    """Drives the functional interpreter with shadow taint state."""
+
+    def __init__(self, program: Program,
+                 secret_symbols: dict[str, int],
+                 inputs: Optional[dict[str, list[int]]] = None):
+        """``secret_symbols`` maps symbol name -> word count to taint."""
+        self.program = program
+        self.interpreter = Interpreter(program)
+        if inputs:
+            for symbol, words in inputs.items():
+                self.interpreter.memory.write_words(
+                    program.address_of(symbol), words)
+        self.reg_taint = [False] * 32
+        self.mem_taint: set[int] = set()
+        for symbol, count in secret_symbols.items():
+            base = program.address_of(symbol)
+            for offset in range(count):
+                self.mem_taint.add((base + 4 * offset) >> 2)
+        self.report = AuditReport()
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_instructions: int = 50_000_000) -> AuditReport:
+        interp = self.interpreter
+        while not interp.halted:
+            if interp.executed >= max_instructions:
+                raise RuntimeError("audit exceeded max_instructions")
+            index = (interp.pc - self.program.text_base) >> 2
+            ins = self.program.text[index]
+            self._audit_before(ins)
+            interp.step()
+            self._update_after(ins)
+        self.report.instructions_executed = interp.executed
+        return self.report
+
+    # ------------------------------------------------------------------
+
+    def _sources_tainted(self, ins: Instruction) -> bool:
+        return any(self.reg_taint[r] for r in ins.sources if r)
+
+    def _address_of(self, ins: Instruction) -> int:
+        base = self.interpreter.regs.read(ins.rs)
+        return (base + (ins.imm or 0)) & 0xFFFF_FFFF
+
+    def _audit_before(self, ins: Instruction) -> None:
+        spec = ins.spec
+        touched = False
+        kind = "data"
+        if spec.is_load:
+            address = self._address_of(ins)
+            if self.reg_taint[ins.rs]:
+                touched, kind = True, "load-address"
+            elif (address >> 2) in self.mem_taint:
+                touched = True
+        elif spec.is_store:
+            if self.reg_taint[ins.rs]:
+                touched, kind = True, "store-address"
+            elif self.reg_taint[ins.rt]:
+                touched = True
+        elif spec.is_branch or spec.is_jump:
+            if self._sources_tainted(ins):
+                touched, kind = True, "control"
+        else:
+            touched = self._sources_tainted(ins)
+        if touched:
+            self.report.tainted_instructions += 1
+            # Control flow cannot be masked even by the secure bit.
+            if kind == "control" or not ins.secure:
+                self.report.violations.append(Violation(
+                    pc=self.interpreter.pc, instruction=str(ins), kind=kind))
+
+    def _update_after(self, ins: Instruction) -> None:
+        spec = ins.spec
+        if spec.is_load:
+            address = self._address_of(ins)
+            tainted = self.reg_taint[ins.rs] \
+                or (address >> 2) in self.mem_taint
+            if ins.rt:
+                self.reg_taint[ins.rt] = tainted
+            return
+        if spec.is_store:
+            address = self._address_of(ins)
+            if address == MARKER_ADDR:
+                return
+            word = address >> 2
+            if self.reg_taint[ins.rt] or self.reg_taint[ins.rs]:
+                self.mem_taint.add(word)
+            else:
+                self.mem_taint.discard(word)
+            return
+        dest = ins.dest
+        if dest:
+            if ins.op in ("jal", "jalr"):
+                self.reg_taint[dest] = False  # link address is public
+            else:
+                self.reg_taint[dest] = self._sources_tainted(ins)
+
+
+def audit_masking(program: Program, secret_symbols: dict[str, int],
+                  inputs: Optional[dict[str, list[int]]] = None,
+                  max_instructions: int = 50_000_000) -> AuditReport:
+    """Run the dynamic taint audit on one execution of ``program``."""
+    auditor = TaintAuditor(program, secret_symbols, inputs)
+    return auditor.run(max_instructions=max_instructions)

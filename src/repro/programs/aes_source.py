@@ -1,0 +1,255 @@
+"""SecureC source generator for AES-128 encryption.
+
+The paper notes its approach "is general and can be extended to other
+algorithms"; the authors' follow-up work applies it to AES.  This program
+demonstrates exactly that: the only annotation is ``secure int key[16]``
+and the compiler's forward slicing masks the whole cipher.
+
+Design notes for a maskable AES:
+
+* **MixColumns via an XTIME table.**  The textbook xtime implementation
+  branches on the top bit of a secret byte — secret-dependent control flow
+  that no instruction-level masking can hide (the slicer would reject it
+  with a ``secret-branch`` diagnostic).  Tabulating {02}·x turns it into a
+  secure indexed load, the same mechanism as the S-box.
+* **SubBytes + ShiftRows fused** through a public permutation table, so
+  state bytes are only ever addressed at public indices.
+* **The final AddRoundKey stays secure** (unlike DES's output permutation,
+  its operands — S-box outputs and the last round key — are individually
+  secret; only their XOR is public).  Only the ciphertext store is
+  declassified.
+
+State layout: one byte per 32-bit word, FIPS column-major order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..aes.tables import (INV_SBOX, INV_SHIFT_ROWS, RCON, SBOX, SHIFT_ROWS,
+                          XTIME)
+from . import markers as mk
+
+
+def _array_literal(name: str, values) -> str:
+    body = ", ".join(str(v) for v in values)
+    return f"const int {name}[{len(values)}] = {{{body}}};"
+
+
+@dataclass(frozen=True)
+class AesProgramSpec:
+    """Which pieces of the AES-128 program to generate."""
+
+    rounds: int = 10
+    #: Emit phase markers.
+    emit_markers: bool = True
+    #: Include the declassified ciphertext store.
+    include_output: bool = True
+    #: Generate the inverse cipher (InvSubBytes/InvShiftRows/InvMixColumns,
+    #: round keys in reverse).  InvMixColumns multiplies by 9/11/13/14,
+    #: decomposed into XTIME-table chains so it stays branch-free.
+    decrypt: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.rounds <= 10:
+            raise ValueError("rounds must be in 1..10")
+        if self.decrypt and self.rounds != 10:
+            raise ValueError("decryption requires the full 10 rounds")
+
+
+def aes_source(spec: AesProgramSpec = AesProgramSpec()) -> str:
+    """Generate the SecureC source for AES-128 encryption."""
+    lines: list[str] = []
+    emit = lines.append
+
+    def marker(value: int) -> None:
+        if spec.emit_markers:
+            emit(f"__marker({value});")
+
+    direction = "decryption" if spec.decrypt else "encryption"
+    emit(f"// AES-128 {direction}, generated from repro.aes.tables "
+         "(FIPS-197).")
+    emit("secure int key[16];")
+    emit("int plaintext[16];")
+    emit("int ciphertext[16];")
+    emit(_array_literal("SBOX_T", SBOX))
+    emit(_array_literal("XTIME_T", XTIME))
+    emit(_array_literal("RCON_T", RCON))
+    emit(_array_literal("SR_T", SHIFT_ROWS))
+    if spec.decrypt:
+        emit(_array_literal("ISBOX_T", INV_SBOX))
+        emit(_array_literal("ISR_T", INV_SHIFT_ROWS))
+    emit("int rk[176];")
+    emit("int state[16];")
+    emit("int tmp16[16];")
+    if spec.decrypt:
+        for name in ("XT1", "XT2", "XT3"):
+            emit(f"int {name}[4];")
+    for scalar in ("i", "wi", "r", "base", "dest", "rnd", "c", "b",
+                   "rkbase", "w0", "w1", "w2", "w3", "t0", "t1", "t2", "t3",
+                   "s0", "s1", "s2", "s3", "x0", "x1", "x2", "x3"):
+        emit(f"int {scalar};")
+    emit("")
+
+    emit("// ---- key expansion (all key-derived: fully masked) ----")
+    marker(mk.M_KEYPERM_START)
+    emit("""
+for (i = 0; i < 16; i = i + 1) { rk[i] = key[i]; }
+for (wi = 4; wi < 44; wi = wi + 1) {
+    base = (wi - 1) << 2;
+    w0 = rk[base];
+    w1 = rk[base + 1];
+    w2 = rk[base + 2];
+    w3 = rk[base + 3];
+    r = wi & 3;
+    if (r == 0) {
+        // RotWord + SubWord (secure indexed loads) + Rcon
+        t0 = SBOX_T[w1] ^ RCON_T[(wi >> 2) - 1];
+        t1 = SBOX_T[w2];
+        t2 = SBOX_T[w3];
+        t3 = SBOX_T[w0];
+        w0 = t0; w1 = t1; w2 = t2; w3 = t3;
+    }
+    base = (wi - 4) << 2;
+    dest = wi << 2;
+    rk[dest] = rk[base] ^ w0;
+    rk[dest + 1] = rk[base + 1] ^ w1;
+    rk[dest + 2] = rk[base + 2] ^ w2;
+    rk[dest + 3] = rk[base + 3] ^ w3;
+}""")
+    marker(mk.M_KEYPERM_END)
+    emit("")
+
+    if spec.decrypt:
+        _emit_inverse_cipher(emit, marker, spec)
+        if spec.include_output:
+            emit("// ---- plaintext store: public by definition ----")
+            marker(mk.M_FP_START)
+            emit("""__insecure {
+    for (i = 0; i < 16; i = i + 1) { ciphertext[i] = state[i]; }
+}""")
+            marker(mk.M_FP_END)
+        return "\n".join(lines) + "\n"
+
+    emit("// ---- initial AddRoundKey ----")
+    marker(mk.M_ROUND_BASE)
+    emit("for (i = 0; i < 16; i = i + 1) "
+         "{ state[i] = plaintext[i] ^ rk[i]; }")
+    emit("")
+
+    emit("// ---- main rounds: SubBytes+ShiftRows fused, MixColumns via "
+         "XTIME, AddRoundKey ----")
+    emit(f"for (rnd = 1; rnd < {spec.rounds}; rnd = rnd + 1) {{")
+    if spec.emit_markers:
+        emit(f"    __marker({mk.M_ROUND_BASE} + rnd);")
+    emit("""
+    for (i = 0; i < 16; i = i + 1) { tmp16[i] = SBOX_T[state[SR_T[i]]]; }
+    rkbase = rnd << 4;
+    for (c = 0; c < 4; c = c + 1) {
+        b = c << 2;
+        s0 = tmp16[b];
+        s1 = tmp16[b + 1];
+        s2 = tmp16[b + 2];
+        s3 = tmp16[b + 3];
+        x0 = XTIME_T[s0];
+        x1 = XTIME_T[s1];
+        x2 = XTIME_T[s2];
+        x3 = XTIME_T[s3];
+        state[b] = x0 ^ x1 ^ s1 ^ s2 ^ s3 ^ rk[rkbase + b];
+        state[b + 1] = s0 ^ x1 ^ x2 ^ s2 ^ s3 ^ rk[rkbase + b + 1];
+        state[b + 2] = s0 ^ s1 ^ x2 ^ x3 ^ s3 ^ rk[rkbase + b + 2];
+        state[b + 3] = x0 ^ s0 ^ s1 ^ s2 ^ x3 ^ rk[rkbase + b + 3];
+    }
+}""")
+    emit("")
+
+    emit("// ---- final round (no MixColumns); AddRoundKey stays secure ----")
+    if spec.emit_markers:
+        emit(f"__marker({mk.M_ROUND_BASE} + {spec.rounds});")
+    emit(f"""
+for (i = 0; i < 16; i = i + 1) {{ tmp16[i] = SBOX_T[state[SR_T[i]]]; }}
+rkbase = {spec.rounds} << 4;
+for (i = 0; i < 16; i = i + 1) {{ state[i] = tmp16[i] ^ rk[rkbase + i]; }}""")
+    emit("")
+
+    if spec.include_output:
+        emit("// ---- ciphertext store: public by definition ----")
+        marker(mk.M_FP_START)
+        emit("""__insecure {
+    for (i = 0; i < 16; i = i + 1) { ciphertext[i] = state[i]; }
+}""")
+        marker(mk.M_FP_END)
+    return "\n".join(lines) + "\n"
+
+
+def _emit_inverse_cipher(emit, marker, spec: AesProgramSpec) -> None:
+    """Body of the AES-128 inverse cipher (input arrives in ``plaintext``,
+    output lands in ``state``; the caller emits the declassified store).
+
+    InvMixColumns decomposes the GF(2^8) multiplications through XTIME
+    chains: 9x = x·8^x, 11x = x·8^x·2^x, 13x = x·8^x·4^x,
+    14x = x·8^x·4^x·2 — all via secure indexed loads, no secret branches.
+    """
+    emit("// ---- initial AddRoundKey with the last round key ----")
+    marker(mk.M_ROUND_BASE + 10)
+    emit("for (i = 0; i < 16; i = i + 1) "
+         "{ state[i] = plaintext[i] ^ rk[160 + i]; }")
+    emit("")
+    emit("// ---- inverse rounds 9..1: InvShiftRows+InvSubBytes fused, "
+         "AddRoundKey, InvMixColumns ----")
+    emit("for (rnd = 9; rnd > 0; rnd = rnd - 1) {")
+    if spec.emit_markers:
+        emit(f"    __marker({mk.M_ROUND_BASE} + rnd);")
+    emit("""
+    for (i = 0; i < 16; i = i + 1) { tmp16[i] = ISBOX_T[state[ISR_T[i]]]; }
+    rkbase = rnd << 4;
+    for (c = 0; c < 4; c = c + 1) {
+        b = c << 2;
+        s0 = tmp16[b] ^ rk[rkbase + b];
+        s1 = tmp16[b + 1] ^ rk[rkbase + b + 1];
+        s2 = tmp16[b + 2] ^ rk[rkbase + b + 2];
+        s3 = tmp16[b + 3] ^ rk[rkbase + b + 3];
+        XT1[0] = XTIME_T[s0];
+        XT2[0] = XTIME_T[XT1[0]];
+        XT3[0] = XTIME_T[XT2[0]];
+        XT1[1] = XTIME_T[s1];
+        XT2[1] = XTIME_T[XT1[1]];
+        XT3[1] = XTIME_T[XT2[1]];
+        XT1[2] = XTIME_T[s2];
+        XT2[2] = XTIME_T[XT1[2]];
+        XT3[2] = XTIME_T[XT2[2]];
+        XT1[3] = XTIME_T[s3];
+        XT2[3] = XTIME_T[XT1[3]];
+        XT3[3] = XTIME_T[XT2[3]];
+        state[b] = XT3[0] ^ XT2[0] ^ XT1[0]
+                 ^ XT3[1] ^ XT1[1] ^ s1
+                 ^ XT3[2] ^ XT2[2] ^ s2
+                 ^ XT3[3] ^ s3;
+        state[b + 1] = XT3[0] ^ s0
+                     ^ XT3[1] ^ XT2[1] ^ XT1[1]
+                     ^ XT3[2] ^ XT1[2] ^ s2
+                     ^ XT3[3] ^ XT2[3] ^ s3;
+        state[b + 2] = XT3[0] ^ XT2[0] ^ s0
+                     ^ XT3[1] ^ s1
+                     ^ XT3[2] ^ XT2[2] ^ XT1[2]
+                     ^ XT3[3] ^ XT1[3] ^ s3;
+        state[b + 3] = XT3[0] ^ XT1[0] ^ s0
+                     ^ XT3[1] ^ XT2[1] ^ s1
+                     ^ XT3[2] ^ s2
+                     ^ XT3[3] ^ XT2[3] ^ XT1[3];
+    }
+}""")
+    emit("")
+    emit("// ---- final inverse round (no InvMixColumns) + ARK(rk0) ----")
+    if spec.emit_markers:
+        emit(f"__marker({mk.M_ROUND_BASE});")
+    emit("""
+for (i = 0; i < 16; i = i + 1) { tmp16[i] = ISBOX_T[state[ISR_T[i]]]; }
+for (i = 0; i < 16; i = i + 1) { state[i] = tmp16[i] ^ rk[i]; }""")
+    emit("")
+
+
+#: Full AES-128 (the standard 10 rounds).
+FULL_AES = AesProgramSpec()
+#: First-round variant for differential-trace experiments.
+ROUND1_AES = AesProgramSpec(rounds=1)

@@ -1,0 +1,195 @@
+"""SecureC source generator for the DES encryption program.
+
+The generated program follows the paper's Figure 2 structure exactly:
+
+* initial permutation of the plaintext — *insecure* (no key involved);
+* key permutation (PC-1) — secure;
+* sixteen rounds, each containing the left-side operation, the key
+  generation (rotations + PC-2), and the right-side operation
+  (E, XOR with K, S-boxes via secure indexing, P) — all secure;
+* output inverse permutation — *intentionally insecure* (it reveals only
+  the information already available from the output cipher), expressed
+  with the ``__insecure`` block.
+
+The program operates on bit arrays (one bit per 32-bit word), the style of
+the paper's Figure 4 loop ``for (i=0; i<32; i++) newL[i] = oldR[i];``.
+
+Only ``key`` is annotated ``secure``; everything else is protected by the
+compiler's forward slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..des.tables import E, FLAT_SBOXES, FP, IP, P, PC1, PC2, SHIFTS
+from . import markers as mk
+
+
+def _zero_based(table) -> list[int]:
+    return [entry - 1 for entry in table]
+
+
+def _array_literal(name: str, values, const: bool = True) -> str:
+    body = ", ".join(str(v) for v in values)
+    prefix = "const int" if const else "int"
+    return f"{prefix} {name}[{len(values)}] = {{{body}}};"
+
+
+@dataclass(frozen=True)
+class DesProgramSpec:
+    """Which pieces of the DES program to generate."""
+
+    rounds: int = 16
+    include_ip: bool = True
+    include_keyschedule: bool = True
+    include_fp: bool = True
+    #: Emit phase markers (adds a handful of insecure instructions).
+    emit_markers: bool = True
+    #: Generate the decryption direction: the identical Feistel structure
+    #: with the subkeys applied in reverse order (the per-round C/D
+    #: rotation amounts become 0, 28-s16, 28-s15, ...).
+    decrypt: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rounds <= 16:
+            raise ValueError("rounds must be in 0..16")
+        if self.rounds > 0 and not self.include_keyschedule:
+            raise ValueError("rounds need the key schedule")
+        if self.decrypt and self.rounds != 16:
+            raise ValueError("decryption requires the full 16 rounds")
+
+    @property
+    def shift_table(self) -> tuple[int, ...]:
+        """Left-rotation amounts per round for this direction."""
+        if not self.decrypt:
+            return SHIFTS
+        # Decrypt round 1 uses K16, whose C/D position equals the initial
+        # PC-1 output (total encryption rotation is 28 = 0 mod 28); each
+        # later round rotates right by the encryption schedule in reverse,
+        # expressed here as an equivalent left rotation.
+        amounts = [0] + [(28 - s) % 28 for s in reversed(SHIFTS[1:])]
+        return tuple(amounts)
+
+
+def _flat_sbox_words() -> list[int]:
+    words: list[int] = []
+    for table in FLAT_SBOXES:
+        words.extend(table)
+    return words
+
+
+def des_source(spec: DesProgramSpec = DesProgramSpec()) -> str:
+    """Generate the SecureC source for one DES program variant."""
+    lines: list[str] = []
+    emit = lines.append
+
+    def marker(value: int) -> None:
+        if spec.emit_markers:
+            emit(f"__marker({value});")
+
+    emit("// DES encryption, generated from repro.des.tables (FIPS 46-3).")
+    emit("secure int key[64];")
+    emit("int plaintext[64];")
+    emit("int ciphertext[64];")
+    emit(_array_literal("IP0", _zero_based(IP)))
+    emit(_array_literal("FP0", _zero_based(FP)))
+    emit(_array_literal("E0", _zero_based(E)))
+    emit(_array_literal("P0", _zero_based(P)))
+    emit(_array_literal("PC10", _zero_based(PC1)))
+    emit(_array_literal("PC20", _zero_based(PC2)))
+    emit(_array_literal("SHIFTS_T", spec.shift_table))
+    emit(_array_literal("SBOX_T", _flat_sbox_words()))
+    for name, size in (("L", 32), ("R", 32), ("C", 28), ("D", 28),
+                       ("CT", 28), ("DT", 28), ("K", 48), ("ER", 48),
+                       ("SOUT", 32), ("FOUT", 32)):
+        emit(f"int {name}[{size}];")
+    for scalar in ("i", "j", "p", "n", "r", "t", "v", "b", "base", "obase",
+                   "s"):
+        emit(f"int {scalar};")
+    emit("")
+
+    if spec.include_ip:
+        emit("// ---- initial permutation (no key: stays insecure) ----")
+        marker(mk.M_IP_START)
+        emit("for (i = 0; i < 32; i = i + 1) { L[i] = plaintext[IP0[i]]; }")
+        emit("for (i = 0; i < 32; i = i + 1) "
+             "{ R[i] = plaintext[IP0[32 + i]]; }")
+        marker(mk.M_IP_END)
+        emit("")
+
+    if spec.include_keyschedule:
+        emit("// ---- key permutation PC-1 (secure) ----")
+        marker(mk.M_KEYPERM_START)
+        emit("for (i = 0; i < 28; i = i + 1) { C[i] = key[PC10[i]]; }")
+        emit("for (i = 0; i < 28; i = i + 1) { D[i] = key[PC10[28 + i]]; }")
+        marker(mk.M_KEYPERM_END)
+        emit("")
+
+    if spec.rounds > 0:
+        emit("// ---- the rounds (every operation secure, paper Fig. 2b) ----")
+        emit(f"for (r = 0; r < {spec.rounds}; r = r + 1) {{")
+        if spec.emit_markers:
+            emit(f"    __marker({mk.M_ROUND_BASE} + r);")
+        emit("""
+    // key generation: rotate C and D left by SHIFTS_T[r]
+    n = SHIFTS_T[r];
+    for (i = 0; i < 28; i = i + 1) { CT[i] = C[i]; DT[i] = D[i]; }
+    for (i = 0; i < 28; i = i + 1) {
+        j = i + n;
+        if (j >= 28) { j = j - 28; }
+        C[i] = CT[j];
+        D[i] = DT[j];
+    }
+    // subkey selection PC-2: K = PC2(C || D)
+    for (i = 0; i < 48; i = i + 1) {
+        p = PC20[i];
+        if (p < 28) { K[i] = C[p]; } else { K[i] = D[p - 28]; }
+    }
+
+    // right side: f(R, K) = P(S(E(R) (+) K))
+    for (i = 0; i < 48; i = i + 1) { ER[i] = R[E0[i]] ^ K[i]; }
+    base = 0;
+    obase = 0;
+    for (b = 0; b < 8; b = b + 1) {
+        v = (ER[base] << 5) | (ER[base + 1] << 4) | (ER[base + 2] << 3)
+          | (ER[base + 3] << 2) | (ER[base + 4] << 1) | ER[base + 5];
+        s = SBOX_T[(b << 6) | v];
+        SOUT[obase] = (s >> 3) & 1;
+        SOUT[obase + 1] = (s >> 2) & 1;
+        SOUT[obase + 2] = (s >> 1) & 1;
+        SOUT[obase + 3] = s & 1;
+        base = base + 6;
+        obase = obase + 4;
+    }
+    for (i = 0; i < 32; i = i + 1) { FOUT[i] = SOUT[P0[i]]; }
+
+    // left side Lm = Rm-1 and new right side Rm = Lm-1 (+) f
+    for (i = 0; i < 32; i = i + 1) {
+        t = R[i];
+        R[i] = L[i] ^ FOUT[i];
+        L[i] = t;
+    }
+}""")
+        emit("")
+
+    if spec.include_fp:
+        emit("// ---- output inverse permutation: ciphertext = FP(R || L) ----")
+        emit("// Intentionally insecure: it reveals only the output cipher.")
+        marker(mk.M_FP_START)
+        emit("""__insecure {
+    for (i = 0; i < 64; i = i + 1) {
+        p = FP0[i];
+        if (p < 32) { ciphertext[i] = R[p]; } else { ciphertext[i] = L[p - 32]; }
+    }
+}""")
+        marker(mk.M_FP_END)
+    return "\n".join(lines) + "\n"
+
+
+#: Spec for the paper's primary workload.
+FULL_DES = DesProgramSpec()
+#: Spec for the first-round differential figures (Figs. 7-11).
+ROUND1_DES = DesProgramSpec(rounds=1)
+#: Spec for the Fig. 12 overhead window (key permutation only).
+KEYPERM_ONLY = DesProgramSpec(rounds=0, include_ip=False, include_fp=False)

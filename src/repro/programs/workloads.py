@@ -1,0 +1,92 @@
+"""Compiled DES workloads and their input/output encodings.
+
+The generated program stores one DES bit per 32-bit memory word; the
+helpers here convert 64-bit integers to/from that layout and run the
+compiled program functionally for correctness checks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..aes.reference import int_to_state, state_to_int
+from ..des.bitops import bits_to_int, int_to_bits
+from ..lang.compiler import CompileResult, compile_source
+from ..machine.cpu import CPU
+from .aes_source import AesProgramSpec, aes_source
+from .des_source import DesProgramSpec, des_source
+
+
+def key_words(key64: int) -> list[int]:
+    """64-bit key -> 64 words (MSB-first bits) for the ``key`` symbol."""
+    return int_to_bits(key64, 64)
+
+
+def plaintext_words(plaintext64: int) -> list[int]:
+    """64-bit plaintext -> 64 words for the ``plaintext`` symbol."""
+    return int_to_bits(plaintext64, 64)
+
+
+def ciphertext_from_words(words: list[int]) -> int:
+    """64 bit-words read from ``ciphertext`` -> 64-bit integer."""
+    return bits_to_int([w & 1 for w in words])
+
+
+@lru_cache(maxsize=32)
+def compile_des(spec: DesProgramSpec = DesProgramSpec(),
+                masking: str = "selective",
+                optimize: int = 0) -> CompileResult:
+    """Compile (and memoize) a DES program variant.
+
+    ``masking`` is passed to the compiler: "selective" (the paper's
+    scheme), "annotate-only" (no slicing, ablation), or "none" (baseline;
+    also the starting point for the assembly-level whole-program policies).
+    ``optimize`` selects the -O level (0 matches the paper's Figure 4
+    code style and the calibrated experiments).
+    """
+    return compile_source(des_source(spec), masking=masking,
+                          optimize=optimize)
+
+
+def run_des(compiled: CompileResult, key64: int, plaintext64: int,
+            tracker=None, max_cycles: int = 50_000_000) -> CPU:
+    """Execute a compiled DES program on one (key, plaintext) pair."""
+    cpu = CPU(compiled.program, tracker=tracker)
+    cpu.write_symbol_words("key", key_words(key64))
+    cpu.write_symbol_words("plaintext", plaintext_words(plaintext64))
+    cpu.run(max_cycles=max_cycles)
+    return cpu
+
+
+def ciphertext_of(cpu: CPU) -> int:
+    """Read the ciphertext produced by a finished DES run."""
+    return ciphertext_from_words(cpu.read_symbol_words("ciphertext", 64))
+
+
+# ---------------------------------------------------------------------------
+# AES workloads (same secure-instruction scheme, different cipher)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=16)
+def compile_aes(spec: AesProgramSpec = AesProgramSpec(),
+                masking: str = "selective",
+                optimize: int = 0) -> CompileResult:
+    """Compile (and memoize) an AES-128 program variant."""
+    return compile_source(aes_source(spec), masking=masking,
+                          optimize=optimize)
+
+
+def run_aes(compiled: CompileResult, key128: int, plaintext128: int,
+            tracker=None, max_cycles: int = 50_000_000) -> CPU:
+    """Execute a compiled AES program on one (key, plaintext) pair."""
+    cpu = CPU(compiled.program, tracker=tracker)
+    cpu.write_symbol_words("key", int_to_state(key128))
+    cpu.write_symbol_words("plaintext", int_to_state(plaintext128))
+    cpu.run(max_cycles=max_cycles)
+    return cpu
+
+
+def aes_ciphertext_of(cpu: CPU) -> int:
+    """Read the 128-bit ciphertext produced by a finished AES run."""
+    return state_to_int(cpu.read_symbol_words("ciphertext", 16))

@@ -1,0 +1,85 @@
+"""The AES-128 inverse-cipher program on the simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.reference import decrypt_block, encrypt_block, int_to_state
+from repro.programs.aes_source import AesProgramSpec, aes_source
+from repro.programs.markers import M_FP_START, M_KEYPERM_START
+from repro.programs.workloads import aes_ciphertext_of, compile_aes, run_aes
+
+KEY = 0x000102030405060708090a0b0c0d0e0f
+PT = 0x00112233445566778899aabbccddeeff
+
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+def test_decrypt_requires_full_rounds():
+    with pytest.raises(ValueError):
+        AesProgramSpec(rounds=2, decrypt=True)
+
+
+def test_source_has_inverse_tables():
+    source = aes_source(AesProgramSpec(decrypt=True))
+    assert "ISBOX_T[256]" in source
+    assert "ISR_T[16]" in source
+    assert "XT3" in source
+
+
+def test_inverse_cipher_inverts_reference():
+    ciphertext = encrypt_block(PT, KEY)
+    compiled = compile_aes(AesProgramSpec(decrypt=True), masking="none")
+    cpu = run_aes(compiled, KEY, ciphertext)
+    assert aes_ciphertext_of(cpu) == PT
+
+
+def test_masked_inverse_cipher_correct():
+    ciphertext = encrypt_block(PT, KEY)
+    compiled = compile_aes(AesProgramSpec(decrypt=True),
+                           masking="selective")
+    cpu = run_aes(compiled, KEY, ciphertext)
+    assert aes_ciphertext_of(cpu) == PT
+
+
+def test_matches_reference_decrypt_on_arbitrary_block():
+    block = 0xDEADBEEFCAFEF00D0123456789ABCDEF
+    compiled = compile_aes(AesProgramSpec(decrypt=True), masking="none")
+    cpu = run_aes(compiled, KEY, block)
+    assert aes_ciphertext_of(cpu) == decrypt_block(block, KEY)
+
+
+def test_no_secret_branches_in_inv_mixcolumns():
+    compiled = compile_aes(AesProgramSpec(decrypt=True),
+                           masking="selective")
+    assert [d for d in compiled.diagnostics
+            if d.kind == "secret-branch"] == []
+    assert "silw" in compiled.assembly
+
+
+@settings(max_examples=3, deadline=None)
+@given(key=U128, block=U128)
+def test_simulated_roundtrip_property(key, block):
+    encryptor = compile_aes(AesProgramSpec(), masking="selective")
+    decryptor = compile_aes(AesProgramSpec(decrypt=True),
+                            masking="selective")
+    ciphertext = aes_ciphertext_of(run_aes(encryptor, key, block))
+    assert aes_ciphertext_of(run_aes(decryptor, key, ciphertext)) == block
+
+
+def test_masked_decrypt_key_differential_flat():
+    from repro.energy.tracker import EnergyTracker
+
+    compiled = compile_aes(AesProgramSpec(decrypt=True),
+                           masking="selective")
+    traces = []
+    markers = []
+    for key in (KEY, KEY ^ (1 << 127)):
+        tracker = EnergyTracker()
+        cpu = run_aes(compiled, key, PT, tracker=tracker)
+        traces.append(np.asarray(tracker.cycle_energy))
+        markers.append(cpu.pipeline.markers)
+    start = next(c for c, v in markers[0] if v == M_KEYPERM_START)
+    end = next(c for c, v in markers[0] if v == M_FP_START)
+    delta = (traces[0] - traces[1])[start:end]
+    assert np.abs(delta).max() == 0.0

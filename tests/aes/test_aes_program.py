@@ -1,0 +1,98 @@
+"""The generated AES program: correctness and masking on the simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.reference import encrypt_block
+from repro.programs.aes_source import AesProgramSpec, aes_source
+from repro.programs.markers import M_FP_START, M_KEYPERM_START
+from repro.programs.workloads import aes_ciphertext_of, compile_aes, run_aes
+
+KEY = 0x000102030405060708090a0b0c0d0e0f
+PT = 0x00112233445566778899aabbccddeeff
+
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        AesProgramSpec(rounds=0)
+    with pytest.raises(ValueError):
+        AesProgramSpec(rounds=11)
+
+
+def test_source_structure():
+    source = aes_source()
+    assert "secure int key[16];" in source
+    assert "SBOX_T[256]" in source
+    assert "XTIME_T[256]" in source
+    assert "__insecure" in source
+
+
+def test_full_aes_matches_fips():
+    compiled = compile_aes(masking="selective")
+    cpu = run_aes(compiled, KEY, PT)
+    assert aes_ciphertext_of(cpu) == 0x69c4e0d86a7b0430d8cdb78070b4c55a
+
+
+def test_unmasked_aes_matches_fips():
+    compiled = compile_aes(masking="none")
+    cpu = run_aes(compiled, KEY, PT)
+    assert aes_ciphertext_of(cpu) == 0x69c4e0d86a7b0430d8cdb78070b4c55a
+
+
+def test_no_secret_branches():
+    """The XTIME-table formulation must avoid secret-dependent control
+    flow entirely."""
+    compiled = compile_aes(masking="selective")
+    assert [d for d in compiled.diagnostics if d.kind == "secret-branch"] \
+        == []
+
+
+def test_sbox_and_xtime_use_secure_indexing():
+    compiled = compile_aes(masking="selective")
+    assert "silw" in compiled.assembly
+    assert compiled.slice.secure_index_loads
+
+
+@settings(max_examples=5, deadline=None)
+@given(key=U128, plaintext=U128)
+def test_reduced_round_random_property(key, plaintext):
+    compiled = compile_aes(AesProgramSpec(rounds=2), masking="selective")
+    cpu = run_aes(compiled, key, plaintext)
+    assert aes_ciphertext_of(cpu) == encrypt_block(plaintext, key, rounds=2)
+
+
+def test_cycle_alignment_across_keys():
+    compiled = compile_aes(masking="selective")
+    c1 = run_aes(compiled, KEY, PT).cycles
+    c2 = run_aes(compiled, (1 << 128) - 1, PT).cycles
+    assert c1 == c2
+
+
+def _secure_window_diff(masking, key_a, key_b):
+    from repro.energy.tracker import EnergyTracker
+
+    compiled = compile_aes(masking=masking)
+    traces = []
+    markers = []
+    for key in (key_a, key_b):
+        tracker = EnergyTracker()
+        cpu = run_aes(compiled, key, PT, tracker=tracker)
+        traces.append(np.asarray(tracker.cycle_energy))
+        markers.append(cpu.pipeline.markers)
+    start = next(c for c, v in markers[0] if v == M_KEYPERM_START)
+    end = next(c for c, v in markers[0] if v == M_FP_START)
+    return (traces[0] - traces[1])[start:end]
+
+
+def test_masked_aes_key_differential_flat():
+    window = _secure_window_diff("selective", KEY, KEY ^ (1 << 127))
+    assert np.abs(window).max() == 0.0
+
+
+def test_unmasked_aes_leaks():
+    window = _secure_window_diff("none", KEY, KEY ^ (1 << 127))
+    assert np.abs(window).max() > 1.0
+    assert np.count_nonzero(window) > 100

@@ -1,0 +1,77 @@
+"""Reference AES-128 against FIPS-197 vectors and properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.reference import (decrypt_block, encrypt_block, expand_key,
+                                 int_to_state, state_to_int)
+
+U128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+#: (key, plaintext, ciphertext) from FIPS-197 appendices.
+KAT = [
+    (0x000102030405060708090a0b0c0d0e0f,
+     0x00112233445566778899aabbccddeeff,
+     0x69c4e0d86a7b0430d8cdb78070b4c55a),
+    (0x2b7e151628aed2a6abf7158809cf4f3c,
+     0x3243f6a8885a308d313198a2e0370734,
+     0x3925841d02dc09fbdc118597196a0b32),
+]
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", KAT)
+def test_known_answer_encrypt(key, plaintext, ciphertext):
+    assert encrypt_block(plaintext, key) == ciphertext
+
+
+@pytest.mark.parametrize("key,plaintext,ciphertext", KAT)
+def test_known_answer_decrypt(key, plaintext, ciphertext):
+    assert decrypt_block(ciphertext, key) == plaintext
+
+
+def test_key_expansion_fips_example():
+    # FIPS-197 A.1: last round-key word for the 2b7e... key is d014f9a8
+    # c9ee2589 e13f0cc8 b6630ca6.
+    expanded = expand_key(0x2b7e151628aed2a6abf7158809cf4f3c)
+    assert len(expanded) == 176
+    assert expanded[160:] == [0xd0, 0x14, 0xf9, 0xa8, 0xc9, 0xee, 0x25,
+                              0x89, 0xe1, 0x3f, 0x0c, 0xc8, 0xb6, 0x63,
+                              0x0c, 0xa6]
+
+
+def test_state_roundtrip():
+    value = 0x000102030405060708090a0b0c0d0e0f
+    assert state_to_int(int_to_state(value)) == value
+
+
+def test_state_range_check():
+    with pytest.raises(ValueError):
+        int_to_state(1 << 128)
+
+
+def test_rounds_validated():
+    with pytest.raises(ValueError):
+        encrypt_block(0, 0, rounds=0)
+    with pytest.raises(ValueError):
+        decrypt_block(0, 0, rounds=11)
+
+
+@settings(max_examples=20, deadline=None)
+@given(key=U128, plaintext=U128)
+def test_decrypt_inverts_encrypt(key, plaintext):
+    assert decrypt_block(encrypt_block(plaintext, key), key) == plaintext
+
+
+@settings(max_examples=10, deadline=None)
+@given(key=U128, plaintext=U128,
+       rounds=st.integers(min_value=1, max_value=10))
+def test_reduced_rounds_invertible(key, plaintext, rounds):
+    ciphertext = encrypt_block(plaintext, key, rounds=rounds)
+    assert decrypt_block(ciphertext, key, rounds=rounds) == plaintext
+
+
+def test_avalanche():
+    key, plaintext, _ = KAT[0]
+    base = encrypt_block(plaintext, key)
+    flipped = encrypt_block(plaintext ^ 1, key)
+    assert 40 <= bin(base ^ flipped).count("1") <= 88

@@ -1,0 +1,96 @@
+"""AES table algebra: GF(2^8), S-box construction, permutations."""
+
+from hypothesis import given, strategies as st
+
+from repro.aes.tables import (INV_SBOX, INV_SHIFT_ROWS, RCON, SBOX,
+                              SHIFT_ROWS, XTIME, gf_inv, gf_mul)
+
+BYTE = st.integers(min_value=0, max_value=255)
+
+
+def test_sbox_known_values():
+    # FIPS-197 examples.
+    assert SBOX[0x00] == 0x63
+    assert SBOX[0x53] == 0xED
+    assert SBOX[0xFF] == 0x16
+
+
+def test_sbox_is_permutation():
+    assert sorted(SBOX) == list(range(256))
+
+
+def test_inv_sbox_inverts():
+    for value in range(256):
+        assert INV_SBOX[SBOX[value]] == value
+
+
+def test_sbox_has_no_fixed_points():
+    assert all(SBOX[v] != v for v in range(256))
+    # ... and no anti-fixed points.
+    assert all(SBOX[v] != v ^ 0xFF for v in range(256))
+
+
+def test_xtime_matches_gf_mul():
+    for value in range(256):
+        assert XTIME[value] == gf_mul(value, 2)
+
+
+def test_xtime_linearity():
+    for a in (0x03, 0x57, 0x80, 0xFF):
+        for b in (0x01, 0x13, 0xAE):
+            assert XTIME[a ^ b] == XTIME[a] ^ XTIME[b]
+
+
+def test_gf_mul_known():
+    # FIPS-197 example: {57} . {83} = {c1}
+    assert gf_mul(0x57, 0x83) == 0xC1
+    assert gf_mul(0x57, 0x13) == 0xFE
+
+
+def test_gf_mul_identity_and_zero():
+    for value in range(256):
+        assert gf_mul(value, 1) == value
+        assert gf_mul(value, 0) == 0
+
+
+@given(a=BYTE, b=BYTE)
+def test_gf_mul_commutative(a, b):
+    assert gf_mul(a, b) == gf_mul(b, a)
+
+
+@given(a=BYTE, b=BYTE, c=BYTE)
+def test_gf_mul_distributive(a, b, c):
+    assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+@given(a=st.integers(min_value=1, max_value=255))
+def test_gf_inverse_property(a):
+    assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_gf_inv_zero_is_zero():
+    assert gf_inv(0) == 0
+
+
+def test_shift_rows_is_permutation():
+    assert sorted(SHIFT_ROWS) == list(range(16))
+
+
+def test_shift_rows_row_structure():
+    # Row 0 unshifted: positions 0, 4, 8, 12 map to themselves.
+    for column in range(4):
+        assert SHIFT_ROWS[4 * column] == 4 * column
+    # Row 1 shifted by one column.
+    assert SHIFT_ROWS[1] == 5
+
+
+def test_inv_shift_rows_inverts():
+    state = list(range(16))
+    shifted = [state[SHIFT_ROWS[i]] for i in range(16)]
+    back = [shifted[INV_SHIFT_ROWS[i]] for i in range(16)]
+    assert back == state
+
+
+def test_rcon_values():
+    assert RCON == (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B,
+                    0x36)

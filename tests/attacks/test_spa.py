@@ -1,0 +1,73 @@
+"""SPA round detection on synthetic signals."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.spa import analyze, count_rounds, detect_period
+
+
+def synthetic_rounds(n_rounds=16, period=500, preamble=300, noise=0.0,
+                     seed=0):
+    """Preamble + n repetitions of a fixed pattern + small postamble."""
+    rng = np.random.default_rng(seed)
+    pattern = rng.normal(100.0, 20.0, size=period)
+    signal = [rng.normal(150.0, 5.0, size=preamble)]
+    signal.extend([pattern] * n_rounds)
+    signal.append(rng.normal(150.0, 5.0, size=period // 2))
+    trace = np.concatenate(signal)
+    if noise:
+        trace = trace + rng.normal(0, noise, size=trace.size)
+    return trace
+
+
+def test_detect_period_exact():
+    trace = synthetic_rounds(period=500)
+    period, score = detect_period(trace, min_period=100, max_period=2000)
+    assert abs(period - 500) <= 5
+    assert score > 0.5
+
+
+def test_detect_period_with_noise():
+    trace = synthetic_rounds(period=400, noise=5.0)
+    period, _ = detect_period(trace, min_period=100, max_period=2000)
+    assert abs(period - 400) <= 5
+
+
+def test_detect_period_too_short_raises():
+    with pytest.raises(ValueError):
+        detect_period(np.ones(50), min_period=100, max_period=40)
+
+
+def test_count_rounds_exact():
+    trace = synthetic_rounds(n_rounds=16, period=500)
+    rounds, starts = count_rounds(trace, 500, smooth_window=8)
+    assert rounds == 16
+    assert len(starts) == 16
+    gaps = np.diff(starts)
+    assert all(abs(g - 500) <= 5 for g in gaps)
+
+
+def test_count_rounds_other_counts():
+    for n in (4, 9, 12):
+        trace = synthetic_rounds(n_rounds=n, period=300)
+        rounds, _ = count_rounds(trace, 300, smooth_window=8)
+        assert rounds == n, n
+
+
+def test_count_rounds_degenerate_trace():
+    assert count_rounds(np.ones(100), 200) == (0, [])
+
+
+def test_analyze_end_to_end():
+    trace = synthetic_rounds(n_rounds=16, period=450)
+    result = analyze(trace, min_period=100, max_period=2000)
+    assert result.round_count == 16
+    assert abs(result.period - 450) <= 5
+
+
+def test_no_repetition_counts_nothing_at_scale():
+    rng = np.random.default_rng(3)
+    trace = rng.normal(100, 10, size=4000)
+    rounds, _ = count_rounds(trace, 500, smooth_window=8)
+    # Pure noise: the self-matching template yields very few "rounds".
+    assert rounds <= 2

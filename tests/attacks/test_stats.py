@@ -1,0 +1,95 @@
+"""Attack statistics primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.stats import (difference_of_means, max_bias,
+                                 moving_average, signal_to_noise,
+                                 welch_t_statistic)
+
+
+def test_difference_of_means_basic():
+    traces = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]])
+    partition = np.array([0, 0, 1, 1])
+    delta = difference_of_means(traces, partition)
+    assert list(delta) == [4.0, 4.0]
+
+
+def test_difference_of_means_empty_group():
+    traces = np.ones((3, 4))
+    assert list(difference_of_means(traces, np.zeros(3, dtype=int))) == \
+        [0.0] * 4
+
+
+def test_difference_of_means_length_mismatch():
+    with pytest.raises(ValueError):
+        difference_of_means(np.ones((3, 4)), np.array([0, 1]))
+
+
+def test_max_bias():
+    traces = np.array([[0.0, 10.0], [0.0, 0.0]])
+    assert max_bias(traces, np.array([1, 0])) == 10.0
+
+
+def test_welch_t_needs_two_per_group():
+    traces = np.ones((3, 2))
+    assert list(welch_t_statistic(traces, np.array([1, 0, 0]))) == [0.0, 0.0]
+
+
+def test_welch_t_detects_difference():
+    rng = np.random.default_rng(1)
+    group0 = rng.normal(0.0, 0.1, size=(50, 3))
+    group1 = rng.normal(0.0, 0.1, size=(50, 3))
+    group1[:, 1] += 5.0  # big effect at cycle 1
+    traces = np.vstack([group0, group1])
+    partition = np.array([0] * 50 + [1] * 50)
+    t = welch_t_statistic(traces, partition)
+    assert abs(t[1]) > 10
+    assert abs(t[0]) < 4
+
+
+def test_welch_t_zero_variance_is_zero_not_nan():
+    traces = np.ones((6, 2))
+    t = welch_t_statistic(traces, np.array([0, 0, 0, 1, 1, 1]))
+    assert not np.isnan(t).any()
+    assert list(t) == [0.0, 0.0]
+
+
+def test_signal_to_noise_single_class():
+    traces = np.ones((4, 2))
+    assert list(signal_to_noise(traces, np.zeros(4, dtype=int))) == [0.0, 0.0]
+
+
+def test_signal_to_noise_detects_leaky_cycle():
+    rng = np.random.default_rng(2)
+    labels = np.array([0, 1] * 40)
+    traces = rng.normal(0, 0.1, size=(80, 4))
+    traces[:, 2] += labels * 3.0
+    snr = signal_to_noise(traces, labels)
+    assert snr[2] > snr[0]
+    assert snr[2] > 10
+
+
+def test_moving_average_window_one_is_identity():
+    signal = np.array([1.0, 5.0, 3.0])
+    assert list(moving_average(signal, 1)) == [1.0, 5.0, 3.0]
+
+
+def test_moving_average_smooths():
+    signal = np.array([0.0, 10.0, 0.0, 10.0, 0.0, 10.0])
+    smooth = moving_average(signal, 2)
+    assert smooth.var() < signal.var()
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=4,
+                max_size=32))
+def test_difference_of_means_antisymmetric(values):
+    traces = np.array(values, dtype=np.float64).reshape(-1, 1)
+    n = traces.shape[0]
+    partition = np.array([0, 1] * (n // 2) + [0] * (n % 2))
+    if partition.sum() == 0 or partition.sum() == n:
+        return
+    d1 = difference_of_means(traces, partition)
+    d2 = difference_of_means(traces, 1 - partition)
+    assert np.allclose(d1, -d2)

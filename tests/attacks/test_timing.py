@@ -1,0 +1,86 @@
+"""Timing attack on early-exit comparisons (and its defeat)."""
+
+import pytest
+
+from repro.attacks.timing import extract_secret_by_timing, measure_cycles
+from repro.lang.compiler import compile_source
+
+NAIVE_CHECK = """
+int stored[4];
+int guess[4];
+int ok;
+int i;
+
+ok = 1;
+i = 0;
+while (i < 4) {
+    if (stored[i] != guess[i]) {
+        ok = 0;
+        i = 4;
+    }
+    i = i + 1;
+}
+"""
+
+SECURE_CHECK = """
+secure int stored[4];
+int guess[4];
+int ok;
+int diff;
+int i;
+
+diff = 0;
+for (i = 0; i < 4; i = i + 1) {
+    diff = diff | (stored[i] ^ guess[i]);
+}
+__insecure { ok = diff == 0; }
+"""
+
+PIN = [3, 1, 4, 1]
+
+
+def test_oracle_measures_cycles():
+    program = compile_source(NAIVE_CHECK, masking="none").program
+    cycles = measure_cycles(program, "guess", [9, 9, 9, 9],
+                            fixed_inputs={"stored": PIN})
+    assert cycles > 0
+
+
+def test_naive_check_leaks_timing_per_position():
+    program = compile_source(NAIVE_CHECK, masking="none").program
+    wrong_at_0 = measure_cycles(program, "guess", [9, 9, 9, 9],
+                                fixed_inputs={"stored": PIN})
+    wrong_at_1 = measure_cycles(program, "guess", [3, 9, 9, 9],
+                                fixed_inputs={"stored": PIN})
+    wrong_at_2 = measure_cycles(program, "guess", [3, 1, 9, 9],
+                                fixed_inputs={"stored": PIN})
+    assert wrong_at_0 < wrong_at_1 < wrong_at_2
+
+
+def test_timing_attack_extracts_pin_prefix():
+    """Digit-by-digit extraction: 40 oracle calls instead of 10^4."""
+    program = compile_source(NAIVE_CHECK, masking="none").program
+    result = extract_secret_by_timing(program, "guess", positions=4,
+                                      fixed_inputs={"stored": PIN})
+    # The first three digits fall unambiguously; the final digit may tie
+    # (no further loop iterations to expose), which the accept/reject
+    # oracle finishes off in <= 10 more tries.
+    assert result.recovered[:3] == PIN[:3]
+    assert result.measurements <= 40
+
+
+def test_timing_attack_defeated_by_constant_time_check():
+    program = compile_source(SECURE_CHECK, masking="selective").program
+    result = extract_secret_by_timing(program, "guess", positions=4,
+                                      fixed_inputs={"stored": PIN})
+    assert not result.conclusive
+    assert result.recovered[0] is None  # not even one digit
+    assert any("tie" in note for note in result.notes)
+
+
+def test_secure_check_constant_cycles():
+    program = compile_source(SECURE_CHECK, masking="selective").program
+    counts = {measure_cycles(program, "guess", guess,
+                             fixed_inputs={"stored": PIN})
+              for guess in ([0, 0, 0, 0], [3, 0, 0, 0], [3, 1, 4, 0], PIN)}
+    assert len(counts) == 1

@@ -1,0 +1,81 @@
+"""TVLA fixed-vs-random leakage assessment."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dpa import random_plaintexts
+from repro.attacks.tvla import (T_THRESHOLD, TvlaResult, assess_des_program,
+                                fixed_vs_random)
+
+KEY = 0x133457799BBCDFF1
+PT = 0x0123456789ABCDEF
+
+
+def test_identical_sets_pass():
+    traces = np.random.default_rng(0).normal(100, 1, size=(40, 16))
+    result = fixed_vs_random(traces, traces.copy())
+    assert result.passes
+    assert result.max_abs_t < T_THRESHOLD
+
+
+def test_strong_leak_detected():
+    rng = np.random.default_rng(1)
+    fixed = rng.normal(100, 0.5, size=(60, 8))
+    randoms = rng.normal(100, 0.5, size=(60, 8))
+    randoms[:, 3] += 5.0
+    result = fixed_vs_random(fixed, randoms)
+    assert not result.passes
+    assert result.leaky_cycles >= 1
+    assert abs(result.t_statistic[3]) > T_THRESHOLD
+
+
+def test_deterministic_mean_shift_is_definite_leak():
+    """Zero variance in both groups but different means -> |t| = inf."""
+    fixed = np.full((10, 4), 100.0)
+    randoms = np.full((10, 4), 100.0)
+    randoms[:, 2] = 101.0
+    result = fixed_vs_random(fixed, randoms)
+    assert np.isinf(result.t_statistic[2])
+    assert not result.passes
+
+
+def test_misaligned_sets_rejected():
+    with pytest.raises(ValueError):
+        fixed_vs_random(np.ones((4, 5)), np.ones((4, 6)))
+
+
+def test_result_properties():
+    result = TvlaResult(t_statistic=np.array([0.0, 5.0, -6.0]))
+    assert result.max_abs_t == 6.0
+    assert result.leaky_cycles == 2
+    assert not result.passes
+
+
+def test_unmasked_des_fails_tvla(round1_unmasked):
+    from repro.programs.markers import M_KEYPERM_START
+
+    from repro.harness.runner import des_run
+
+    scout = des_run(round1_unmasked.program, KEY, PT)
+    start = scout.trace.marker_cycles(M_KEYPERM_START)[0]
+    result = assess_des_program(
+        round1_unmasked.program, KEY, PT, random_plaintexts(12),
+        window=(start, scout.cycles))
+    assert not result.passes
+    assert result.leaky_cycles > 50
+
+
+def test_masked_des_passes_tvla_in_secured_region(round1_masked):
+    from repro.programs.markers import M_FP_START, M_KEYPERM_START
+
+    from repro.harness.runner import des_run
+
+    scout = des_run(round1_masked.program, KEY, PT)
+    start = scout.trace.marker_cycles(M_KEYPERM_START)[0]
+    end = scout.trace.marker_cycles(M_FP_START)[0]
+    result = assess_des_program(
+        round1_masked.program, KEY, PT, random_plaintexts(12),
+        window=(start, end))
+    assert result.passes
+    # Stronger than the 4.5 threshold: identically zero everywhere.
+    assert result.max_abs_t == 0.0

@@ -1,0 +1,85 @@
+"""Bit-vector helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.des.bitops import (bits_to_int, hamming_weight, int_to_bits,
+                              parity_adjust_key, permute, rotate_left,
+                              xor_bits)
+
+
+def test_int_to_bits_msb_first():
+    assert int_to_bits(0b1010, 4) == [1, 0, 1, 0]
+    assert int_to_bits(1, 4) == [0, 0, 0, 1]
+
+
+def test_int_to_bits_range_check():
+    with pytest.raises(ValueError):
+        int_to_bits(16, 4)
+    with pytest.raises(ValueError):
+        int_to_bits(-1, 4)
+
+
+def test_bits_to_int():
+    assert bits_to_int([1, 0, 1, 0]) == 0b1010
+
+
+def test_bits_to_int_rejects_non_bits():
+    with pytest.raises(ValueError):
+        bits_to_int([0, 2, 1])
+
+
+def test_permute_one_based():
+    assert permute([10, 20, 30], [3, 1, 2]) == [30, 10, 20]
+
+
+def test_xor_bits():
+    assert xor_bits([1, 0, 1], [1, 1, 0]) == [0, 1, 1]
+
+
+def test_xor_bits_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bits([1], [1, 0])
+
+
+def test_rotate_left():
+    assert rotate_left([1, 2, 3, 4], 1) == [2, 3, 4, 1]
+    assert rotate_left([1, 2, 3, 4], 4) == [1, 2, 3, 4]
+    assert rotate_left([1, 2, 3, 4], 6) == [3, 4, 1, 2]
+
+
+def test_hamming_weight():
+    assert hamming_weight(0) == 0
+    assert hamming_weight(0xFF) == 8
+    assert hamming_weight(0x8000_0001) == 2
+
+
+def test_parity_adjust_key_produces_odd_parity():
+    key64 = parity_adjust_key(0x00FFFFFFFFFFFFFF & ((1 << 56) - 1))
+    for byte_index in range(8):
+        byte = (key64 >> (8 * byte_index)) & 0xFF
+        assert bin(byte).count("1") % 2 == 1
+
+
+def test_parity_adjust_rejects_oversized():
+    with pytest.raises(ValueError):
+        parity_adjust_key(1 << 56)
+
+
+@given(value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_bits_roundtrip_property(value):
+    assert bits_to_int(int_to_bits(value, 64)) == value
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=64),
+       amount=st.integers(min_value=0, max_value=128))
+def test_rotate_composition_property(bits, amount):
+    once = rotate_left(bits, amount)
+    assert rotate_left(once, len(bits) - amount % len(bits)) == list(bits)
+
+
+@given(a=st.integers(min_value=0, max_value=(1 << 32) - 1),
+       b=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_xor_bits_matches_int_xor(a, b):
+    result = xor_bits(int_to_bits(a, 32), int_to_bits(b, 32))
+    assert bits_to_int(result) == a ^ b

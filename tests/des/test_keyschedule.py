@@ -1,0 +1,61 @@
+"""Key schedule: known values and structural invariants."""
+
+from repro.des.bitops import bits_to_int
+from repro.des.keyschedule import cd_sequence, key_schedule
+
+KEY = 0x133457799BBCDFF1
+
+
+def test_sixteen_subkeys_of_48_bits():
+    subkeys = key_schedule(KEY)
+    assert len(subkeys) == 16
+    assert all(len(k) == 48 for k in subkeys)
+    assert all(bit in (0, 1) for k in subkeys for bit in k)
+
+
+def test_known_k1():
+    """K1 for the classic FIPS walkthrough key (Stallings example)."""
+    k1 = bits_to_int(key_schedule(KEY)[0])
+    assert k1 == 0b000110_110000_001011_101111_111111_000111_000001_110010
+
+
+def test_known_k16():
+    k16 = bits_to_int(key_schedule(KEY)[15])
+    assert k16 == 0b110010_110011_110110_001011_000011_100001_011111_110101
+
+
+def test_cd_returns_to_start_after_16_rounds():
+    pairs = cd_sequence(KEY)
+    # Total rotation is 28, so C16/D16 equal C0/D0 -- which equals the
+    # PC-1 output. Compare against a fresh PC-1 computation.
+    from repro.des.bitops import int_to_bits, permute
+    from repro.des.tables import PC1
+    cd0 = permute(int_to_bits(KEY, 64), PC1)
+    c16, d16 = pairs[15]
+    assert c16 == cd0[:28]
+    assert d16 == cd0[28:]
+
+
+def test_parity_bits_ignored():
+    """Flipping any parity bit (8, 16, ... 64) leaves subkeys unchanged."""
+    base = key_schedule(KEY)
+    for parity_position in range(8, 65, 8):
+        flipped = KEY ^ (1 << (64 - parity_position))
+        assert key_schedule(flipped) == base
+
+
+def test_key_bit_changes_subkeys():
+    """Flipping a non-parity key bit changes at least one subkey."""
+    base = key_schedule(KEY)
+    flipped = key_schedule(KEY ^ (1 << 63))  # bit 1 (MSB) is a key bit
+    assert flipped != base
+
+
+def test_all_zero_key_gives_all_zero_subkeys():
+    assert all(bits_to_int(k) == 0 for k in key_schedule(0))
+
+
+def test_weak_key_all_ones():
+    # For the all-ones key, every subkey is all ones (a classic weak key).
+    subkeys = key_schedule(0xFFFF_FFFF_FFFF_FFFF)
+    assert all(bits_to_int(k) == (1 << 48) - 1 for k in subkeys)

@@ -1,0 +1,130 @@
+"""DES block modes and Triple DES."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des.modes import (PaddingError, cbc_decrypt, cbc_encrypt,
+                             ecb_decrypt, ecb_encrypt, pkcs7_pad,
+                             pkcs7_unpad, tdes_decrypt_block,
+                             tdes_encrypt_block)
+
+KEY = 0x133457799BBCDFF1
+KEY2 = 0x0E329232EA6D0D73
+IV = 0x0011223344556677
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+DATA = st.binary(min_size=0, max_size=64)
+
+
+class TestPadding:
+    def test_pad_adds_one_to_block_size(self):
+        assert pkcs7_pad(b"") == bytes([8] * 8)
+        assert pkcs7_pad(b"1234567") == b"1234567\x01"
+        assert pkcs7_pad(b"12345678")[-8:] == bytes([8] * 8)
+
+    def test_unpad_roundtrip(self):
+        for length in range(20):
+            data = bytes(range(length))
+            assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_unpad_rejects_bad_length(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"123")
+
+    def test_unpad_rejects_bad_value(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"1234567\x00")
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"1234567\x09")
+
+    def test_unpad_rejects_inconsistent_bytes(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"123456\x01\x02")
+
+
+class TestEcb:
+    def test_roundtrip(self):
+        message = b"attack at dawn"
+        assert ecb_decrypt(ecb_encrypt(message, KEY), KEY) == message
+
+    def test_identical_blocks_leak_in_ecb(self):
+        """The classic ECB weakness (why CBC exists)."""
+        message = b"AAAAAAAA" * 2
+        ciphertext = ecb_encrypt(message, KEY)
+        assert ciphertext[:8] == ciphertext[8:16]
+
+    def test_unaligned_ciphertext_rejected(self):
+        with pytest.raises(PaddingError):
+            ecb_decrypt(b"123", KEY)
+
+    def test_wrong_key_fails_padding_or_garbage(self):
+        ciphertext = ecb_encrypt(b"hello world", KEY)
+        try:
+            result = ecb_decrypt(ciphertext, KEY2)
+        except PaddingError:
+            return
+        assert result != b"hello world"
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=DATA, key=U64)
+    def test_roundtrip_property(self, data, key):
+        assert ecb_decrypt(ecb_encrypt(data, key), key) == data
+
+
+class TestCbc:
+    def test_roundtrip(self):
+        message = b"the quick brown fox jumps"
+        assert cbc_decrypt(cbc_encrypt(message, KEY, IV), KEY, IV) == message
+
+    def test_identical_blocks_hidden_by_chaining(self):
+        message = b"AAAAAAAA" * 2
+        ciphertext = cbc_encrypt(message, KEY, IV)
+        assert ciphertext[:8] != ciphertext[8:16]
+
+    def test_different_iv_different_ciphertext(self):
+        message = b"same message"
+        assert cbc_encrypt(message, KEY, IV) != \
+            cbc_encrypt(message, KEY, IV ^ 1)
+
+    def test_iv_range_checked(self):
+        with pytest.raises(ValueError):
+            cbc_encrypt(b"x", KEY, 1 << 64)
+
+    def test_wrong_iv_corrupts_first_block_only(self):
+        message = b"0123456789ABCDEF"  # two exact blocks + padding block
+        ciphertext = cbc_encrypt(message, KEY, IV)
+        recovered = cbc_decrypt(ciphertext, KEY, IV ^ 0xFF)
+        assert recovered[8:] == message[8:]
+        assert recovered[:8] != message[:8]
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=DATA, key=U64, iv=U64)
+    def test_roundtrip_property(self, data, key, iv):
+        assert cbc_decrypt(cbc_encrypt(data, key, iv), key, iv) == data
+
+
+class TestTripleDes:
+    def test_roundtrip_two_key(self):
+        block = 0x0123456789ABCDEF
+        ciphertext = tdes_encrypt_block(block, KEY, KEY2)
+        assert tdes_decrypt_block(ciphertext, KEY, KEY2) == block
+
+    def test_roundtrip_three_key(self):
+        block = 0x0123456789ABCDEF
+        key3 = 0x5B5A57676A56676E
+        ciphertext = tdes_encrypt_block(block, KEY, KEY2, key3)
+        assert tdes_decrypt_block(ciphertext, KEY, KEY2, key3) == block
+
+    def test_degenerates_to_single_des_with_equal_keys(self):
+        """EDE with k1 == k2 == k3 is plain DES (compatibility mode)."""
+        from repro.des.reference import encrypt_block
+
+        block = 0x0123456789ABCDEF
+        assert tdes_encrypt_block(block, KEY, KEY, KEY) == \
+            encrypt_block(block, KEY)
+
+    @settings(max_examples=10, deadline=None)
+    @given(block=U64, key1=U64, key2=U64)
+    def test_roundtrip_property(self, block, key1, key2):
+        ciphertext = tdes_encrypt_block(block, key1, key2)
+        assert tdes_decrypt_block(ciphertext, key1, key2) == block

@@ -1,0 +1,86 @@
+"""FIPS table invariants."""
+
+from repro.des.tables import (E, FLAT_SBOXES, FP, IP, P, PC1, PC2, SBOXES,
+                              SHIFTS)
+
+
+def test_table_sizes():
+    assert len(IP) == 64
+    assert len(FP) == 64
+    assert len(E) == 48
+    assert len(P) == 32
+    assert len(PC1) == 56
+    assert len(PC2) == 48
+    assert len(SHIFTS) == 16
+    assert len(SBOXES) == 8
+
+
+def test_ip_is_permutation():
+    assert sorted(IP) == list(range(1, 65))
+
+
+def test_fp_inverts_ip():
+    identity = list(range(1, 65))
+    after_ip = [identity[p - 1] for p in IP]
+    after_fp = [after_ip[p - 1] for p in FP]
+    assert after_fp == identity
+
+
+def test_p_is_permutation():
+    assert sorted(P) == list(range(1, 33))
+
+
+def test_e_covers_all_32_bits():
+    assert set(E) == set(range(1, 33))
+
+
+def test_e_duplicates_edge_bits():
+    # E expands 32 -> 48: exactly 16 bits appear twice.
+    from collections import Counter
+    counts = Counter(E)
+    assert sum(1 for c in counts.values() if c == 2) == 16
+
+
+def test_pc1_drops_parity_bits():
+    # Parity bits are 8, 16, ..., 64 and must not appear in PC-1.
+    parity = set(range(8, 65, 8))
+    assert parity.isdisjoint(set(PC1))
+    assert len(set(PC1)) == 56
+
+
+def test_pc2_selects_48_of_56():
+    assert len(set(PC2)) == 48
+    assert all(1 <= p <= 56 for p in PC2)
+
+
+def test_shift_total_is_28():
+    # After 16 rounds the C/D registers return to their initial position.
+    assert sum(SHIFTS) == 28
+
+
+def test_sbox_rows_are_permutations_of_0_15():
+    for box in SBOXES:
+        assert len(box) == 4
+        for row in box:
+            assert sorted(row) == list(range(16))
+
+
+def test_flat_sboxes_match_row_column_lookup():
+    for box_index, box in enumerate(SBOXES):
+        for value in range(64):
+            row = ((value >> 4) & 0b10) | (value & 1)
+            col = (value >> 1) & 0b1111
+            assert FLAT_SBOXES[box_index][value] == box[row][col]
+
+
+def test_flat_sboxes_balanced():
+    # Each 4-bit output appears exactly 4 times per flat S-box.
+    for flat in FLAT_SBOXES:
+        for output in range(16):
+            assert flat.count(output) == 4
+
+
+def test_known_s1_values():
+    # S1(000000) = 14, S1(111111) = 13 (FIPS examples).
+    assert FLAT_SBOXES[0][0] == 14
+    assert FLAT_SBOXES[0][63] == 13

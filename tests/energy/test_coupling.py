@@ -1,0 +1,94 @@
+"""Inter-wire coupling model (the paper's Section 5 limitation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.coupling import (CoupledBusModel, coupling_events_normal,
+                                   coupling_events_secure, interleave_rails)
+from repro.energy.models import BusModel
+
+U32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestInterleave:
+    def test_zero_value_all_true_rails_fall(self):
+        # value 0: every d_k falls (even rail positions).
+        falling = interleave_rails(0)
+        assert falling == 0x5555_5555_5555_5555
+
+    def test_all_ones_all_complement_rails_fall(self):
+        falling = interleave_rails(0xFFFF_FFFF)
+        assert falling == 0xAAAA_AAAA_AAAA_AAAA
+
+    @given(value=U32)
+    def test_exactly_one_rail_per_pair_falls(self, value):
+        falling = interleave_rails(value)
+        for k in range(32):
+            pair = (falling >> (2 * k)) & 0b11
+            assert pair in (0b01, 0b10)
+
+    @given(value=U32)
+    def test_total_falls_always_32(self, value):
+        assert interleave_rails(value).bit_count() == 32
+
+
+class TestCouplingCounts:
+    def test_no_switching_no_events(self):
+        assert coupling_events_normal(0, 0) == 0
+
+    def test_single_line_switch_touches_neighbors(self):
+        # Line 5 rises alone: pairs (4,5) and (5,6) each get one event.
+        assert coupling_events_normal(1 << 5, 0) == 2
+
+    def test_opposite_switch_counts_double(self):
+        # Line 3 rises while line 4 falls: that pair costs 2; the outer
+        # neighbors (2,3) and (4,5) cost 1 each.
+        assert coupling_events_normal(1 << 3, 1 << 4) == 4
+
+    def test_same_direction_no_event_between(self):
+        # Lines 3 and 4 both rise: pair (3,4) is free; outer pairs cost 1.
+        assert coupling_events_normal((1 << 3) | (1 << 4), 0) == 2
+
+    @given(value=U32)
+    def test_secure_events_data_dependent_exists(self, value):
+        events = coupling_events_secure(value)
+        assert 0 <= events <= 63
+
+    def test_secure_events_differ_between_values(self):
+        assert coupling_events_secure(0x0000_0000) != \
+            coupling_events_secure(0x5555_5555)
+
+
+class TestCoupledBusModel:
+    def test_degenerates_to_plain_bus_without_coupling(self):
+        coupled = CoupledBusModel(1.0, 0.0)
+        plain = BusModel(1.0)
+        for value in (0xDEADBEEF, 0, 0xFFFF_FFFF, 0x1234):
+            assert coupled.transfer(value, secure=False) == \
+                plain.transfer(value, secure=False)
+        coupled.reset()
+        plain.reset()
+        for value in (0xABCD, 0x1111):
+            assert coupled.transfer(value, secure=True) == \
+                plain.transfer(value, secure=True)
+
+    def test_secure_no_longer_constant_with_coupling(self):
+        """The Section 5 limitation: dual-rail + coupling leaks."""
+        bus = CoupledBusModel(1.0, 0.5)
+        energies = {bus.transfer(v, secure=True)
+                    for v in (0, 0xFFFF_FFFF, 0xA5A5_A5A5, 0x0F0F_0F0F)}
+        assert len(energies) > 1
+
+    def test_normal_coupling_adds_energy(self):
+        with_coupling = CoupledBusModel(1.0, 0.5)
+        without = CoupledBusModel(1.0, 0.0)
+        v = 0x0000_0010
+        assert with_coupling.transfer(v, secure=False) > \
+            without.transfer(v, secure=False)
+
+    @given(value=U32)
+    def test_secure_energy_bounded(self, value):
+        bus = CoupledBusModel(1.0, 0.25)
+        energy = bus.transfer(value, secure=True)
+        # base 32 events + at most 2 * 63 coupling events * 0.25.
+        assert 32.0 <= energy <= 32.0 + 2 * 63 * 0.25

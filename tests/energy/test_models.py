@@ -1,0 +1,113 @@
+"""Component models: transition sensitivity and secure-mode constancy."""
+
+from hypothesis import given, strategies as st
+
+from repro.energy.models import BusModel, FunctionalUnitModel, LatchModel
+
+U32 = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestBusModel:
+    def test_initial_transfer_counts_set_bits(self):
+        bus = BusModel(event_energy=1.0)
+        assert bus.transfer(0b1011, secure=False) == 3.0
+
+    def test_no_energy_when_value_repeats(self):
+        bus = BusModel(event_energy=1.0)
+        bus.transfer(0xABCD, secure=False)
+        assert bus.transfer(0xABCD, secure=False) == 0.0
+
+    def test_only_rising_edges_cost(self):
+        bus = BusModel(event_energy=1.0)
+        bus.transfer(0b1111, secure=False)
+        # All falling: no charge events.
+        assert bus.transfer(0b0000, secure=False) == 0.0
+        # Now all rising again.
+        assert bus.transfer(0b1111, secure=False) == 4.0
+
+    def test_secure_transfer_constant(self):
+        bus = BusModel(event_energy=1.0, width=32)
+        values = [0, 0xFFFF_FFFF, 0x1, 0xDEAD_BEEF, 0x8000_0000]
+        energies = {bus.transfer(v, secure=True) for v in values}
+        assert energies == {32.0}
+
+    def test_secure_transfer_leaves_precharged_state(self):
+        bus = BusModel(event_energy=1.0)
+        bus.transfer(0xDEAD_BEEF, secure=True)
+        # A following normal transfer starts from all-ones: no rising edges
+        # regardless of the secure value that was transferred.
+        assert bus.transfer(0x1234, secure=False) == 0.0
+
+    def test_reset(self):
+        bus = BusModel(event_energy=1.0)
+        bus.transfer(0xF, secure=False)
+        bus.reset()
+        assert bus.transfer(0xF, secure=False) == 4.0
+
+    @given(a=U32, b=U32)
+    def test_secure_never_depends_on_data(self, a, b):
+        bus1 = BusModel(event_energy=0.5)
+        bus2 = BusModel(event_energy=0.5)
+        assert bus1.transfer(a, secure=True) == \
+            bus2.transfer(b, secure=True)
+
+    @given(prev=U32, cur=U32)
+    def test_normal_energy_is_rising_hamming(self, prev, cur):
+        bus = BusModel(event_energy=1.0)
+        bus.transfer(prev, secure=False)
+        expected = (cur & ~prev).bit_count()
+        assert bus.transfer(cur, secure=False) == float(expected)
+
+
+class TestFunctionalUnitModel:
+    def test_secure_constant(self):
+        unit = FunctionalUnitModel(1.0, 2.0, width=32)
+        e1 = unit.execute(0, 0, 0, secure=True)
+        e2 = unit.execute(0xFFFF_FFFF, 0x1234, 0xFFFF_2222, secure=True)
+        assert e1 == e2 == 64.0
+
+    def test_normal_counts_all_three_ports(self):
+        unit = FunctionalUnitModel(1.0, 2.0)
+        energy = unit.execute(0b1, 0b11, 0b111, secure=False)
+        assert energy == 1 + 2 + 3
+
+    def test_normal_after_secure_independent_of_secret(self):
+        unit1 = FunctionalUnitModel(1.0, 2.0)
+        unit2 = FunctionalUnitModel(1.0, 2.0)
+        unit1.execute(0xAAAA, 0x5555, 0xFFFF, secure=True)
+        unit2.execute(0x1111, 0x2222, 0x3333, secure=True)
+        # Same post-secure op must cost the same in both histories.
+        assert unit1.execute(7, 8, 15, secure=False) == \
+            unit2.execute(7, 8, 15, secure=False)
+
+    @given(a=U32, b=U32, out=U32)
+    def test_secure_property(self, a, b, out):
+        unit = FunctionalUnitModel(0.3, 0.7, width=32)
+        baseline = unit.secure_energy
+        assert unit.execute(a, b, out, secure=True) == baseline
+
+
+class TestLatchModel:
+    def test_fields_counted_separately(self):
+        latch = LatchModel(event_energy=1.0, fields=2)
+        assert latch.latch((0b1, 0b11), secure=False) == 3.0
+
+    def test_hold_costs_nothing(self):
+        latch = LatchModel(event_energy=1.0, fields=1)
+        latch.latch((0xAA,), secure=False)
+        assert latch.latch((0xAA,), secure=False) == 0.0
+
+    def test_secure_constant_per_field(self):
+        latch = LatchModel(event_energy=1.0, fields=3, width=32)
+        assert latch.latch((1, 2, 3), secure=True) == 3 * 32.0
+        assert latch.latch((0xFFFF_FFFF, 0, 0), secure=True) == 3 * 32.0
+
+    def test_secure_leaves_precharged(self):
+        latch = LatchModel(event_energy=1.0, fields=1)
+        latch.latch((0xDEAD,), secure=True)
+        assert latch.latch((0x1234,), secure=False) == 0.0
+
+    @given(values=st.tuples(U32, U32))
+    def test_secure_data_independent(self, values):
+        latch = LatchModel(event_energy=1.0, fields=2)
+        assert latch.latch(values, secure=True) == latch.secure_energy

@@ -1,0 +1,62 @@
+"""Technology parameters and the paper's fixed operating points."""
+
+import pytest
+
+from repro.energy.params import (DEFAULT_PARAMS, EnergyParams,
+                                 single_wire_event_energy)
+
+
+def test_paper_single_wire_example():
+    """The paper: 1 pF at 2.5 V costs 6.25 pJ per charging event."""
+    assert single_wire_event_energy(1.0, 2.5) == pytest.approx(6.25)
+
+
+def test_default_voltage_is_2v5():
+    assert DEFAULT_PARAMS.vdd == 2.5
+
+
+def test_xor_secure_operating_point():
+    """Secure XOR = 32 nodes x c x V^2 = 0.6 pJ (paper Section 4.2)."""
+    constant = DEFAULT_PARAMS.width * DEFAULT_PARAMS.event_energy_xor
+    assert constant == pytest.approx(0.6)
+
+
+def test_xor_normal_operating_point():
+    """Average normal XOR over random data: 24 events x c x V^2 = 0.3 pJ."""
+    average = 24 * DEFAULT_PARAMS.event_energy_xor_static
+    assert average == pytest.approx(0.3)
+
+
+def test_event_energy_properties_consistent():
+    params = DEFAULT_PARAMS
+    v2 = params.vdd ** 2
+    assert params.event_energy_data_bus == pytest.approx(
+        params.c_data_bus * v2)
+    assert params.event_energy_instr_bus == pytest.approx(
+        params.c_instr_bus * v2)
+    assert params.event_energy_latch == pytest.approx(params.c_latch_bit * v2)
+    assert params.event_energy_alu == pytest.approx(params.c_alu_node * v2)
+    assert params.event_energy_shift == pytest.approx(
+        params.c_shift_node * v2)
+
+
+def test_scaled_override():
+    scaled = DEFAULT_PARAMS.scaled(c_data_bus=1.0)
+    assert scaled.c_data_bus == 1.0
+    assert scaled.c_latch_bit == DEFAULT_PARAMS.c_latch_bit
+    # Original is frozen/unchanged.
+    assert DEFAULT_PARAMS.c_data_bus != 1.0
+
+
+def test_params_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_PARAMS.vdd = 3.3
+
+
+def test_all_energies_positive():
+    params = EnergyParams()
+    assert params.e_clock_cycle > 0
+    assert params.e_regfile_port > 0
+    assert params.e_memory_access > 0
+    assert params.e_dummy_load > 0
+    assert params.e_secure_clock > 0

@@ -1,0 +1,110 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SC_SOURCE = """
+secure int k;
+int out;
+out = k ^ 5;
+"""
+
+ASM_SOURCE = """
+.data
+out: .word 0
+.text
+li $t0, 7
+sw $t0, out
+halt
+"""
+
+
+@pytest.fixture
+def sc_file(tmp_path):
+    path = tmp_path / "toy.sc"
+    path.write_text(SC_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "toy.s"
+    path.write_text(ASM_SOURCE)
+    return str(path)
+
+
+def test_compile_to_stdout(sc_file, capsys):
+    assert main(["compile", sc_file]) == 0
+    out = capsys.readouterr()
+    assert "sxori" in out.out or "sxor" in out.out
+    assert "secure" in out.err
+
+
+def test_compile_to_file(sc_file, tmp_path, capsys):
+    output = str(tmp_path / "out.s")
+    assert main(["compile", sc_file, "-o", output]) == 0
+    text = open(output).read()
+    assert ".text" in text
+
+
+def test_compile_optimized(sc_file, capsys):
+    assert main(["compile", sc_file, "-O", "1"]) == 0
+    assert "sxori" in capsys.readouterr().out
+
+
+def test_asm_listing(asm_file, capsys):
+    assert main(["asm", asm_file]) == 0
+    out = capsys.readouterr().out
+    assert "0x00000000" in out
+    assert "halt" in out
+
+
+def test_run_assembly(asm_file, capsys):
+    assert main(["run", asm_file, "--dump", "out"]) == 0
+    out = capsys.readouterr().out
+    assert "cycles:" in out
+    assert "out = [7]" in out
+
+
+def test_run_securec_with_inputs(sc_file, capsys):
+    assert main(["run", sc_file, "--input", "k=3", "--dump", "out"]) == 0
+    out = capsys.readouterr().out
+    assert "out = [6]" in out  # 3 ^ 5
+    assert "secure_retired" in out
+
+
+def test_run_bad_input_spec(sc_file):
+    with pytest.raises(SystemExit):
+        main(["run", sc_file, "--input", "garbage"])
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+    assert "tab1" in out
+    assert "ext-aes" in out
+
+
+def test_experiment_runs_fast_one(capsys):
+    assert main(["experiment", "xor-op"]) == 0
+    out = capsys.readouterr().out
+    assert "normal_mean_pj" in out
+
+
+def test_run_fast_mode(sc_file, capsys):
+    assert main(["run", sc_file, "--fast", "--input", "k=3",
+                 "--dump", "out"]) == 0
+    out = capsys.readouterr().out
+    assert "functional mode" in out
+    assert "out = [6]" in out
+
+
+def test_experiment_json_export(tmp_path, capsys):
+    out = str(tmp_path / "xor.json")
+    assert main(["experiment", "xor-op", "--json", out]) == 0
+    import json
+    data = json.loads(open(out).read())
+    assert data["experiment_id"] == "xor-op"
+    assert abs(data["summary"]["secure_mean_pj"] - 0.6) < 1e-9

@@ -1,0 +1,46 @@
+"""Experiment registry: fast experiments run here; the expensive full
+reproductions live in benchmarks/."""
+
+import pytest
+
+from repro.harness.experiments import (EXPERIMENTS, fig12_masking_overhead,
+                                       run_experiment, xor_unit_energy)
+
+
+def test_registry_covers_all_paper_artifacts():
+    paper = {"fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+             "tab1", "xor-op", "dpa"}
+    ablations = {"ablation-slice", "ablation-components",
+                 "ablation-isolation"}
+    extensions = {"ext-aes", "ext-opt", "ext-coupling", "ext-noise",
+                  "ext-tvla", "ext-sensitivity"}
+    assert paper | ablations | extensions == set(EXPERIMENTS)
+
+
+def test_run_experiment_unknown_id():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_xor_unit_experiment_matches_paper():
+    result = xor_unit_energy(samples=1024)
+    assert result.summary["normal_mean_pj"] == pytest.approx(0.3, abs=0.03)
+    assert result.summary["secure_mean_pj"] == pytest.approx(0.6, abs=1e-9)
+    assert result.summary["secure_std_pj"] == pytest.approx(0.0, abs=1e-9)
+    assert result.summary["cell_constant_after_first_cycle"]
+
+
+def test_fig12_overhead_positive():
+    result = fig12_masking_overhead()
+    assert result.summary["mean_overhead_pj_per_cycle"] > 0
+    assert result.summary["mean_overhead_active_pj"] > \
+        result.summary["mean_overhead_pj_per_cycle"]
+    assert result.summary["window_cycles"] > 100
+    assert "overhead" in result.series
+
+
+def test_experiment_result_fields():
+    result = xor_unit_energy(samples=64)
+    assert result.experiment_id == "xor-op"
+    assert result.title
+    assert isinstance(result.summary, dict)

@@ -1,0 +1,114 @@
+"""Trace and experiment persistence."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dpa import TraceSet
+from repro.energy.trace import EnergyTrace
+from repro.harness.experiments import ExperimentResult
+from repro.harness.io import (experiment_to_dict, load_experiment_json,
+                              load_trace, load_trace_set,
+                              save_experiment_json, save_summary_csv,
+                              save_trace, save_trace_set)
+
+
+def make_trace(with_components=False):
+    components = np.arange(8, dtype=np.float64).reshape(4, 2) \
+        if with_components else None
+    return EnergyTrace(energy=np.array([1.5, 2.5, 3.5, 4.5]),
+                       markers=((1, 10), (3, 20)),
+                       components=components, label="test-trace")
+
+
+def test_trace_roundtrip(tmp_path):
+    path = tmp_path / "trace.npz"
+    original = make_trace()
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.energy, original.energy)
+    assert loaded.markers == original.markers
+    assert loaded.label == original.label
+    assert loaded.components is None
+
+
+def test_trace_roundtrip_with_components(tmp_path):
+    path = tmp_path / "trace.npz"
+    original = make_trace(with_components=True)
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.components, original.components)
+
+
+def test_trace_roundtrip_empty_markers(tmp_path):
+    path = tmp_path / "t.npz"
+    trace = EnergyTrace(energy=np.array([1.0]), markers=())
+    save_trace(trace, path)
+    assert load_trace(path).markers == ()
+
+
+def test_trace_set_roundtrip(tmp_path):
+    path = tmp_path / "set.npz"
+    original = TraceSet(
+        plaintexts=[0x0123456789ABCDEF, (1 << 127) | 5],  # incl. 128-bit
+        traces=np.arange(6, dtype=np.float64).reshape(2, 3),
+        window=(100, 103))
+    save_trace_set(original, path)
+    loaded = load_trace_set(path)
+    assert loaded.plaintexts == original.plaintexts
+    assert np.array_equal(loaded.traces, original.traces)
+    assert loaded.window == original.window
+
+
+def make_result():
+    return ExperimentResult(
+        experiment_id="fig-test", title="A test",
+        summary={"a": 1, "b": 2.5, "flag": True},
+        series={"diff": np.array([0.0, 1.0])},
+        rows=[("x", "1"), ("y", "2")],
+        notes="note")
+
+
+def test_experiment_json_roundtrip(tmp_path):
+    path = tmp_path / "r.json"
+    save_experiment_json(make_result(), path)
+    loaded = load_experiment_json(path)
+    assert loaded["experiment_id"] == "fig-test"
+    assert loaded["summary"]["b"] == 2.5
+    assert loaded["series"]["diff"] == [0.0, 1.0]
+    assert loaded["rows"] == [["x", "1"], ["y", "2"]]
+
+
+def test_experiment_json_without_series(tmp_path):
+    path = tmp_path / "r.json"
+    save_experiment_json(make_result(), path, include_series=False)
+    loaded = load_experiment_json(path)
+    assert "omitted" in loaded["series"]["diff"]
+
+
+def test_experiment_dict_handles_numpy_scalars():
+    result = make_result()
+    result.summary["np_value"] = np.float64(3.25)
+    payload = experiment_to_dict(result)
+    assert payload["summary"]["np_value"] == 3.25
+    assert not isinstance(payload["summary"]["np_value"], np.generic)
+
+
+def test_summary_csv(tmp_path):
+    path = tmp_path / "summary.csv"
+    save_summary_csv([make_result()], path)
+    text = path.read_text()
+    assert "experiment_id,key,value" in text
+    assert "fig-test,a,1" in text
+
+
+def test_real_trace_roundtrip(tmp_path, round1_masked):
+    """A simulator-produced trace survives the save/load cycle intact."""
+    from repro.harness.runner import des_run
+
+    run = des_run(round1_masked.program, 0x133457799BBCDFF1,
+                  0x0123456789ABCDEF)
+    path = tmp_path / "real.npz"
+    save_trace(run.trace, path)
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.energy, run.trace.energy)
+    assert loaded.markers == run.trace.markers

@@ -1,0 +1,67 @@
+"""Report formatting."""
+
+import numpy as np
+
+from repro.harness.report import (ascii_table, series_preview,
+                                  sparkline, summarize_series)
+
+
+def test_ascii_table_alignment():
+    table = ascii_table(["name", "value"], [("x", 1), ("longer", 22)])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert "----" in lines[1]
+    assert len(lines) == 4
+    # Columns align: 'value' header position matches data.
+    assert lines[0].index("value") == lines[2].index("1")
+
+
+def test_ascii_table_empty_rows():
+    table = ascii_table(["a"], [])
+    assert table.splitlines()[0] == "a"
+
+
+def test_series_preview_short():
+    assert series_preview(np.array([1.0, 2.0]), count=5) == "1.0 2.0"
+
+
+def test_series_preview_long_elides():
+    preview = series_preview(np.arange(100, dtype=float), count=3)
+    assert "..." in preview
+    assert "(n=100)" in preview
+
+
+def test_summarize_series():
+    summary = summarize_series(np.array([0.0, 2.0, 4.0]))
+    assert summary["n"] == 3
+    assert summary["mean"] == 2.0
+    assert summary["max"] == 4.0
+    assert summary["min"] == 0.0
+    assert summary["nonzero_fraction"] == 2 / 3
+
+
+def test_summarize_empty():
+    summary = summarize_series(np.array([]))
+    assert summary["n"] == 0
+    assert summary["mean"] == 0.0
+
+
+def test_sparkline_shape_and_range():
+    line = sparkline(np.linspace(0, 1, 200), width=40)
+    assert len(line) == 40
+    assert line[0] == "\u2581"   # lowest block
+    assert line[-1] == "\u2588"  # highest block
+
+
+def test_sparkline_flat_series():
+    line = sparkline(np.ones(10))
+    assert set(line) == {"\u2581"}
+    assert len(line) == 10
+
+
+def test_sparkline_empty():
+    assert sparkline(np.array([])) == ""
+
+
+def test_sparkline_short_series_not_resampled():
+    assert len(sparkline(np.array([1.0, 2.0, 3.0]), width=50)) == 3

@@ -1,0 +1,60 @@
+"""Harness runner: traces, labels, inputs."""
+
+import pytest
+
+from repro.harness.runner import des_run, run_with_trace
+from repro.isa.assembler import assemble
+
+KEY = 0x133457799BBCDFF1
+PT = 0x0123456789ABCDEF
+
+
+def test_run_with_trace_basic():
+    program = assemble("""
+    .data
+    x: .word 0
+    .text
+    lw $t0, x
+    addiu $t0, $t0, 1
+    sw $t0, x
+    halt
+    """)
+    result = run_with_trace(program, inputs={"x": [41]}, label="t")
+    assert result.cpu.read_symbol_words("x", 1) == [42]
+    assert len(result.trace) == result.cycles
+    assert result.total_uj > 0
+    assert result.average_pj > 0
+    assert result.trace.label == "t"
+
+
+def test_trace_markers_propagated():
+    program = assemble("""
+    li $t0, 7
+    li $at, 0xFF00
+    sw $t0, 0($at)
+    halt
+    """)
+    result = run_with_trace(program)
+    assert result.trace.marker_cycles(7)
+
+
+def test_component_collection_optional():
+    program = assemble("nop\nhalt\n")
+    with_components = run_with_trace(program, collect_components=True)
+    without = run_with_trace(program)
+    assert with_components.trace.components is not None
+    assert without.trace.components is None
+
+
+def test_des_run_injects_key_and_plaintext(round1_unmasked):
+    from repro.des.reference import encrypt_block
+    from repro.programs.workloads import ciphertext_from_words
+
+    result = des_run(round1_unmasked.program, KEY, PT)
+    words = result.cpu.read_symbol_words("ciphertext", 64)
+    assert ciphertext_from_words(words) == encrypt_block(PT, KEY, rounds=1)
+
+
+def test_des_run_without_plaintext_symbol(keyperm_unmasked):
+    result = des_run(keyperm_unmasked.program, KEY, PT)
+    assert result.cycles > 0

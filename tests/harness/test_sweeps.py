@@ -1,0 +1,56 @@
+"""Sensitivity-sweep machinery (fast smoke paths; the full sweep runs in
+benchmarks)."""
+
+import pytest
+
+from repro.harness.sweeps import (PolicyMeasurement, SWEEPABLE,
+                                  measure_policies, sensitivity_sweep)
+
+
+def test_unknown_parameter_rejected():
+    with pytest.raises(ValueError):
+        sensitivity_sweep("c_not_a_parameter")
+
+
+def test_measure_policies_ordering():
+    totals = measure_policies(__import__("repro").DEFAULT_PARAMS, rounds=1)
+    assert set(totals) == {"none", "selective", "all-loads-stores", "all"}
+    assert totals["none"] < totals["selective"] \
+        < totals["all-loads-stores"] < totals["all"]
+
+
+def test_single_point_sweep():
+    result = sensitivity_sweep("c_data_bus", factors=(1.0,), rounds=1)
+    assert result.parameter == "c_data_bus"
+    assert len(result.measurements) == 1
+    assert result.always_ordered
+    assert 0 < result.min_saving <= result.max_saving < 1
+
+
+def test_extreme_factor_still_ordered():
+    result = sensitivity_sweep("c_data_bus", factors=(4.0,), rounds=1)
+    assert result.always_ordered
+
+
+def test_policy_measurement_properties():
+    measurement = PolicyMeasurement(factor=1.0, totals_uj={
+        "none": 10.0, "selective": 11.0, "all-loads-stores": 13.0,
+        "all": 18.0})
+    assert measurement.ordering_holds
+    assert measurement.overhead_saving == pytest.approx(1 - 1 / 8)
+
+
+def test_degenerate_measurement():
+    measurement = PolicyMeasurement(factor=1.0, totals_uj={
+        "none": 10.0, "selective": 10.0, "all-loads-stores": 10.0,
+        "all": 10.0})
+    assert not measurement.ordering_holds
+    import math
+    assert math.isnan(measurement.overhead_saving)
+
+
+def test_sweepable_parameters_exist_on_params():
+    from repro import DEFAULT_PARAMS
+
+    for parameter in SWEEPABLE:
+        assert hasattr(DEFAULT_PARAMS, parameter)

@@ -1,0 +1,92 @@
+"""End-to-end stack checks crossing all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (KEY_A, PT_A, MaskingPolicy, apply_policy, ciphertext_of,
+                   compile_des, compile_source, des_run, encrypt_block,
+                   run_to_halt)
+from repro.programs.des_source import DesProgramSpec
+
+
+def test_public_api_quickstart():
+    """The README quickstart must work verbatim."""
+    compiled = compile_des(DesProgramSpec(rounds=1), masking="selective")
+    run = des_run(compiled.program, KEY_A, PT_A)
+    assert run.total_uj > 0
+    assert run.cycles > 0
+
+
+def test_compile_source_to_execution():
+    compiled = compile_source("""
+    secure int key[4];
+    int out;
+    out = (key[0] << 3) | (key[1] << 2) | (key[2] << 1) | key[3];
+    """)
+    cpu = run_to_halt(compiled.program, inputs={"key": [1, 0, 0, 1]})
+    assert cpu.read_symbol_words("out", 1) == [0b1001]
+    assert any(ins.secure for ins in compiled.program.text)
+
+
+def test_all_four_policies_same_ciphertext():
+    spec = DesProgramSpec(rounds=2)
+    base = compile_des(spec, masking="none")
+    expected = encrypt_block(PT_A, KEY_A, rounds=2)
+    programs = [
+        base.program,
+        compile_des(spec, masking="selective").program,
+        compile_des(spec, masking="annotate-only").program,
+        apply_policy(base.program, MaskingPolicy.ALL_LOADS_STORES),
+        apply_policy(base.program, MaskingPolicy.ALL),
+    ]
+    for program in programs:
+        assert ciphertext_of(des_run(program, KEY_A, PT_A).cpu) == expected
+
+
+def test_policy_energy_ordering():
+    """none < selective < all-loads-stores < all, on the same workload."""
+    spec = DesProgramSpec(rounds=1)
+    base = compile_des(spec, masking="none")
+    runs = {
+        "none": des_run(base.program, KEY_A, PT_A),
+        "selective": des_run(compile_des(spec, masking="selective").program,
+                             KEY_A, PT_A),
+        "naive": des_run(apply_policy(base.program,
+                                      MaskingPolicy.ALL_LOADS_STORES),
+                         KEY_A, PT_A),
+        "all": des_run(apply_policy(base.program, MaskingPolicy.ALL),
+                       KEY_A, PT_A),
+    }
+    totals = {name: run.total_uj for name, run in runs.items()}
+    assert totals["none"] < totals["selective"] < totals["naive"] \
+        < totals["all"]
+    # All cycle-aligned.
+    assert len({run.cycles for run in runs.values()}) == 1
+
+
+def test_annotate_only_between_none_and_selective():
+    spec = DesProgramSpec(rounds=1)
+    energies = {}
+    for masking in ("none", "annotate-only", "selective"):
+        compiled = compile_des(spec, masking=masking)
+        energies[masking] = des_run(compiled.program, KEY_A, PT_A).total_uj
+    assert energies["none"] < energies["annotate-only"] \
+        < energies["selective"]
+
+
+def test_trace_phases_cover_run(round1_unmasked):
+    from repro.programs import markers as mk
+
+    run = des_run(round1_unmasked.program, KEY_A, PT_A)
+    trace = run.trace
+    ip = trace.phase(mk.M_IP_START, mk.M_IP_END)
+    keyperm = trace.phase(mk.M_KEYPERM_START, mk.M_KEYPERM_END)
+    assert len(ip) > 100
+    assert len(keyperm) > 100
+    assert ip.total_pj + keyperm.total_pj < trace.total_pj
+
+
+def test_energy_deterministic(round1_masked):
+    a = des_run(round1_masked.program, KEY_A, PT_A)
+    b = des_run(round1_masked.program, KEY_A, PT_A)
+    assert np.array_equal(a.trace.energy, b.trace.energy)

@@ -1,0 +1,147 @@
+"""Instruction metadata: dest/sources, secure aliases, formatting."""
+
+import pytest
+
+from repro.isa.instructions import (Format, Instruction, InstructionError,
+                                    OPCODES, SECURE_ALIASES,
+                                    format_instruction)
+
+
+def test_unknown_opcode_raises():
+    with pytest.raises(InstructionError):
+        Instruction("frobnicate")
+
+
+def test_r3_dest_and_sources():
+    ins = Instruction("addu", rd=3, rs=4, rt=5)
+    assert ins.dest == 3
+    assert ins.sources == (4, 5)
+
+
+def test_shift_immediate_sources():
+    ins = Instruction("sll", rd=2, rt=7, shamt=4)
+    assert ins.dest == 2
+    assert ins.sources == (7,)
+
+
+def test_variable_shift_sources():
+    ins = Instruction("sllv", rd=2, rt=7, rs=9)
+    assert ins.sources == (7, 9)
+
+
+def test_load_dest_sources():
+    ins = Instruction("lw", rt=8, rs=29, imm=4)
+    assert ins.dest == 8
+    assert ins.sources == (29,)
+    assert ins.spec.is_load
+
+
+def test_store_has_no_dest():
+    ins = Instruction("sw", rt=8, rs=29, imm=4)
+    assert ins.dest is None
+    assert ins.sources == (29, 8)
+    assert ins.spec.is_store
+
+
+def test_branch_has_no_dest():
+    ins = Instruction("beq", rs=1, rt=2, target="x")
+    assert ins.dest is None
+    assert ins.sources == (1, 2)
+    assert ins.spec.is_branch
+
+
+def test_branch1_sources():
+    ins = Instruction("blez", rs=9, target="x")
+    assert ins.sources == (9,)
+
+
+def test_jal_writes_ra():
+    assert Instruction("jal", target="f").dest == 31
+
+
+def test_jalr_writes_rd():
+    assert Instruction("jalr", rd=2, rs=9).dest == 2
+
+
+def test_jr_no_dest():
+    assert Instruction("jr", rs=31).dest is None
+
+
+def test_lui_dest():
+    ins = Instruction("lui", rt=5, imm=0x1234)
+    assert ins.dest == 5
+    assert ins.sources == ()
+
+
+def test_halt_flags():
+    ins = Instruction("halt")
+    assert ins.spec.halts
+    assert ins.dest is None
+    assert ins.sources == ()
+
+
+def test_nop_neutral():
+    ins = Instruction("nop")
+    assert ins.dest is None
+    assert ins.sources == ()
+
+
+def test_secure_aliases_map_to_known_opcodes():
+    for alias, base in SECURE_ALIASES.items():
+        assert base in OPCODES, alias
+
+
+def test_with_secure_copies():
+    ins = Instruction("xor", rd=1, rs=2, rt=3)
+    secure = ins.with_secure()
+    assert secure.secure and not ins.secure
+    assert secure.rd == ins.rd
+    assert secure.op == ins.op
+
+
+def test_mnemonic_for_canonical_secure_forms():
+    assert Instruction("lw", rt=1, rs=2, imm=0, secure=True).mnemonic == "slw"
+    assert Instruction("sw", rt=1, rs=2, imm=0, secure=True).mnemonic == "ssw"
+    assert Instruction("xor", rd=1, rs=2, rt=3, secure=True).mnemonic == "sxor"
+    assert Instruction("lwx", rt=1, rs=2, imm=0, secure=True).mnemonic == "silw"
+
+
+def test_mnemonic_generic_secure_prefix():
+    assert Instruction("addu", rd=1, rs=2, rt=3,
+                       secure=True).mnemonic == "s.addu"
+
+
+def test_format_r3():
+    ins = Instruction("addu", rd=2, rs=8, rt=9)
+    assert format_instruction(ins) == "addu $v0,$t0,$t1"
+
+
+def test_format_memory():
+    ins = Instruction("lw", rt=8, rs=29, imm=-4)
+    assert format_instruction(ins) == "lw $t0,-4($sp)"
+
+
+def test_format_secure_memory():
+    ins = Instruction("sw", rt=8, rs=29, imm=0, secure=True)
+    assert format_instruction(ins) == "ssw $t0,0($sp)"
+
+
+def test_indexing_flag():
+    assert OPCODES["lwx"].is_indexing
+    assert not OPCODES["lw"].is_indexing
+
+
+def test_canonical_secure_classes():
+    # The paper's four classes: assignment (load/store), xor, shift, index.
+    for name in ("lw", "sw", "lb", "sb", "xor", "xori", "sll", "srl", "sra",
+                 "sllv", "srlv", "srav", "lwx"):
+        assert OPCODES[name].canonical_secure, name
+    for name in ("addu", "subu", "and", "or", "beq", "j"):
+        assert not OPCODES[name].canonical_secure, name
+
+
+def test_every_format_has_consistent_spec():
+    for name, spec in OPCODES.items():
+        assert spec.name == name
+        if spec.is_load or spec.is_store:
+            assert spec.fmt in (Format.LOAD, Format.STORE)

@@ -1,0 +1,69 @@
+"""Register naming and parsing."""
+
+import pytest
+
+from repro.isa.registers import (NUM_REGISTERS, REGISTER_NAMES, RegisterError,
+                                 parse_register, register_name)
+
+
+def test_register_count():
+    assert NUM_REGISTERS == 32
+    assert len(REGISTER_NAMES) == 32
+
+
+def test_parse_by_name():
+    assert parse_register("$zero") == 0
+    assert parse_register("$at") == 1
+    assert parse_register("$v0") == 2
+    assert parse_register("$a0") == 4
+    assert parse_register("$t0") == 8
+    assert parse_register("$s0") == 16
+    assert parse_register("$t8") == 24
+    assert parse_register("$gp") == 28
+    assert parse_register("$sp") == 29
+    assert parse_register("$fp") == 30
+    assert parse_register("$ra") == 31
+
+
+def test_parse_by_number():
+    for number in range(32):
+        assert parse_register(f"${number}") == number
+
+
+def test_parse_without_dollar():
+    assert parse_register("t0") == 8
+    assert parse_register("5") == 5
+
+
+def test_parse_case_insensitive():
+    assert parse_register("$T0") == 8
+    assert parse_register("$ZERO") == 0
+
+
+def test_parse_s8_alias_for_fp():
+    assert parse_register("$s8") == 30
+
+
+def test_parse_unknown_raises():
+    with pytest.raises(RegisterError):
+        parse_register("$x9")
+    with pytest.raises(RegisterError):
+        parse_register("$32")
+    with pytest.raises(RegisterError):
+        parse_register("")
+
+
+def test_register_name_roundtrip():
+    for number in range(32):
+        assert parse_register(register_name(number)) == number
+
+
+def test_register_name_out_of_range():
+    with pytest.raises(RegisterError):
+        register_name(32)
+    with pytest.raises(RegisterError):
+        register_name(-1)
+
+
+def test_every_name_is_unique():
+    assert len(set(REGISTER_NAMES)) == 32

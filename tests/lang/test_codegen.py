@@ -1,0 +1,155 @@
+"""Code generation: secure selection, data layout, allocation."""
+
+import pytest
+
+from repro.lang.codegen import CodegenOptions
+from repro.lang.compiler import compile_source
+
+
+def asm_of(source, masking="selective", options=None):
+    return compile_source(source, masking=masking, options=options).assembly
+
+
+def test_secure_load_store_selection():
+    asm = asm_of("""
+    secure int k;
+    int x;
+    x = k;
+    """)
+    assert "slw" in asm
+    assert "ssw" in asm
+
+
+def test_secure_xor_selection():
+    asm = asm_of("secure int k; int x; x = k ^ 3;")
+    assert "sxor" in asm
+
+
+def test_secure_shift_selection():
+    asm = asm_of("secure int k; int x; x = k << 2;")
+    assert "ssllv" in asm
+
+
+def test_secure_indexed_load_selection():
+    asm = asm_of("""
+    secure int k;
+    const int table[64] = {7};
+    int out;
+    out = table[k];
+    """)
+    assert "silw" in asm
+    assert "ssll" in asm      # index scaling masked
+    assert "s.addu" in asm    # address formation masked
+
+
+def test_generic_secure_alu():
+    asm = asm_of("secure int k; int x; x = k + 1;")
+    assert "s.addu" in asm
+
+
+def test_generic_secure_alu_can_be_disabled():
+    options = CodegenOptions(secure_tainted_alu=False)
+    asm = asm_of("secure int k; int x; x = k + 1;", options=options)
+    assert "s.addu" not in asm
+    assert "slw" in asm  # loads still secured
+
+
+def test_masking_none_emits_no_secure_ops():
+    asm = asm_of("""
+    secure int k;
+    const int table[64] = {7};
+    int out;
+    out = table[k] ^ k;
+    """, masking="none")
+    for mnemonic in ("slw", "ssw", "sxor", "silw", "s."):
+        assert mnemonic not in asm
+
+
+def test_masking_modes_emit_same_instruction_count():
+    """Policies only flip secure bits, so traces stay cycle-aligned."""
+    source = """
+    secure int k;
+    const int table[64] = {7};
+    int out;
+    int i;
+    for (i = 0; i < 4; i = i + 1) { out = table[k] ^ k; }
+    """
+    lengths = {masking: len(compile_source(source, masking=masking)
+                            .program.text)
+               for masking in ("none", "annotate-only", "selective")}
+    assert len(set(lengths.values())) == 1
+
+
+def test_aligned_array_for_secure_index():
+    result = compile_source("""
+    secure int k;
+    const int table[64] = {1, 2, 3};
+    int out;
+    out = table[k];
+    """)
+    assert ".align 8" in result.assembly  # 64 words = 256 bytes = 2^8
+    base = result.program.address_of("table")
+    assert base % 256 == 0
+
+
+def test_unaligned_when_index_public():
+    result = compile_source("""
+    const int table[64] = {1, 2, 3};
+    int out;
+    int i;
+    out = table[i];
+    """)
+    assert ".align" not in result.assembly
+
+
+def test_data_layout_inits_and_space():
+    result = compile_source("""
+    int a = 7;
+    const int t[3] = {1, 2, 3};
+    int buf[4];
+    a = t[0];
+    """, masking="none")
+    program = result.program
+    assert ".space 16" in result.assembly
+    cpu_words = program.data
+    a_index = (program.address_of("a") - program.data_base) // 4
+    assert cpu_words[a_index] == 7
+
+
+def test_marker_codegen():
+    asm = asm_of("__marker(9);")
+    assert "65280" in asm  # 0xFF00
+
+
+def test_deep_expression_within_register_budget():
+    # 16 nested additions: must allocate without spilling or failing.
+    expr = " + ".join(str(i) for i in range(16))
+    asm = asm_of(f"int x; x = {expr};", masking="none")
+    assert "addu" in asm
+
+
+def test_branch_and_labels_emitted():
+    asm = asm_of("int i; for (i = 0; i < 4; i = i + 1) { }",
+                 masking="none")
+    assert "beq" in asm
+    assert "$Lfor" in asm
+    assert "j $Lfor" in asm
+
+
+def test_halt_emitted_at_end():
+    asm = asm_of("int x; x = 1;", masking="none")
+    assert asm.rstrip().endswith("halt")
+
+
+def test_secure_static_fraction_increases_with_masking():
+    source = """
+    secure int k;
+    int x;
+    int i;
+    for (i = 0; i < 4; i = i + 1) { x = k ^ x; }
+    """
+    none_frac = compile_source(source, masking="none").secure_static_fraction
+    sel_frac = compile_source(source,
+                              masking="selective").secure_static_fraction
+    assert none_frac == 0.0
+    assert sel_frac > 0.0

@@ -1,0 +1,252 @@
+"""Compile-and-run tests: SecureC semantics on the simulated machine.
+
+Includes a property test that generates random expression trees and checks
+the simulated result against direct Python evaluation — the strongest
+correctness check we have on the whole compiler + pipeline stack.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.compiler import compile_source
+from repro.machine.cpu import run_to_halt
+
+WORD = 0xFFFF_FFFF
+
+
+def run(source, masking="selective", inputs=None, out="out", count=1):
+    compiled = compile_source(source, masking=masking)
+    cpu = run_to_halt(compiled.program, inputs=inputs)
+    return cpu.read_symbol_words(out, count)
+
+
+def test_constant_assignment():
+    assert run("int out; out = 42;") == [42]
+
+
+def test_arithmetic():
+    assert run("int out; out = 10 + 5 - 3;") == [12]
+
+
+def test_wrapping_subtraction():
+    assert run("int out; out = 0 - 1;") == [WORD]
+
+
+def test_bitwise_ops():
+    # & binds tighter than ^ binds tighter than | (C-style).
+    assert run("int out; out = (0xF0 | 0x0F) & 0x3C ^ 0xFF;") == \
+        [((0xF0 | 0x0F) & 0x3C) ^ 0xFF]
+    assert run("int out; out = 0xF0 | 0x0F & 0x3C ^ 0xFF;") == \
+        [0xF0 | ((0x0F & 0x3C) ^ 0xFF)]
+
+
+def test_shifts():
+    assert run("int out; out = 1 << 31;") == [0x8000_0000]
+    assert run("int out; out = 0x80000000 >> 31;") == [1]  # logical
+
+
+def test_comparisons():
+    assert run("int out; out = 3 < 5;") == [1]
+    assert run("int out; out = 5 <= 5;") == [1]
+    assert run("int out; out = 5 > 5;") == [0]
+    assert run("int out; out = 5 >= 6;") == [0]
+    assert run("int out; out = 4 == 4;") == [1]
+    assert run("int out; out = 4 != 4;") == [0]
+
+
+def test_logical_ops():
+    assert run("int out; out = 7 && 2;") == [1]
+    assert run("int out; out = 0 && 2;") == [0]
+    assert run("int out; out = 0 || 9;") == [1]
+    assert run("int out; out = 0 || 0;") == [0]
+
+
+def test_unary():
+    assert run("int out; out = -5;") == [(-5) & WORD]
+    assert run("int out; out = ~0;") == [WORD]
+    assert run("int out; out = !3;") == [0]
+    assert run("int out; out = !0;") == [1]
+
+
+def test_if_else():
+    source = """
+    int x = 4;
+    int out;
+    if (x > 3) { out = 1; } else { out = 2; }
+    """
+    assert run(source) == [1]
+
+
+def test_nested_if():
+    source = """
+    int x = 2;
+    int out;
+    if (x == 1) { out = 10; }
+    else if (x == 2) { out = 20; }
+    else { out = 30; }
+    """
+    assert run(source) == [20]
+
+
+def test_while_loop():
+    source = """
+    int out = 0;
+    int i = 0;
+    while (i < 5) { out = out + i; i = i + 1; }
+    """
+    assert run(source) == [10]
+
+
+def test_for_loop_array_sum():
+    source = """
+    const int values[5] = {3, 1, 4, 1, 5};
+    int out = 0;
+    int i;
+    for (i = 0; i < 5; i = i + 1) { out = out + values[i]; }
+    """
+    assert run(source) == [14]
+
+
+def test_array_write_then_read():
+    source = """
+    int buf[8];
+    int out;
+    int i;
+    for (i = 0; i < 8; i = i + 1) { buf[i] = i << 1; }
+    out = buf[5];
+    """
+    assert run(source) == [10]
+
+
+def test_nested_index_expression():
+    source = """
+    const int perm[4] = {2, 0, 3, 1};
+    const int data[4] = {10, 20, 30, 40};
+    int out;
+    out = data[perm[0]];
+    """
+    assert run(source) == [30]
+
+
+def test_inputs_via_symbols():
+    source = """
+    secure int key[4];
+    int out = 0;
+    int i;
+    for (i = 0; i < 4; i = i + 1) { out = (out << 1) | key[i]; }
+    """
+    assert run(source, inputs={"key": [1, 0, 1, 1]}) == [0b1011]
+
+
+def test_masking_does_not_change_results():
+    source = """
+    secure int key[4];
+    const int table[64] = {5, 6, 7, 8};
+    int out;
+    out = table[key[0] + key[1]] ^ key[2];
+    """
+    inputs = {"key": [1, 1, 1, 0]}
+    results = {masking: run(source, masking=masking, inputs=inputs)
+               for masking in ("none", "annotate-only", "selective")}
+    assert len(set(tuple(r) for r in results.values())) == 1
+    assert results["selective"] == [7 ^ 1]
+
+
+def test_insecure_block_execution():
+    source = """
+    secure int k;
+    int out;
+    __insecure { out = k + 1; }
+    """
+    assert run(source, inputs={"k": [9]}) == [10]
+
+
+def test_marker_values_in_order():
+    source = """
+    int i;
+    __marker(1);
+    for (i = 0; i < 3; i = i + 1) { __marker(10 + i); }
+    __marker(2);
+    """
+    compiled = compile_source(source)
+    cpu = run_to_halt(compiled.program)
+    values = [v for _, v in cpu.pipeline.markers]
+    assert values == [1, 10, 11, 12, 2]
+
+
+# ---------------------------------------------------------------------------
+# Property: random expressions match Python evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_expr(node):
+    """Python reference semantics for generated expressions."""
+    kind = node[0]
+    if kind == "lit":
+        return node[1] & WORD
+    a = eval_expr(node[1])
+    if kind == "neg":
+        return (-a) & WORD
+    if kind == "not":
+        return (~a) & WORD
+    b = eval_expr(node[2])
+    if kind == "+":
+        return (a + b) & WORD
+    if kind == "-":
+        return (a - b) & WORD
+    if kind == "&":
+        return a & b
+    if kind == "|":
+        return a | b
+    if kind == "^":
+        return a ^ b
+    if kind == "<<":
+        return (a << (b & 31)) & WORD
+    if kind == ">>":
+        return (a & WORD) >> (b & 31)
+    raise AssertionError(kind)
+
+
+def render(node):
+    kind = node[0]
+    if kind == "lit":
+        return str(node[1])
+    if kind == "neg":
+        return f"(-{render(node[1])})"
+    if kind == "not":
+        return f"(~{render(node[1])})"
+    return f"({render(node[1])} {kind} {render(node[2])})"
+
+
+def exprs(depth):
+    literal = st.tuples(st.just("lit"),
+                        st.integers(min_value=0, max_value=0xFFFF))
+    if depth == 0:
+        return literal
+    sub = exprs(depth - 1)
+    shift_amount = st.tuples(st.just("lit"),
+                             st.integers(min_value=0, max_value=31))
+    return st.one_of(
+        literal,
+        st.tuples(st.sampled_from(["+", "-", "&", "|", "^"]), sub, sub),
+        st.tuples(st.sampled_from(["<<", ">>"]), sub, shift_amount),
+        st.tuples(st.just("neg"), sub),
+        st.tuples(st.just("not"), sub),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=exprs(3))
+def test_random_expressions_match_python(tree):
+    source = f"int out; out = {render(tree)};"
+    assert run(source, masking="none") == [eval_expr(tree)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(tree=exprs(2), key=st.integers(min_value=0, max_value=0xFFFF))
+def test_random_expressions_with_secure_operand(tree, key):
+    """Mixing a secure variable into the expression must not change the
+    computed value, only the instructions selected."""
+    source = f"secure int k; int out; out = ({render(tree)}) ^ k;"
+    expected = eval_expr(tree) ^ key
+    assert run(source, inputs={"k": [key]}) == [expected]

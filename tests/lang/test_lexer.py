@@ -1,0 +1,67 @@
+"""SecureC tokenizer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def toks(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_empty_source_yields_only_eof():
+    tokens = list(tokenize(""))
+    assert tokens == [Token("eof", "", 1)]
+
+
+def test_numbers_decimal_and_hex():
+    assert toks("42 0x2A") == [("number", "42"), ("number", "0x2A")]
+
+
+def test_names_and_keywords():
+    assert toks("int x secure const") == [
+        ("keyword", "int"), ("name", "x"), ("keyword", "secure"),
+        ("keyword", "const")]
+
+
+def test_intrinsics_are_keywords():
+    assert toks("__marker __insecure") == [
+        ("keyword", "__marker"), ("keyword", "__insecure")]
+
+
+def test_multichar_operators_maximal_munch():
+    assert toks("a <<= b") == [("name", "a"), ("op", "<<"), ("op", "="),
+                               ("name", "b")]
+    assert toks("a <= b") == [("name", "a"), ("op", "<="), ("name", "b")]
+    assert toks("a << b") == [("name", "a"), ("op", "<<"), ("name", "b")]
+
+
+def test_line_comments_stripped():
+    assert toks("a // comment\nb") == [("name", "a"), ("name", "b")]
+
+
+def test_block_comments_stripped():
+    assert toks("a /* multi\nline */ b") == [("name", "a"), ("name", "b")]
+
+
+def test_line_numbers_tracked():
+    tokens = list(tokenize("a\nb\n\nc"))
+    lines = {t.text: t.line for t in tokens if t.kind == "name"}
+    assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+def test_line_numbers_after_block_comment():
+    tokens = list(tokenize("/* one\ntwo */ x"))
+    assert [t.line for t in tokens if t.text == "x"] == [2]
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError):
+        list(tokenize("a @ b"))
+
+
+def test_all_operators_recognized():
+    ops = "+ - & | ^ ~ ! < > = ( ) [ ] { } ; , << >> <= >= == != && ||"
+    tokens = toks(ops)
+    assert all(kind == "op" for kind, _ in tokens)
+    assert len(tokens) == len(ops.split())

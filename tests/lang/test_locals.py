@@ -1,0 +1,145 @@
+"""Local (static) declarations inside function bodies."""
+
+import pytest
+
+from repro.lang.compiler import compile_source
+from repro.lang.parser import parse
+from repro.lang.semantics import SemanticError, analyze
+from repro.machine.cpu import run_to_halt
+
+
+def run(source, masking="none", optimize=0, inputs=None, out="out"):
+    compiled = compile_source(source, masking=masking, optimize=optimize)
+    cpu = run_to_halt(compiled.program, inputs=inputs)
+    return cpu.read_symbol_words(out, 1)
+
+
+def test_local_scalar_with_initializer():
+    assert run("""
+    int f(int x) {
+        int t = x + 1;
+        return t << 1;
+    }
+    int out;
+    out = f(4);
+    """) == [10]
+
+
+def test_initializer_runs_every_call():
+    assert run("""
+    int f(int x) {
+        int acc = 0;         // must re-run per call (not once)
+        acc = acc + x;
+        return acc;
+    }
+    int out;
+    out = f(3) + f(4);       // 3 + 4, not 3 + 7
+    """) == [7]
+
+
+def test_local_array():
+    assert run("""
+    int swap_halves(int x) {
+        int buf[2];
+        buf[0] = x & 0xFFFF;
+        buf[1] = x >> 16;
+        return (buf[0] << 16) | buf[1];
+    }
+    int out;
+    out = swap_halves(0x12345678);
+    """) == [0x56781234]
+
+
+def test_locals_isolated_between_functions():
+    assert run("""
+    int f(int x) {
+        int t = x + 1;
+        return t;
+    }
+    int g(int x) {
+        int t = x + 100;     // distinct storage from f's t
+        return t;
+    }
+    int out;
+    out = f(1) + g(1);
+    """) == [2 + 101]
+
+
+def test_local_shadows_global():
+    assert run("""
+    int t = 999;
+    int f(int x) {
+        int t = x;
+        return t + 1;
+    }
+    int out;
+    out = f(5) + t;          // global t untouched
+    """) == [6 + 999]
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(SemanticError):
+        analyze(parse("""
+        int f(int x) {
+            int t;
+            int t;
+            return t;
+        }
+        """))
+
+
+def test_local_conflicting_with_param_rejected():
+    with pytest.raises(SemanticError):
+        analyze(parse("""
+        int f(int x) {
+            int x;
+            return x;
+        }
+        """))
+
+
+def test_local_array_initializer_not_allowed():
+    from repro.lang.parser import ParseError
+
+    with pytest.raises(ParseError):
+        parse("int f(int x) { int a[2] = {1, 2}; return x; }")
+
+
+def test_decl_statement_in_main_nested_block():
+    assert run("""
+    int cond = 1;
+    int out;
+    if (cond) {
+        int t;
+        t = 5;
+        out = t;
+    }
+    """) == [5]
+
+
+def test_taint_through_locals():
+    compiled = compile_source("""
+    secure int k;
+    int out;
+    int f(int x) {
+        int t = x ^ 1;
+        return t;
+    }
+    out = f(k);
+    """, masking="selective")
+    assert "f$t" in compiled.slice.tainted_vars
+    assert "out" in compiled.slice.tainted_vars
+
+
+@pytest.mark.parametrize("optimize", [0, 1, 2])
+def test_locals_at_all_levels(optimize):
+    source = """
+    int poly(int x) {
+        int squareish = (x << 1) + x;
+        int result = squareish + 7;
+        return result;
+    }
+    int out;
+    out = poly(5);
+    """
+    assert run(source, optimize=optimize) == [5 * 3 + 7]

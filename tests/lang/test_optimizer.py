@@ -1,0 +1,245 @@
+"""IR optimizer: folding, identities, DCE, and end-to-end equivalence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.compiler import compile_source
+from repro.lang.ir import Bin, BinOp, Const, LoadVar, StoreVar, Temp
+from repro.lang.lowering import lower
+from repro.lang.optimizer import (eliminate_dead_code, fold_constants,
+                                  optimize)
+from repro.lang.parser import parse
+from repro.lang.semantics import analyze
+from repro.machine.cpu import run_to_halt
+
+
+def ir_of(source):
+    ast = parse(source)
+    table = analyze(ast)
+    return lower(ast, table)
+
+
+def run(source, optimize_level, inputs=None, out="out"):
+    compiled = compile_source(source, masking="none",
+                              optimize=optimize_level)
+    cpu = run_to_halt(compiled.program, inputs=inputs)
+    return cpu.read_symbol_words(out, 1)
+
+
+# -- constant folding -------------------------------------------------------
+
+
+def test_fold_simple_add():
+    code = optimize(ir_of("int x; x = 2 + 3;"))
+    consts = [i for i in code if isinstance(i, Const)]
+    assert [c.value for c in consts] == [5]
+    assert not any(isinstance(i, Bin) for i in code)
+
+
+def test_fold_nested_expression():
+    code = optimize(ir_of("int x; x = (2 + 3) << (1 | 1);"))
+    consts = [i for i in code if isinstance(i, Const)]
+    assert consts[-1].value == 5 << 1
+
+
+def test_fold_wraps_32_bits():
+    code = optimize(ir_of("int x; x = 0xFFFFFFFF + 1;"))
+    consts = [i for i in code if isinstance(i, Const)]
+    assert consts[-1].value == 0
+
+
+def test_fold_comparison():
+    code = optimize(ir_of("int x; x = 3 < 5;"))
+    consts = [i for i in code if isinstance(i, Const)]
+    assert consts[-1].value == 1
+
+
+def test_fold_signed_comparison():
+    code = optimize(ir_of("int x; x = (0 - 1) < 0;"))
+    consts = [i for i in code if isinstance(i, Const)]
+    assert consts[-1].value == 1  # -1 < 0 signed
+
+
+def test_no_fold_through_variables():
+    code = optimize(ir_of("int y; int x; x = y + 3;"))
+    assert any(isinstance(i, Bin) and i.op is BinOp.ADD for i in code)
+
+
+# -- identities --------------------------------------------------------------
+
+
+def test_add_zero_eliminated():
+    code = optimize(ir_of("int y; int x; x = y + 0;"))
+    assert not any(isinstance(i, Bin) for i in code)
+    # The store now references the loaded value directly.
+    load = next(i for i in code if isinstance(i, LoadVar))
+    store = next(i for i in code if isinstance(i, StoreVar))
+    assert store.src == load.dest
+
+
+def test_xor_zero_or_zero_shift_zero():
+    for expr in ("y ^ 0", "y | 0", "y << 0", "y >> 0", "y - 0", "0 + y"):
+        code = optimize(ir_of(f"int y; int x; x = {expr};"))
+        assert not any(isinstance(i, Bin) for i in code), expr
+
+
+def test_sub_from_zero_not_identity():
+    code = optimize(ir_of("int y; int x; x = 0 - y;"))
+    assert any(isinstance(i, Bin) and i.op is BinOp.SUB for i in code)
+
+
+# -- dead code ---------------------------------------------------------------
+
+
+def test_unused_load_removed():
+    code = ir_of("int y; int x; x = 1;")
+    code.insert(0, LoadVar(dest=Temp(999), var="y"))
+    cleaned = eliminate_dead_code(code)
+    assert not any(isinstance(i, LoadVar) for i in cleaned)
+
+
+def test_dce_cascades():
+    # t1 = 1; t2 = t1 + 1; (t2 unused) -> both removed.
+    code = [Const(dest=Temp(1), value=1),
+            Bin(dest=Temp(2), op=BinOp.ADD, a=Temp(1), b=Temp(1))]
+    assert eliminate_dead_code(code) == []
+
+
+def test_stores_never_removed():
+    code = optimize(ir_of("int x; x = 7;"))
+    assert any(isinstance(i, StoreVar) for i in code)
+
+
+# -- codegen immediates ------------------------------------------------------
+
+
+def test_immediate_forms_selected():
+    compiled = compile_source("""
+    int i;
+    int out;
+    out = (i + 1) & 255;
+    """, masking="none", optimize=1)
+    assert "addiu" in compiled.assembly
+    assert "andi" in compiled.assembly
+    assert "li " not in compiled.assembly.replace("li $v0, 65280", "")
+
+
+def test_immediate_shift():
+    compiled = compile_source("int i; int out; out = i << 4;",
+                              masking="none", optimize=1)
+    assert "sll" in compiled.assembly
+    assert "sllv" not in compiled.assembly
+
+
+def test_large_constant_still_materialized():
+    compiled = compile_source("int i; int out; out = i + 100000;",
+                              masking="none", optimize=1)
+    # 100000 does not fit a 16-bit immediate: materialized via li and a
+    # register-form addu.
+    assert "li $t1, 100000" in compiled.assembly
+    assert "addu" in compiled.assembly
+    # The assembled program expands li to lui+ori.
+    assert any(ins.op == "lui" for ins in compiled.program.text)
+
+
+def test_constant_array_index_folds_to_offset():
+    compiled = compile_source("""
+    int a[8];
+    int out;
+    a[3] = 7;
+    out = a[3];
+    """, masking="none", optimize=1)
+    assert "a+12" in compiled.assembly
+    assert "sll $v1" not in compiled.assembly
+
+
+def test_secure_immediates_used_for_tainted_data():
+    compiled = compile_source("""
+    secure int k;
+    int out;
+    out = (k ^ 255) << 2;
+    """, masking="selective", optimize=1)
+    assert "sxori" in compiled.assembly
+    assert "ssll" in compiled.assembly
+
+
+def test_sub_constant_becomes_addiu_negative():
+    compiled = compile_source("int i; int out; out = i - 5;",
+                              masking="none", optimize=1)
+    assert "addiu" in compiled.assembly
+    assert ", -5" in compiled.assembly
+
+
+# -- end-to-end equivalence --------------------------------------------------
+
+
+@pytest.mark.parametrize("level", [1, 2])
+def test_optimized_matches_unoptimized(level):
+    source = """
+    const int t[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+    int acc;
+    int i;
+    int out;
+    acc = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        acc = (acc << 1) ^ t[i] + 0;
+    }
+    out = acc | 0;
+    """
+    assert run(source, level) == run(source, 0)
+
+
+def eval_tree(node):
+    kind = node[0]
+    if kind == "lit":
+        return node[1] & 0xFFFF_FFFF
+    a = eval_tree(node[1])
+    b = eval_tree(node[2])
+    if kind == "+":
+        return (a + b) & 0xFFFF_FFFF
+    if kind == "-":
+        return (a - b) & 0xFFFF_FFFF
+    if kind == "&":
+        return a & b
+    if kind == "|":
+        return a | b
+    if kind == "^":
+        return a ^ b
+    if kind == "<<":
+        return (a << (b & 31)) & 0xFFFF_FFFF
+    return a >> (b & 31)
+
+
+def render(node):
+    if node[0] == "lit":
+        return str(node[1])
+    return f"({render(node[1])} {node[0]} {render(node[2])})"
+
+
+def trees(depth):
+    literal = st.tuples(st.just("lit"),
+                        st.integers(min_value=0, max_value=0xFFFF))
+    if depth == 0:
+        return literal
+    sub = trees(depth - 1)
+    shift = st.tuples(st.just("lit"), st.integers(min_value=0, max_value=31))
+    return st.one_of(
+        literal,
+        st.tuples(st.sampled_from(["+", "-", "&", "|", "^"]), sub, sub),
+        st.tuples(st.sampled_from(["<<", ">>"]), sub, shift))
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree=trees(3), level=st.sampled_from([1, 2]))
+def test_random_expression_equivalence(tree, level):
+    source = f"int out; out = {render(tree)};"
+    assert run(source, level) == [eval_tree(tree)]
+
+
+@settings(max_examples=15, deadline=None)
+@given(tree=trees(2), value=st.integers(min_value=0, max_value=0xFFFF),
+       level=st.sampled_from([1, 2]))
+def test_random_expression_with_variable(tree, value, level):
+    source = f"int v; int out; out = ({render(tree)}) ^ (v + 1);"
+    expected = eval_tree(tree) ^ ((value + 1) & 0xFFFF_FFFF)
+    assert run(source, level, inputs={"v": [value]}) == [expected]

@@ -1,0 +1,167 @@
+"""SecureC parser: declarations, statements, expression precedence."""
+
+import pytest
+
+from repro.lang.ast import (Assign, Binary, For, If, IndexRef, InsecureBlock,
+                            IntLiteral, Marker, Unary, VarRef, While)
+from repro.lang.parser import ParseError, parse
+
+
+def test_scalar_declaration():
+    program = parse("int x;")
+    decl = program.decls[0]
+    assert decl.name == "x"
+    assert decl.size is None
+    assert not decl.secure and not decl.const
+
+
+def test_secure_array_declaration():
+    program = parse("secure int key[64];")
+    decl = program.decls[0]
+    assert decl.secure
+    assert decl.size == 64
+
+
+def test_const_initialized_array():
+    program = parse("const int t[3] = {1, 2, 3};")
+    decl = program.decls[0]
+    assert decl.const
+    assert decl.init == [1, 2, 3]
+
+
+def test_const_without_init_rejected():
+    with pytest.raises(ParseError):
+        parse("const int t[3];")
+
+
+def test_oversized_initializer_rejected():
+    with pytest.raises(ParseError):
+        parse("int t[2] = {1, 2, 3};")
+
+
+def test_scalar_initializer():
+    program = parse("int x = 5;")
+    assert program.decls[0].init == [5]
+
+
+def test_negative_initializer():
+    program = parse("const int t[1] = {-1};")
+    assert program.decls[0].init == [0xFFFF_FFFF]
+
+
+def test_simple_assignment():
+    program = parse("int x; x = 1;")
+    stmt = program.body[0]
+    assert isinstance(stmt, Assign)
+    assert isinstance(stmt.target, VarRef)
+    assert isinstance(stmt.value, IntLiteral)
+
+
+def test_array_assignment():
+    program = parse("int a[4]; int i; a[i] = i;")
+    stmt = program.body[0]
+    assert isinstance(stmt.target, IndexRef)
+
+
+def test_precedence_shift_binds_tighter_than_or():
+    program = parse("int x; x = 1 | 2 << 3;")
+    value = program.body[0].value
+    assert isinstance(value, Binary) and value.op == "|"
+    assert value.right.op == "<<"
+
+
+def test_precedence_xor_between_and_or():
+    value = parse("int x; x = 1 | 2 ^ 3 & 4;").body[0].value
+    assert value.op == "|"
+    assert value.right.op == "^"
+    assert value.right.right.op == "&"
+
+
+def test_comparison_precedence():
+    value = parse("int x; x = 1 + 2 < 3 + 4;").body[0].value
+    assert value.op == "<"
+    assert value.left.op == "+"
+
+
+def test_parentheses_override():
+    value = parse("int x; x = (1 | 2) << 3;").body[0].value
+    assert value.op == "<<"
+    assert value.left.op == "|"
+
+
+def test_unary_operators():
+    value = parse("int x; x = -~!1;").body[0].value
+    assert isinstance(value, Unary) and value.op == "-"
+    assert value.operand.op == "~"
+    assert value.operand.operand.op == "!"
+
+
+def test_if_else_chain():
+    program = parse("""
+    int x;
+    if (x < 1) { x = 1; } else if (x < 2) { x = 2; } else { x = 3; }
+    """)
+    stmt = program.body[0]
+    assert isinstance(stmt, If)
+    nested = stmt.else_body[0]
+    assert isinstance(nested, If)
+    assert len(nested.else_body) == 1
+
+
+def test_if_without_braces():
+    program = parse("int x; if (x) x = 1;")
+    assert len(program.body[0].then_body) == 1
+
+
+def test_while_loop():
+    program = parse("int i; while (i < 10) { i = i + 1; }")
+    assert isinstance(program.body[0], While)
+
+
+def test_for_loop_full():
+    program = parse("int i; int s; for (i = 0; i < 8; i = i + 1) { s = s + i; }")
+    stmt = program.body[0]
+    assert isinstance(stmt, For)
+    assert stmt.init is not None and stmt.cond is not None \
+        and stmt.step is not None
+
+
+def test_for_loop_empty_clauses():
+    program = parse("int i; for (;;) { i = 1; }")
+    stmt = program.body[0]
+    assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+
+def test_marker_statement():
+    program = parse("__marker(7);")
+    assert isinstance(program.body[0], Marker)
+
+
+def test_insecure_block():
+    program = parse("""
+    int x;
+    __insecure {
+        x = 1;
+        x = 2;
+    }
+    """)
+    block = program.body[0]
+    assert isinstance(block, InsecureBlock)
+    assert len(block.body) == 2
+
+
+def test_missing_semicolon_raises():
+    with pytest.raises(ParseError):
+        parse("int x; x = 1")
+
+
+def test_error_includes_line():
+    with pytest.raises(ParseError) as info:
+        parse("int x;\nx = ;")
+    assert "line 2" in str(info.value)
+
+
+def test_decls_interleaved_with_statements():
+    program = parse("int x; x = 1; int y; y = x;")
+    assert len(program.decls) == 2
+    assert len(program.body) == 2

@@ -1,0 +1,220 @@
+"""Statement-level compiler fuzzing.
+
+Generates small structured SecureC programs (assignments, array writes,
+if/else, bounded counting loops) as data, evaluates them with an
+independent Python reference evaluator, and requires the compiled program
+— at every masking mode and optimization level — to compute identical
+final state on the simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang.compiler import compile_source
+from repro.machine.cpu import run_to_halt
+
+WORD = 0xFFFF_FFFF
+SCALARS = ("v0", "v1", "v2", "v3")
+ARRAY = "arr"
+ARRAY_SIZE = 4
+
+# ---------------------------------------------------------------------------
+# Program representation (plain tuples) and reference evaluator
+# ---------------------------------------------------------------------------
+
+
+def eval_expr(node, env):
+    kind = node[0]
+    if kind == "lit":
+        return node[1] & WORD
+    if kind == "var":
+        return env[node[1]]
+    if kind == "arr":
+        index = eval_expr(node[1], env) % ARRAY_SIZE
+        return env[ARRAY][index]
+    a = eval_expr(node[1], env)
+    b = eval_expr(node[2], env)
+    if kind == "+":
+        return (a + b) & WORD
+    if kind == "-":
+        return (a - b) & WORD
+    if kind == "^":
+        return a ^ b
+    if kind == "&":
+        return a & b
+    if kind == "|":
+        return a | b
+    if kind == "<":
+        def signed(x):
+            return x - 0x1_0000_0000 if x & 0x8000_0000 else x
+        return 1 if signed(a) < signed(b) else 0
+    raise AssertionError(kind)
+
+
+def eval_stmt(stmt, env):
+    kind = stmt[0]
+    if kind == "assign":
+        env[stmt[1]] = eval_expr(stmt[2], env)
+    elif kind == "astore":
+        index = eval_expr(stmt[1], env) % ARRAY_SIZE
+        env[ARRAY][index] = eval_expr(stmt[2], env)
+    elif kind == "if":
+        branch = stmt[2] if eval_expr(stmt[1], env) else stmt[3]
+        for child in branch:
+            eval_stmt(child, env)
+    elif kind == "loop":
+        counter, count, body = stmt[1], stmt[2], stmt[3]
+        for value in range(count):
+            env[counter] = value
+            for child in body:
+                eval_stmt(child, env)
+        env[counter] = count
+    else:
+        raise AssertionError(kind)
+
+
+# ---------------------------------------------------------------------------
+# Rendering to SecureC
+# ---------------------------------------------------------------------------
+
+
+def render_expr(node):
+    kind = node[0]
+    if kind == "lit":
+        return str(node[1])
+    if kind == "var":
+        return node[1]
+    if kind == "arr":
+        return f"{ARRAY}[({render_expr(node[1])}) & 3]"
+    return f"(({render_expr(node[1])}) {kind} ({render_expr(node[2])}))"
+
+
+def render_stmt(stmt, indent="    "):
+    kind = stmt[0]
+    if kind == "assign":
+        return [f"{indent}{stmt[1]} = {render_expr(stmt[2])};"]
+    if kind == "astore":
+        return [f"{indent}{ARRAY}[({render_expr(stmt[1])}) & 3] = "
+                f"{render_expr(stmt[2])};"]
+    if kind == "if":
+        lines = [f"{indent}if ({render_expr(stmt[1])}) {{"]
+        for child in stmt[2]:
+            lines.extend(render_stmt(child, indent + "    "))
+        lines.append(f"{indent}}} else {{")
+        for child in stmt[3]:
+            lines.extend(render_stmt(child, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+    if kind == "loop":
+        counter, count, body = stmt[1], stmt[2], stmt[3]
+        lines = [f"{indent}for ({counter} = 0; {counter} < {count}; "
+                 f"{counter} = {counter} + 1) {{"]
+        for child in body:
+            lines.extend(render_stmt(child, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+    raise AssertionError(kind)
+
+
+def render_program(statements):
+    lines = [f"int {name};" for name in SCALARS]
+    lines.append(f"int {ARRAY}[{ARRAY_SIZE}];")
+    lines.append("int loop_i;")
+    lines.append("int loop_j;")
+    for stmt in statements:
+        lines.extend(render_stmt(stmt, ""))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+
+def exprs(depth):
+    leaves = st.one_of(
+        st.tuples(st.just("lit"), st.integers(min_value=0, max_value=0xFFF)),
+        st.tuples(st.just("var"), st.sampled_from(SCALARS)))
+    if depth == 0:
+        return leaves
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.tuples(st.just("arr"), sub),
+        st.tuples(st.sampled_from(["+", "-", "^", "&", "|", "<"]), sub, sub))
+
+
+def stmts(depth):
+    simple = st.one_of(
+        st.tuples(st.just("assign"), st.sampled_from(SCALARS), exprs(2)),
+        st.tuples(st.just("astore"), exprs(1), exprs(2)))
+    if depth == 0:
+        return simple
+    body = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        simple,
+        st.tuples(st.just("if"), exprs(1), body, body),
+        st.tuples(st.just("loop"),
+                  st.sampled_from(["loop_i", "loop_j"]),
+                  st.integers(min_value=1, max_value=3), body))
+
+
+PROGRAMS = st.lists(stmts(2), min_size=1, max_size=5)
+
+
+# ---------------------------------------------------------------------------
+# The differential test
+# ---------------------------------------------------------------------------
+
+
+def _loops_safe(statements) -> bool:
+    """Reject programs whose loop bodies assign their own counter."""
+
+    def body_assigns(body, counter):
+        for stmt in body:
+            if stmt[0] == "assign" and stmt[1] == counter:
+                return True
+            if stmt[0] == "if" and (body_assigns(stmt[2], counter)
+                                    or body_assigns(stmt[3], counter)):
+                return True
+            if stmt[0] == "loop":
+                if stmt[1] == counter or body_assigns(stmt[3], counter):
+                    return True
+        return False
+
+    def check(stmt):
+        if stmt[0] == "loop":
+            if body_assigns(stmt[3], stmt[1]):
+                return False
+            return all(check(s) for s in stmt[3])
+        if stmt[0] == "if":
+            return all(check(s) for s in stmt[2]) \
+                and all(check(s) for s in stmt[3])
+        return True
+
+    return all(check(stmt) for stmt in statements)
+
+
+@settings(max_examples=40, deadline=None)
+@given(statements=PROGRAMS,
+       masking=st.sampled_from(["none", "selective"]),
+       optimize=st.sampled_from([0, 1, 2]))
+def test_random_programs_match_reference(statements, masking, optimize):
+    if not _loops_safe(statements):
+        return  # counters written in their own loop body: skip
+
+    env = {name: 0 for name in SCALARS}
+    env.update({"loop_i": 0, "loop_j": 0, ARRAY: [0] * ARRAY_SIZE})
+    for stmt in statements:
+        eval_stmt(stmt, env)
+
+    source = render_program(statements)
+    compiled = compile_source(source, masking=masking, optimize=optimize)
+    cpu = run_to_halt(compiled.program, max_cycles=2_000_000)
+
+    for name in SCALARS:
+        assert cpu.read_symbol_words(name, 1) == [env[name]], \
+            (name, source)
+    assert cpu.read_symbol_words(ARRAY, ARRAY_SIZE) == env[ARRAY], source

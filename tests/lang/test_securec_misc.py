@@ -1,0 +1,142 @@
+"""Miscellaneous SecureC interactions: intrinsics in functions, nesting."""
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import run_with_trace
+from repro.lang.compiler import compile_source
+from repro.machine.cpu import run_to_halt
+
+
+def run(source, masking="selective", inputs=None, out="out"):
+    compiled = compile_source(source, masking=masking)
+    cpu = run_to_halt(compiled.program, inputs=inputs)
+    return compiled, cpu
+
+
+def test_marker_inside_function():
+    compiled, cpu = run("""
+    int f(int x) {
+        __marker(5);
+        return x + 1;
+    }
+    int out;
+    out = f(1) + f(2);
+    """)
+    values = [v for _, v in cpu.pipeline.markers]
+    assert values == [5, 5]  # once per call
+
+
+def test_insecure_block_inside_function():
+    compiled, cpu = run("""
+    secure int k;
+    int out;
+    int reveal(int x) {
+        __insecure { return x; }
+    }
+    out = reveal(k);
+    """, inputs={"k": [7]})
+    assert cpu.read_symbol_words("out", 1) == [7]
+    # The declassified return path stays insecure despite tainted data...
+    assert "out" in compiled.slice.tainted_vars
+
+
+def test_insecure_block_inside_loop():
+    compiled, cpu = run("""
+    secure int k;
+    int trace_out[4];
+    int t;
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        t = k ^ i;
+        __insecure { trace_out[i] = t & 1; }
+    }
+    """, inputs={"k": [6]})
+    assert cpu.read_symbol_words("trace_out", 4) == [0, 1, 0, 1]
+
+
+def test_const_table_lookup_inside_function():
+    compiled, cpu = run("""
+    secure int k;
+    const int T[8] = {9, 8, 7, 6, 5, 4, 3, 2};
+    int out;
+    int lookup(int x) {
+        return T[x & 7];
+    }
+    out = lookup(k);
+    """, inputs={"k": [3]})
+    assert cpu.read_symbol_words("out", 1) == [6]
+    assert "silw" in compiled.assembly  # secret-derived index in a function
+
+
+def test_function_called_from_if_and_loop():
+    _, cpu = run("""
+    int calls;
+    int bump(int x) {
+        calls = calls + 1;
+        return x;
+    }
+    int out;
+    int i;
+    for (i = 0; i < 3; i = i + 1) {
+        if (i < 2) { out = out + bump(i); }
+    }
+    """, masking="none")
+    assert cpu.read_symbol_words("calls", 1) == [2]
+    assert cpu.read_symbol_words("out", 1) == [1]
+
+
+def test_nested_insecure_blocks():
+    compiled, cpu = run("""
+    secure int k;
+    int out;
+    __insecure {
+        __insecure { out = k; }
+        out = out + k;
+    }
+    """, inputs={"k": [5]})
+    assert cpu.read_symbol_words("out", 1) == [10]
+    # Everything in the region compiled insecure.
+    assert "slw" not in compiled.assembly
+
+
+def test_marker_with_computed_value():
+    _, cpu = run("""
+    int i;
+    for (i = 0; i < 3; i = i + 1) { __marker(100 + (i << 1)); }
+    """, masking="none")
+    assert [v for _, v in cpu.pipeline.markers] == [100, 102, 104]
+
+
+def test_function_result_feeding_array_index():
+    compiled, cpu = run("""
+    secure int k;
+    const int T[16] = {0, 10, 20, 30, 40, 50, 60, 70,
+                       80, 90, 100, 110, 120, 130, 140, 150};
+    int pick(int x) { return x & 15; }
+    int out;
+    out = T[pick(k)];
+    """, inputs={"k": [7]})
+    assert cpu.read_symbol_words("out", 1) == [70]
+    assert "silw" in compiled.assembly
+
+
+def test_masking_flat_through_function_and_insecure_mix():
+    source = """
+    secure int k;
+    int out;
+    int white(int x) { return (x ^ 0x33) << 1; }
+    __marker(1);
+    out = white(k) ^ white(k ^ 0xFF);
+    __marker(2);
+    __insecure { out = out & 0xFF; }
+    """
+    compiled = compile_source(source, masking="selective")
+    traces = []
+    for key in (0x00, 0xC3):
+        result = run_with_trace(compiled.program, inputs={"k": [key]})
+        traces.append(result.trace)
+    diff = traces[0].diff(traces[1])
+    start = traces[0].marker_cycles(1)[0]
+    end = traces[0].marker_cycles(2)[0]
+    assert np.abs(diff[start:end]).max() == 0.0

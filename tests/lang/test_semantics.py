@@ -1,0 +1,86 @@
+"""Semantic analysis: name/type errors and symbol table contents."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.lang.semantics import SemanticError, analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def test_symbol_table_contents():
+    table = check("secure int key[64]; const int t[2] = {1, 2}; int x;")
+    key = table.lookup("key", 0)
+    assert key.is_array and key.secure and key.size == 64
+    t = table.lookup("t", 0)
+    assert t.const and t.init == [1, 2]
+    x = table.lookup("x", 0)
+    assert not x.is_array and x.size == 1
+
+
+def test_secure_seeds():
+    table = check("secure int k[8]; secure int s; int x;")
+    assert sorted(table.secure_seeds()) == ["k", "s"]
+
+
+def test_duplicate_declaration():
+    with pytest.raises(SemanticError):
+        check("int x; int x;")
+
+
+def test_undeclared_variable():
+    with pytest.raises(SemanticError):
+        check("int x; x = y;")
+
+
+def test_array_used_without_index():
+    with pytest.raises(SemanticError):
+        check("int a[4]; int x; x = a;")
+
+
+def test_scalar_indexed():
+    with pytest.raises(SemanticError):
+        check("int x; int y; y = x[0];")
+
+
+def test_assign_whole_array():
+    with pytest.raises(SemanticError):
+        check("int a[4]; a = 1;")
+
+
+def test_assign_to_const():
+    with pytest.raises(SemanticError):
+        check("const int t[1] = {5}; t[0] = 1;")
+
+
+def test_assign_to_const_scalar():
+    with pytest.raises(SemanticError):
+        check("const int c = 5; c = 1;")
+
+
+def test_literal_out_of_range():
+    with pytest.raises(SemanticError):
+        check("int x; x = 4294967296;")
+
+
+def test_array_size_inferred_from_init():
+    table = check("int t[4] = {9, 9}; ")
+    assert table.lookup("t", 0).size == 4
+
+
+def test_errors_in_nested_statements_found():
+    with pytest.raises(SemanticError):
+        check("int i; for (i = 0; i < 4; i = i + 1) { undeclared = 1; }")
+    with pytest.raises(SemanticError):
+        check("int x; if (x) { x = bad; }")
+    with pytest.raises(SemanticError):
+        check("int x; while (x) { y = 1; }")
+    with pytest.raises(SemanticError):
+        check("__insecure { z = 1; }")
+
+
+def test_marker_expression_checked():
+    with pytest.raises(SemanticError):
+        check("__marker(nothere);")

@@ -1,0 +1,197 @@
+"""Forward slicing: taint propagation, index taint, diagnostics."""
+
+from repro.lang.ir import Bin, LoadArr, LoadVar, StoreArr, StoreVar
+from repro.lang.lowering import lower
+from repro.lang.parser import parse
+from repro.lang.semantics import analyze
+from repro.lang.slicing import ForwardSlicer
+
+
+def run_slice(source, propagate=True):
+    ast = parse(source)
+    table = analyze(ast)
+    code = lower(ast, table)
+    result = ForwardSlicer(code, table, propagate=propagate).run()
+    return code, result
+
+
+def test_seed_itself_tainted():
+    _, result = run_slice("secure int k; int x; x = k;")
+    assert "k" in result.tainted_vars
+    assert "x" in result.tainted_vars
+
+
+def test_untouched_var_not_tainted():
+    _, result = run_slice("secure int k; int x; int y; x = k; y = 3;")
+    assert "y" not in result.tainted_vars
+
+
+def test_transitive_propagation():
+    _, result = run_slice("""
+    secure int k;
+    int a; int b; int c;
+    a = k ^ 1;
+    b = a + 2;
+    c = b << 1;
+    """)
+    assert {"a", "b", "c"} <= result.tainted_vars
+
+
+def test_propagation_through_array():
+    _, result = run_slice("""
+    secure int k;
+    int buf[4];
+    int out;
+    buf[0] = k;
+    out = buf[3];
+    """)
+    assert "buf" in result.tainted_vars
+    assert "out" in result.tainted_vars
+
+
+def test_backward_flow_requires_fixpoint():
+    """A later store taints an array read earlier in program order (the
+    loop makes the early read see the late write)."""
+    _, result = run_slice("""
+    secure int k;
+    int buf[4];
+    int out;
+    int i;
+    for (i = 0; i < 2; i = i + 1) {
+        out = buf[0];
+        buf[0] = k;
+    }
+    """)
+    assert "out" in result.tainted_vars
+    assert result.passes >= 2
+
+
+def test_critical_instructions_classified():
+    code, result = run_slice("""
+    secure int k;
+    int x;
+    int y;
+    x = k ^ 1;
+    y = 5;
+    """)
+    critical_kinds = {type(code[i]).__name__ for i in result.critical}
+    assert "LoadVar" in critical_kinds   # load of k
+    assert "Bin" in critical_kinds       # the xor
+    assert "StoreVar" in critical_kinds  # store of x
+    # The clean statement's instructions are not critical.
+    clean_stores = [i for i, instr in enumerate(code)
+                    if isinstance(instr, StoreVar) and instr.var == "y"]
+    assert all(i not in result.critical for i in clean_stores)
+
+
+def test_secret_index_flags_secure_indexed_load():
+    code, result = run_slice("""
+    secure int k;
+    const int table[4] = {1, 2, 3, 4};
+    int out;
+    out = table[k];
+    """)
+    assert len(result.secure_index_loads) == 1
+    position = next(iter(result.secure_index_loads))
+    assert isinstance(code[position], LoadArr)
+    assert code[position].secure_index
+    # Loaded value is tainted even though the table is public.
+    assert "out" in result.tainted_vars
+
+
+def test_public_index_no_secure_indexing():
+    _, result = run_slice("""
+    secure int k;
+    const int table[4] = {1, 2, 3, 4};
+    int out;
+    int i;
+    out = table[i];
+    """)
+    assert not result.secure_index_loads
+
+
+def test_secret_branch_diagnostic():
+    _, result = run_slice("""
+    secure int k;
+    int x;
+    if (k) { x = 1; }
+    """)
+    kinds = [d.kind for d in result.diagnostics]
+    assert "secret-branch" in kinds
+
+
+def test_secret_store_index_diagnostic():
+    _, result = run_slice("""
+    secure int k;
+    int buf[64];
+    buf[k] = 1;
+    """)
+    kinds = [d.kind for d in result.diagnostics]
+    assert "secret-store-index" in kinds
+
+
+def test_no_diagnostics_for_clean_des_style_code():
+    _, result = run_slice("""
+    secure int key[8];
+    int c[8];
+    int i;
+    for (i = 0; i < 8; i = i + 1) { c[i] = key[i]; }
+    """)
+    assert result.diagnostics == []
+
+
+def test_annotate_only_mode_misses_indirect():
+    source = """
+    secure int k;
+    int a; int b;
+    a = k;
+    b = a;
+    """
+    code, sliced = run_slice(source)
+    code2, direct = run_slice(source, propagate=False)
+    # Sliced: both stores critical. Annotate-only: only the k load.
+    sliced_stores = sum(1 for i in sliced.critical
+                        if isinstance(code[i], StoreVar))
+    direct_stores = sum(1 for i in direct.critical
+                        if isinstance(code2[i], StoreVar))
+    assert sliced_stores == 2
+    assert direct_stores == 0
+    direct_loads = [code2[i] for i in direct.critical
+                    if isinstance(code2[i], LoadVar)]
+    assert [ld.var for ld in direct_loads] == ["k"]
+
+
+def test_declassified_instructions_never_critical():
+    code, result = run_slice("""
+    secure int k;
+    int out;
+    __insecure { out = k; }
+    """)
+    assert result.critical == frozenset()
+    # Taint still propagates through the declassified region.
+    assert "out" in result.tainted_vars
+
+
+def test_const_never_tainted():
+    code, result = run_slice("secure int k; int x; x = k; x = 5;")
+    from repro.lang.ir import Const
+    const_positions = [i for i, instr in enumerate(code)
+                       if isinstance(instr, Const)]
+    assert all(i not in result.critical for i in const_positions)
+
+
+def test_cfg_edges_reported():
+    _, result = run_slice("""
+    secure int k;
+    int i; int x;
+    for (i = 0; i < 4; i = i + 1) { x = k; }
+    """)
+    assert result.cfg_edges > 0
+
+
+def test_extra_seeds():
+    ast = parse("int a; int b; b = a;")
+    table = analyze(ast)
+    code = lower(ast, table)
+    result = ForwardSlicer(code, table).run(extra_seeds=frozenset({"a"}))
+    assert "b" in result.tainted_vars

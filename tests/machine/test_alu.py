@@ -1,0 +1,88 @@
+"""ALU semantics vs. Python reference, including signedness edge cases."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import AluOp
+from repro.machine.alu import alu_execute
+
+WORD = 0xFFFF_FFFF
+U32 = st.integers(min_value=0, max_value=WORD)
+
+
+def signed(x):
+    return x - 0x1_0000_0000 if x & 0x8000_0000 else x
+
+
+def test_add_wraps():
+    assert alu_execute(AluOp.ADD, WORD, 1) == 0
+
+
+def test_sub_wraps():
+    assert alu_execute(AluOp.SUB, 0, 1) == WORD
+
+
+def test_logic_ops():
+    assert alu_execute(AluOp.AND, 0xF0F0, 0x0FF0) == 0x00F0
+    assert alu_execute(AluOp.OR, 0xF000, 0x000F) == 0xF00F
+    assert alu_execute(AluOp.XOR, 0xFFFF, 0x0F0F) == 0xF0F0
+    assert alu_execute(AluOp.NOR, 0, 0) == WORD
+
+
+def test_slt_signed():
+    assert alu_execute(AluOp.SLT, 0xFFFF_FFFF, 0) == 1  # -1 < 0
+    assert alu_execute(AluOp.SLT, 0, 0xFFFF_FFFF) == 0
+    assert alu_execute(AluOp.SLT, 5, 5) == 0
+
+
+def test_sltu_unsigned():
+    assert alu_execute(AluOp.SLTU, 0xFFFF_FFFF, 0) == 0
+    assert alu_execute(AluOp.SLTU, 0, 0xFFFF_FFFF) == 1
+
+
+def test_shifts():
+    assert alu_execute(AluOp.SLL, 1, 31) == 0x8000_0000
+    assert alu_execute(AluOp.SRL, 0x8000_0000, 31) == 1
+    assert alu_execute(AluOp.SRA, 0x8000_0000, 31) == WORD
+
+
+def test_shift_amount_masked_to_5_bits():
+    assert alu_execute(AluOp.SLL, 1, 32) == 1
+    assert alu_execute(AluOp.SRL, 2, 33) == 1
+
+
+def test_lui():
+    assert alu_execute(AluOp.LUI, 0, 0x1234) == 0x1234_0000
+
+
+def test_pass_a():
+    assert alu_execute(AluOp.PASS_A, 0xABCD, 99) == 0xABCD
+
+
+def test_none_returns_zero():
+    assert alu_execute(AluOp.NONE, 5, 6) == 0
+
+
+@given(a=U32, b=U32)
+def test_add_matches_python(a, b):
+    assert alu_execute(AluOp.ADD, a, b) == (a + b) & WORD
+
+
+@given(a=U32, b=U32)
+def test_sub_matches_python(a, b):
+    assert alu_execute(AluOp.SUB, a, b) == (a - b) & WORD
+
+
+@given(a=U32, b=U32)
+def test_xor_matches_python(a, b):
+    assert alu_execute(AluOp.XOR, a, b) == a ^ b
+
+
+@given(a=U32, b=U32)
+def test_slt_matches_python(a, b):
+    assert alu_execute(AluOp.SLT, a, b) == (1 if signed(a) < signed(b) else 0)
+
+
+@given(a=U32, shamt=st.integers(min_value=0, max_value=31))
+def test_sra_matches_python(a, shamt):
+    assert alu_execute(AluOp.SRA, a, shamt) == (signed(a) >> shamt) & WORD

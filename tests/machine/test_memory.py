@@ -1,0 +1,98 @@
+"""Memory: word/byte semantics, alignment, images."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.exceptions import MemoryError_
+from repro.machine.memory import Memory
+
+
+def test_uninitialized_reads_zero():
+    assert Memory().read_word(0x1000) == 0
+    assert Memory().read_byte(0x1003) == 0
+
+
+def test_word_write_read():
+    memory = Memory()
+    memory.write_word(0x20, 0xDEADBEEF)
+    assert memory.read_word(0x20) == 0xDEADBEEF
+
+
+def test_word_write_masks_to_32_bits():
+    memory = Memory()
+    memory.write_word(0, 0x1_2345_6789)
+    assert memory.read_word(0) == 0x2345_6789
+
+
+def test_unaligned_word_access_raises():
+    memory = Memory()
+    with pytest.raises(MemoryError_):
+        memory.read_word(2)
+    with pytest.raises(MemoryError_):
+        memory.write_word(1, 0)
+
+
+def test_byte_within_word_little_endian():
+    memory = Memory()
+    memory.write_word(0x40, 0x44332211)
+    assert memory.read_byte(0x40) == 0x11
+    assert memory.read_byte(0x41) == 0x22
+    assert memory.read_byte(0x42) == 0x33
+    assert memory.read_byte(0x43) == 0x44
+
+
+def test_byte_write_preserves_other_bytes():
+    memory = Memory()
+    memory.write_word(0x40, 0x44332211)
+    memory.write_byte(0x41, 0xAA)
+    assert memory.read_word(0x40) == 0x4433AA11
+
+
+def test_load_image():
+    memory = Memory()
+    memory.load_image(0x100, [1, 2, 3])
+    assert memory.read_words(0x100, 3) == [1, 2, 3]
+
+
+def test_load_image_unaligned_raises():
+    with pytest.raises(MemoryError_):
+        Memory().load_image(0x101, [1])
+
+
+def test_write_words_read_words():
+    memory = Memory()
+    memory.write_words(0x200, [10, 20, 30])
+    assert memory.read_words(0x200, 3) == [10, 20, 30]
+
+
+def test_contains():
+    memory = Memory()
+    assert 0x30 not in memory
+    memory.write_word(0x30, 5)
+    assert 0x30 in memory
+
+
+def test_clear():
+    memory = Memory()
+    memory.write_word(0, 1)
+    memory.clear()
+    assert memory.read_word(0) == 0
+
+
+@given(address=st.integers(min_value=0, max_value=0xFFFF).map(lambda a: a * 4),
+       value=st.integers(min_value=0, max_value=0xFFFF_FFFF))
+def test_word_roundtrip_property(address, value):
+    memory = Memory()
+    memory.write_word(address, value)
+    assert memory.read_word(address) == value
+
+
+@given(base=st.integers(min_value=0, max_value=0xFFF).map(lambda a: a * 4),
+       data=st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                     max_size=16))
+def test_byte_roundtrip_property(base, data):
+    memory = Memory()
+    for offset, byte in enumerate(data):
+        memory.write_byte(base + offset, byte)
+    for offset, byte in enumerate(data):
+        assert memory.read_byte(base + offset) == byte

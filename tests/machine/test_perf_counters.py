@@ -1,0 +1,89 @@
+"""Pipeline performance counters."""
+
+from repro.isa.assembler import assemble
+from repro.machine.cpu import run_to_halt
+
+
+def stats_of(source, inputs=None):
+    cpu = run_to_halt(assemble(source), inputs=inputs)
+    return cpu.pipeline.stats
+
+
+def test_straightline_counters():
+    stats = stats_of("nop\nnop\nnop\nhalt\n")
+    assert stats["retired"] == 4
+    assert stats["stall_cycles"] == 0
+    assert stats["squashed_instructions"] == 0
+    assert stats["branches_executed"] == 0
+
+
+def test_load_use_stall_counted():
+    stats = stats_of("""
+    .data
+    x: .word 5
+    .text
+    la $t1, x
+    lw $t0, 0($t1)
+    addu $t2, $t0, $t0
+    halt
+    """)
+    assert stats["stall_cycles"] == 1
+    assert stats["loads_executed"] == 1
+
+
+def test_branch_counters():
+    stats = stats_of("""
+    li $t0, 3
+    loop:
+    addiu $t0, $t0, -1
+    bgtz $t0, loop
+    halt
+    """)
+    assert stats["branches_executed"] == 3
+    assert stats["branches_taken"] == 2
+
+
+def test_squash_counts_real_instructions_only():
+    stats = stats_of("""
+    beq $zero, $zero, skip
+    nop
+    nop
+    skip:
+    halt
+    """)
+    assert stats["squashed_instructions"] == 2
+    assert stats["retired"] == 2  # beq + halt
+
+
+def test_memory_counters():
+    stats = stats_of("""
+    .data
+    x: .word 1
+    .text
+    lw $t0, x
+    sw $t0, x
+    lw $t1, x
+    halt
+    """)
+    assert stats["loads_executed"] == 2
+    assert stats["stores_executed"] == 1
+
+
+def test_secure_fraction_dynamic():
+    stats = stats_of("""
+    .data
+    x: .word 1
+    .text
+    slw $t0, x
+    sxor $t1, $t0, $t0
+    nop
+    nop
+    halt
+    """)
+    assert stats["secure_retired"] == 2
+    assert 0 < stats["secure_fraction_dynamic"] < 1
+
+
+def test_cpi_consistency():
+    stats = stats_of("nop\nhalt\n")
+    assert stats["cpi"] == stats["cycles"] / stats["retired"]

@@ -1,0 +1,246 @@
+"""Pipeline functional correctness: programs compute the right answers."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.machine.cpu import run_to_halt
+from repro.machine.exceptions import CpuError
+
+
+def run(source, inputs=None, max_cycles=100_000):
+    return run_to_halt(assemble(source), inputs=inputs,
+                       max_cycles=max_cycles)
+
+
+def test_arithmetic_chain():
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 10
+    li $t1, 3
+    subu $t2, $t0, $t1      # 7
+    addu $t2, $t2, $t2      # 14
+    sll $t2, $t2, 2         # 56
+    sw $t2, out
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 1) == [56]
+
+
+def test_logic_ops():
+    cpu = run("""
+    .data
+    out: .word 0, 0, 0, 0
+    .text
+    li $t0, 0xF0F0
+    li $t1, 0x0FF0
+    and $t2, $t0, $t1
+    or  $t3, $t0, $t1
+    xor $t4, $t0, $t1
+    nor $t5, $t0, $t1
+    la $t9, out
+    sw $t2, 0($t9)
+    sw $t3, 4($t9)
+    sw $t4, 8($t9)
+    sw $t5, 12($t9)
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 4) == [
+        0x00F0, 0xFFF0, 0xFF00, 0xFFFF_000F]
+
+
+def test_loop_sum_1_to_10():
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 0     # sum
+    li $t1, 1     # i
+    li $t2, 10
+    loop:
+    addu $t0, $t0, $t1
+    addiu $t1, $t1, 1
+    ble $t1, $t2, loop
+    sw $t0, out
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 1) == [55]
+
+
+def test_byte_loads_and_stores():
+    cpu = run("""
+    .data
+    src: .byte 0x80, 0x7F, 0xFF, 0x01
+    out: .word 0, 0, 0
+    .text
+    la $t9, src
+    lb  $t0, 0($t9)      # sign-extended 0x80 -> 0xFFFFFF80
+    lbu $t1, 0($t9)      # zero-extended -> 0x80
+    lb  $t2, 1($t9)      # 0x7F
+    la $t8, out
+    sw $t0, 0($t8)
+    sw $t1, 4($t8)
+    sw $t2, 8($t8)
+    sb $t1, 0($t8)       # overwrite low byte of out[0]
+    halt
+    """)
+    words = cpu.read_symbol_words("out", 3)
+    assert words[1] == 0x80
+    assert words[2] == 0x7F
+    assert words[0] == 0xFFFFFF80 & ~0xFF | 0x80
+
+
+def test_branch_taken_and_not_taken():
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 5
+    li $t1, 5
+    beq $t0, $t1, equal
+    li $t2, 111
+    j store
+    equal:
+    li $t2, 222
+    store:
+    sw $t2, out
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 1) == [222]
+
+
+def test_branch_shadow_squashed():
+    """Instructions fetched after a taken branch must not execute."""
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    li $t2, 1
+    beq $zero, $zero, skip
+    li $t2, 666        # in the branch shadow: must be squashed
+    li $t2, 777        # also squashed
+    skip:
+    sw $t2, out
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 1) == [1]
+
+
+def test_jal_jr_subroutine():
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    li $a0, 20
+    jal double
+    sw $v0, out
+    halt
+    double:
+    addu $v0, $a0, $a0
+    jr $ra
+    """)
+    assert cpu.read_symbol_words("out", 1) == [40]
+
+
+def test_jalr():
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    la $t0, target
+    jalr $t0
+    sw $v0, out
+    halt
+    target:
+    li $v0, 99
+    jr $ra
+    """)
+    assert cpu.read_symbol_words("out", 1) == [99]
+
+
+def test_slt_family():
+    cpu = run("""
+    .data
+    out: .word 0, 0, 0, 0
+    .text
+    li $t0, -1
+    li $t1, 1
+    slt  $t2, $t0, $t1      # signed: -1 < 1 -> 1
+    sltu $t3, $t0, $t1      # unsigned: huge < 1 -> 0
+    slti $t4, $t0, 0        # -1 < 0 -> 1
+    sltiu $t5, $t1, 2       # 1 < 2 -> 1
+    la $t9, out
+    sw $t2, 0($t9)
+    sw $t3, 4($t9)
+    sw $t4, 8($t9)
+    sw $t5, 12($t9)
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 4) == [1, 0, 1, 1]
+
+
+def test_negative_branches():
+    cpu = run("""
+    .data
+    out: .word 0
+    .text
+    li $t0, -5
+    li $t1, 0
+    bltz $t0, neg
+    li $t1, 1
+    neg:
+    bgez $t0, store     # -5 >= 0: not taken
+    addiu $t1, $t1, 10
+    store:
+    sw $t1, out
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 1) == [10]
+
+
+def test_inputs_injected_before_run():
+    cpu = run("""
+    .data
+    in: .word 0
+    out: .word 0
+    .text
+    lw $t0, in
+    sll $t0, $t0, 1
+    sw $t0, out
+    halt
+    """, inputs={"in": [21]})
+    assert cpu.read_symbol_words("out", 1) == [42]
+
+
+def test_runaway_program_raises():
+    with pytest.raises(CpuError):
+        run("""
+        loop: j loop
+        """, max_cycles=1000)
+
+
+def test_retired_instruction_count():
+    cpu = run("""
+    nop
+    nop
+    nop
+    halt
+    """)
+    assert cpu.retired == 4
+
+
+def test_xori_andi_zero_extend():
+    cpu = run("""
+    .data
+    out: .word 0, 0
+    .text
+    li $t0, -1              # 0xFFFFFFFF
+    xori $t1, $t0, 0xFFFF   # upper half unchanged
+    andi $t2, $t0, 0xFF00
+    la $t9, out
+    sw $t1, 0($t9)
+    sw $t2, 4($t9)
+    halt
+    """)
+    assert cpu.read_symbol_words("out", 2) == [0xFFFF_0000, 0xFF00]

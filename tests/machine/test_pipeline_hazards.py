@@ -1,0 +1,200 @@
+"""Forwarding and hazard corner cases."""
+
+from repro.isa.assembler import assemble
+from repro.machine.cpu import run_to_halt
+
+
+def result(source, symbol="out", count=1, inputs=None):
+    cpu = run_to_halt(assemble(source), inputs=inputs)
+    return cpu.read_symbol_words(symbol, count)
+
+
+def test_ex_to_ex_forwarding():
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 5
+    addu $t1, $t0, $t0     # needs $t0 from previous EX
+    addu $t2, $t1, $t1     # needs $t1 from previous EX
+    sw $t2, out
+    halt
+    """) == [20]
+
+
+def test_mem_to_ex_forwarding():
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 5
+    nop
+    addu $t1, $t0, $t0     # producer two back -> MEM/WB path
+    sw $t1, out
+    halt
+    """) == [10]
+
+
+def test_load_use_interlock_value_correct():
+    assert result("""
+    .data
+    x: .word 11
+    out: .word 0
+    .text
+    la $t9, x
+    lw $t0, 0($t9)
+    addu $t1, $t0, $t0     # load-use: must stall then forward
+    sw $t1, out
+    halt
+    """) == [22]
+
+
+def test_load_then_gap_then_use():
+    assert result("""
+    .data
+    x: .word 7
+    out: .word 0
+    .text
+    la $t9, x
+    lw $t0, 0($t9)
+    nop
+    addu $t1, $t0, $t0
+    sw $t1, out
+    halt
+    """) == [14]
+
+
+def test_store_data_forwarding():
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 33
+    la $t9, out
+    sw $t0, 0($t9)         # store data produced two instructions ago
+    halt
+    """) == [33]
+
+
+def test_store_data_forwarding_immediate_producer():
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    la $t9, out
+    li $t0, 44
+    sw $t0, 0($t9)         # store data produced by previous instruction
+    halt
+    """) == [44]
+
+
+def test_load_to_store_forwarding():
+    assert result("""
+    .data
+    x: .word 55
+    out: .word 0
+    .text
+    la $t9, x
+    la $t8, out
+    lw $t0, 0($t9)
+    sw $t0, 0($t8)         # store of just-loaded value
+    halt
+    """) == [55]
+
+
+def test_branch_operand_forwarding():
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 1
+    li $t1, 1
+    beq $t0, $t1, yes      # operands from immediately preceding EX results
+    li $t2, 0
+    j done
+    yes:
+    li $t2, 9
+    done:
+    sw $t2, out
+    halt
+    """) == [9]
+
+
+def test_double_producer_newest_wins():
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 1
+    li $t0, 2              # newer producer of $t0
+    addu $t1, $t0, $t0     # must see 2, not 1
+    sw $t1, out
+    halt
+    """) == [4]
+
+
+def test_writeback_read_same_cycle():
+    # Producer three instructions back: WB writes in the same cycle the
+    # consumer reads in ID (write-before-read register file).
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 6
+    nop
+    nop
+    addu $t1, $t0, $t0
+    sw $t1, out
+    halt
+    """) == [12]
+
+
+def test_zero_register_not_forwarded():
+    # Writes targeting $zero must not create forwarding paths.
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    addu $zero, $zero, $zero
+    li $t0, 3
+    addu $t1, $zero, $t0
+    sw $t1, out
+    halt
+    """) == [3]
+
+
+def test_chain_of_dependent_loads():
+    # Pointer chase: each load's address depends on the previous load.
+    assert result("""
+    .data
+    p1: .word 0
+    p2: .word 0
+    val: .word 77
+    out: .word 0
+    .text
+    la $t0, p1
+    la $t1, p2
+    la $t2, val
+    sw $t2, 0($t1)         # p2 = &val
+    sw $t1, 0($t0)         # p1 = &p2
+    lw $t3, 0($t0)         # t3 = p1 = &p2
+    lw $t4, 0($t3)         # t4 = *p2 = &val  (load-use on t3)
+    lw $t5, 0($t4)         # t5 = 77          (load-use on t4)
+    sw $t5, out
+    halt
+    """) == [77]
+
+
+def test_operand_isolation_preserves_semantics():
+    """Gated ID reads must still produce correct results via forwarding."""
+    assert result("""
+    .data
+    out: .word 0
+    .text
+    li $t0, 100
+    li $t1, 10
+    subu $t2, $t0, $t1     # both operands gated (producers in EX/MEM)
+    subu $t3, $t2, $t1     # t2 gated (EX), t1 from regfile
+    sw $t3, out
+    halt
+    """) == [80]

@@ -1,0 +1,44 @@
+"""Register file: $zero hardwiring, masking, dump/load."""
+
+import pytest
+
+from repro.machine.regfile import RegisterFile
+
+
+def test_initially_zero():
+    regs = RegisterFile()
+    assert all(regs.read(i) == 0 for i in range(32))
+
+
+def test_write_read():
+    regs = RegisterFile()
+    regs.write(5, 123)
+    assert regs.read(5) == 123
+
+
+def test_zero_register_ignores_writes():
+    regs = RegisterFile()
+    regs.write(0, 999)
+    assert regs.read(0) == 0
+
+
+def test_values_masked_to_32_bits():
+    regs = RegisterFile()
+    regs.write(1, 0x1_0000_0001)
+    assert regs.read(1) == 1
+
+
+def test_dump_load_roundtrip():
+    regs = RegisterFile()
+    for i in range(32):
+        regs.write(i, i * 7)
+    snapshot = regs.dump()
+    other = RegisterFile()
+    other.load(snapshot)
+    assert other.dump() == snapshot
+    assert other.read(0) == 0
+
+
+def test_load_wrong_length_raises():
+    with pytest.raises(ValueError):
+        RegisterFile().load([0] * 31)

@@ -1,0 +1,137 @@
+"""Dynamic information-flow audit."""
+
+import pytest
+
+from repro.lang.compiler import compile_source
+from repro.masking.audit import audit_masking
+from repro.programs.des_source import DesProgramSpec
+from repro.programs.workloads import compile_des, key_words, plaintext_words
+
+KEY = 0x133457799BBCDFF1
+PT = 0x0123456789ABCDEF
+DES_INPUTS = {"key": key_words(KEY), "plaintext": plaintext_words(PT)}
+
+
+def audit_source(source, masking="selective", secrets=None, inputs=None):
+    compiled = compile_source(source, masking=masking)
+    return audit_masking(compiled.program, secrets or {"k": 1}, inputs)
+
+
+def test_clean_masked_snippet():
+    report = audit_source("""
+    secure int k;
+    int out;
+    out = (k ^ 5) << 1;
+    """, inputs={"k": [3]})
+    assert report.clean
+    assert report.tainted_instructions > 0
+    assert "audit clean" in report.describe()
+
+
+def test_unmasked_snippet_flagged():
+    report = audit_source("""
+    secure int k;
+    int out;
+    out = (k ^ 5) << 1;
+    """, masking="none", inputs={"k": [3]})
+    assert not report.clean
+    assert any(v.kind == "data" for v in report.violations)
+    assert "AUDIT FAILED" in report.describe()
+
+
+def test_load_address_taint_detected():
+    """A plain load at a secret-derived address is an index leak."""
+    report = audit_source("""
+    secure int k;
+    const int t[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    int out;
+    __insecure { out = t[k & 7]; }
+    """, inputs={"k": [2]})
+    assert not report.clean
+    kinds = {v.kind for v in report.violations}
+    assert "load-address" in kinds or "data" in kinds
+
+
+def test_secret_branch_violates_even_when_secure():
+    """Control flow on secrets is a violation regardless of secure bits."""
+    from repro.isa.assembler import assemble
+
+    program = assemble("""
+    .data
+    k: .word 1
+    out: .word 0
+    .text
+    slw $t0, k
+    s.beq $t0, $zero, skip    # secure bit cannot mask control flow
+    li $t1, 1
+    skip:
+    sw $t1, out
+    halt
+    """)
+    report = audit_masking(program, {"k": 1})
+    assert any(v.kind == "control" for v in report.violations)
+
+
+def test_taint_clears_on_overwrite():
+    """Dynamic precision: reusing a register for clean data is fine."""
+    report = audit_source("""
+    secure int k;
+    int scratch;
+    int out;
+    scratch = k;          // scratch (and its register) tainted, secured
+    scratch = 7;          // overwritten with a constant: clean again
+    out = scratch + 1;    // insecure use is now legitimate
+    """, inputs={"k": [9]})
+    assert report.clean
+
+
+def test_masked_des_round1_audits_clean(round1_masked):
+    # round1_masked includes the declassified FP -> use the FP-less build.
+    compiled = compile_des(DesProgramSpec(rounds=1, include_fp=False),
+                           masking="selective")
+    report = audit_masking(compiled.program, {"key": 64}, DES_INPUTS)
+    assert report.clean
+    assert report.tainted_instructions > 500
+
+
+def test_unmasked_des_round1_fully_flagged():
+    compiled = compile_des(DesProgramSpec(rounds=1, include_fp=False),
+                           masking="none")
+    report = audit_masking(compiled.program, {"key": 64}, DES_INPUTS)
+    assert len(report.violations) == report.tainted_instructions > 500
+
+
+def test_annotate_only_misses_derived_data():
+    compiled = compile_des(DesProgramSpec(rounds=1, include_fp=False),
+                           masking="annotate-only")
+    report = audit_masking(compiled.program, {"key": 64}, DES_INPUTS)
+    # Direct key loads are covered; everything derived is not.
+    assert 0 < len(report.violations) < report.tainted_instructions
+
+
+def test_full_des_violations_confined_to_declassified_output():
+    """The full program's only insecure secret touches are the FP reads —
+    the paper's deliberate declassification."""
+    compiled = compile_des(DesProgramSpec(rounds=1), masking="selective")
+    report = audit_masking(compiled.program, {"key": 64}, DES_INPUTS)
+    assert not report.clean
+    # All violations are plain loads/stores (the FP copy loop), not ALU
+    # leaks.
+    for violation in report.violations:
+        mnemonic = violation.instruction.split()[0]
+        assert mnemonic in ("lw", "sw"), violation
+
+
+def test_masked_aes_audits_clean():
+    from repro.aes.reference import int_to_state
+    from repro.programs.aes_source import AesProgramSpec
+    from repro.programs.workloads import compile_aes
+
+    compiled = compile_aes(AesProgramSpec(rounds=2, include_output=False),
+                           masking="selective")
+    report = audit_masking(
+        compiled.program, {"key": 16},
+        {"key": int_to_state(0x000102030405060708090a0b0c0d0e0f),
+         "plaintext": int_to_state(0x00112233445566778899aabbccddeeff)})
+    assert report.clean
+    assert report.tainted_instructions > 300

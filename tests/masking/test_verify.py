@@ -1,0 +1,96 @@
+"""The reusable masking verifier."""
+
+import pytest
+
+from repro.lang.compiler import compile_source
+from repro.masking.verify import (MaskingReport, random_secret_assignments,
+                                  verify_masking)
+
+SOURCE = """
+secure int k[4];
+int out;
+int t;
+int i;
+
+__marker(1);
+t = 0;
+for (i = 0; i < 4; i = i + 1) { t = t | (k[i] << i); }
+__marker(2);
+__insecure { out = t & 1; }
+"""
+
+
+def compiled(masking):
+    return compile_source(SOURCE, masking=masking)
+
+
+def assignments(count=4):
+    return random_secret_assignments("k", words=4, count=count)
+
+
+def test_masked_program_verifies_flat():
+    report = verify_masking(compiled("selective").program, assignments(),
+                            window_markers=(1, 2))
+    assert report.flat
+    assert report.max_abs_diff_pj == 0.0
+    assert "masking holds" in report.describe()
+
+
+def test_unmasked_program_fails_verification():
+    report = verify_masking(compiled("none").program, assignments(),
+                            window_markers=(1, 2))
+    assert not report.flat
+    assert report.max_abs_diff_pj > 0
+    assert report.first_leaking_pair is not None
+    assert "VIOLATION" in report.describe()
+
+
+def test_needs_two_assignments():
+    with pytest.raises(ValueError):
+        verify_masking(compiled("selective").program, assignments(1),
+                       window_markers=(1, 2))
+
+
+def test_whole_trace_comparison_without_markers():
+    # Without windowing, the declassified output store differs -> not flat
+    # even for the masked build (by design: the output is public).
+    report = verify_masking(compiled("selective").program, [
+        {"k": [0, 0, 0, 0]}, {"k": [1, 0, 0, 0]}])
+    assert not report.flat
+
+
+def test_secret_dependent_timing_detected():
+    source = """
+    secure int k;
+    int out;
+    __marker(1);
+    if (k) { out = 1; } else { out = 0; }
+    __marker(2);
+    """
+    program = compile_source(source, masking="selective").program
+    with pytest.raises(RuntimeError, match="control flow"):
+        verify_masking(program, [{"k": [0]}, {"k": [1]}],
+                       window_markers=(1, 2))
+
+
+def test_random_assignments_shape():
+    generated = random_secret_assignments("key", words=8, count=3,
+                                          max_value=255)
+    assert len(generated) == 3
+    for assignment in generated:
+        assert set(assignment) == {"key"}
+        assert len(assignment["key"]) == 8
+        assert all(0 <= v <= 255 for v in assignment["key"])
+
+
+def test_des_program_verifies(round1_masked):
+    from repro.programs.markers import M_FP_START, M_KEYPERM_START
+    from repro.programs.workloads import plaintext_words
+
+    report = verify_masking(
+        round1_masked.program,
+        random_secret_assignments("key", words=64, count=3),
+        public_inputs={"plaintext": plaintext_words(0x0123456789ABCDEF)},
+        window_markers=(M_KEYPERM_START, M_FP_START))
+    assert report.flat
+    assert report.assignments_tested == 3

@@ -1,0 +1,93 @@
+"""Golden statistics of the generated DES/AES binaries.
+
+Loose structural invariants (not exact golden files, which would break on
+every benign codegen tweak): instruction-class counts, secure-instruction
+composition, and the specific secure-mnemonic inventory the paper's scheme
+requires for each cipher.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.programs.aes_source import AesProgramSpec
+from repro.programs.des_source import DesProgramSpec
+from repro.programs.workloads import compile_aes, compile_des
+
+
+def mnemonic_counts(program):
+    return Counter(ins.mnemonic for ins in program.text)
+
+
+@pytest.fixture(scope="module")
+def des_masked():
+    return compile_des(DesProgramSpec(rounds=16), masking="selective")
+
+
+@pytest.fixture(scope="module")
+def aes_masked():
+    return compile_aes(AesProgramSpec(), masking="selective")
+
+
+def test_des_uses_all_four_canonical_classes(des_masked):
+    counts = mnemonic_counts(des_masked.program)
+    # Secure assignment (load + store).
+    assert counts["slw"] >= 10
+    assert counts["ssw"] >= 10
+    # Secure XOR (the round function and L/R mixing).
+    assert counts["sxor"] >= 2
+    # Secure shift (S-box input assembly).
+    assert counts["ssllv"] >= 1 or counts["ssll"] >= 1
+    # Secure indexing (the eight S-box lookups share one silw site).
+    assert counts["silw"] >= 1
+
+
+def test_des_insecure_skeleton_remains(des_masked):
+    counts = mnemonic_counts(des_masked.program)
+    # Loop bookkeeping stays insecure — that is the whole point.
+    assert counts["lw"] > counts["slw"]
+    assert counts["addu"] > 0
+    assert counts["beq"] + counts["bne"] > 0
+
+
+def test_des_static_secure_fraction_band(des_masked):
+    fraction = des_masked.secure_static_fraction
+    # ~9-10% static; a large drift signals a slicing/codegen regression.
+    assert 0.06 <= fraction <= 0.16
+
+
+def test_aes_static_secure_fraction_band(aes_masked):
+    assert 0.14 <= aes_masked.secure_static_fraction <= 0.28
+
+
+def test_aes_secure_inventory(aes_masked):
+    counts = mnemonic_counts(aes_masked.program)
+    assert counts["silw"] >= 2      # SBOX and XTIME lookups
+    assert counts["sxor"] >= 5      # AddRoundKey / MixColumns
+    assert counts["slw"] >= 10
+
+
+def test_des_binary_size_band(des_masked):
+    assert 600 <= len(des_masked.program.text) <= 900
+
+
+def test_aes_binary_size_band(aes_masked):
+    assert 600 <= len(aes_masked.program.text) <= 950
+
+
+def test_no_lwx_without_secure_bit(des_masked, aes_masked):
+    """lwx only exists as silw (secure); a bare lwx is a codegen bug."""
+    for compiled in (des_masked, aes_masked):
+        for ins in compiled.program.text:
+            if ins.op == "lwx":
+                assert ins.secure
+
+
+def test_secure_index_loads_only_on_const_tables(des_masked, aes_masked):
+    """The slicer may only secure-index *public* tables (secret-indexed
+    secret arrays would need more than address masking)."""
+    for compiled in (des_masked, aes_masked):
+        table = compiled.table
+        for position in compiled.slice.secure_index_loads:
+            instr = compiled.ir[position]
+            assert table.lookup(instr.array, 0).const

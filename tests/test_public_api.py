@@ -1,0 +1,64 @@
+"""Public API hygiene: exports exist, are documented, and stay stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.isa", "repro.machine", "repro.energy", "repro.des",
+               "repro.aes", "repro.lang", "repro.programs", "repro.masking",
+               "repro.attacks", "repro.harness"]
+
+
+@pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", None)
+    assert exported, f"{module_name} has no __all__"
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.{name} missing"
+
+
+@pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+def test_all_sorted_and_unique(module_name):
+    module = importlib.import_module(module_name)
+    exported = list(module.__all__)
+    assert len(exported) == len(set(exported)), f"{module_name}: duplicates"
+
+
+@pytest.mark.parametrize("module_name", ["repro"] + SUBPACKAGES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, \
+        f"{module_name}: missing docstrings on {undocumented}"
+
+
+def test_module_docstrings():
+    for module_name in ["repro"] + SUBPACKAGES:
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_version_string():
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(part.isdigit() for part in parts)
+
+
+def test_quickstart_docstring_is_accurate():
+    """The package docstring's quickstart snippet must actually run."""
+    from repro import KEY_A, PT_A, ROUND1_DES, compile_des, des_run
+
+    compiled = compile_des(ROUND1_DES, masking="selective")
+    run = des_run(compiled.program, KEY_A, PT_A)
+    assert run.total_uj > 0
+    assert run.cycles > 0
