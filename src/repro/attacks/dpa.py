@@ -84,28 +84,31 @@ def collect_traces(program: Program, key: int, plaintexts: list[int],
                    params: EnergyParams = DEFAULT_PARAMS,
                    window: Optional[tuple[int, int]] = None,
                    progress: Optional[Callable[[int, int], None]] = None,
-                   noise_sigma: float = 0.0) -> TraceSet:
+                   noise_sigma: float = 0.0, jobs: int = 1) -> TraceSet:
     """Run the device once per plaintext and stack the energy traces.
 
     ``window`` restricts the stored cycles (an attacker applies SPA first to
     find the round-1 region); default keeps the whole trace.
     ``noise_sigma`` adds the randomized-power countermeasure (fresh noise
     per acquisition, as a real device would produce).
+    ``jobs`` fans the acquisitions across worker processes; each trace
+    keeps its serial noise seed (``index + 1``), so the stacked matrix is
+    bit-identical to a ``jobs=1`` collection.
     """
     # Imported here to avoid a package-level cycle (harness.experiments
     # imports this module).
-    from ..harness.runner import des_run
+    from ..harness.engine import SimJob, run_jobs
 
+    batch = [SimJob(program=program, des_pair=(key, plaintext),
+                    params=params, noise_sigma=noise_sigma,
+                    noise_seed=index + 1, label=f"trace[{index}]")
+             for index, plaintext in enumerate(plaintexts)]
     rows = []
-    for index, plaintext in enumerate(plaintexts):
-        run = des_run(program, key, plaintext, params=params,
-                      noise_sigma=noise_sigma, noise_seed=index + 1)
-        energy = run.trace.energy
+    for result in run_jobs(batch, jobs=jobs, progress=progress):
+        energy = result.energy
         if window is not None:
             energy = energy[window[0]:window[1]]
         rows.append(energy)
-        if progress is not None:
-            progress(index + 1, len(plaintexts))
     lengths = {row.shape[0] for row in rows}
     if len(lengths) != 1:
         raise RuntimeError("traces are not cycle-aligned; DPA needs "

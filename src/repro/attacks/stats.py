@@ -43,6 +43,8 @@ def welch_t_statistic(traces: np.ndarray,
     """
     traces = np.asarray(traces, dtype=np.float64)
     partition = np.asarray(partition)
+    if partition.shape[0] != traces.shape[0]:
+        raise ValueError("partition length must equal number of traces")
     ones = partition == 1
     zeros = ~ones
     n1, n0 = int(ones.sum()), int(zeros.sum())
@@ -62,6 +64,8 @@ def signal_to_noise(traces: np.ndarray, labels: np.ndarray) -> np.ndarray:
     """Per-cycle SNR: Var_over_classes(mean) / mean_over_classes(var)."""
     traces = np.asarray(traces, dtype=np.float64)
     labels = np.asarray(labels)
+    if labels.shape[0] != traces.shape[0]:
+        raise ValueError("labels length must equal number of traces")
     classes = np.unique(labels)
     if classes.size < 2:
         return np.zeros(traces.shape[1])

@@ -109,9 +109,19 @@ def cmd_run(arguments: argparse.Namespace) -> int:
 
 
 def cmd_experiment(arguments: argparse.Namespace) -> int:
-    from .harness.experiments import run_experiment
+    import inspect
 
-    result = run_experiment(arguments.id)
+    from .harness.experiments import EXPERIMENTS, run_experiment
+
+    kwargs = {}
+    function = EXPERIMENTS.get(arguments.id)
+    if function is not None \
+            and "jobs" in inspect.signature(function).parameters:
+        kwargs["jobs"] = arguments.jobs
+    elif function is not None and arguments.jobs != 1:
+        print(f"note: experiment {arguments.id!r} runs serially "
+              "(--jobs not applicable)", file=sys.stderr)
+    result = run_experiment(arguments.id, **kwargs)
     print(f"[{result.experiment_id}] {result.title}")
     for key, value in result.summary.items():
         formatted = f"{value:,.3f}" if isinstance(value, float) else value
@@ -177,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = subparsers.add_parser("experiment",
                                   help="run one paper experiment")
     p_exp.add_argument("id")
+    p_exp.add_argument("-j", "--jobs", type=int, default=1,
+                       help="worker processes for batch simulations "
+                            "(default 1 = serial; results are identical)")
     p_exp.add_argument("--json", help="save the full result as JSON")
     p_exp.add_argument("--no-series", action="store_true",
                        help="omit per-cycle series from the JSON")

@@ -31,6 +31,14 @@ class EnergyTracker:
     per cycle.  The paper's point — and the DPA experiments here confirm
     it — is that averaging over traces filters such noise out, whereas
     masking removes the signal itself.
+
+    Accounting invariant: injected noise is booked under its own
+    ``"noise"`` key in :attr:`totals`, so ``sum(totals.values())`` — and
+    therefore :attr:`total_energy_pj` — always equals
+    ``sum(cycle_energy)``, with or without noise.  The per-cycle
+    ``component_energy`` matrix covers only the physical
+    :data:`COMPONENTS`; the noise term is not a datapath component and
+    appears only in the per-cycle total and the ``"noise"`` running total.
     """
 
     def __init__(self, params: EnergyParams = DEFAULT_PARAMS,
@@ -81,8 +89,9 @@ class EnergyTracker:
         self.cycle_energy: list[float] = []
         #: Per-cycle per-component energy; filled when collect_components.
         self.component_energy: list[tuple[float, ...]] = []
-        #: Running totals per component.
+        #: Running totals per component, plus the injected "noise" term.
         self.totals: dict[str, float] = {name: 0.0 for name in COMPONENTS}
+        self.totals["noise"] = 0.0
 
         self._cur = dict.fromkeys(COMPONENTS, 0.0)
 
@@ -159,8 +168,10 @@ class EnergyTracker:
                 self._noise_buffer = self._noise_rng.normal(
                     0.0, self.noise_sigma, size=4096)
                 self._noise_index = 0
-            total += float(self._noise_buffer[self._noise_index])
+            noise = float(self._noise_buffer[self._noise_index])
             self._noise_index += 1
+            total += noise
+            self.totals["noise"] += noise
         self.cycle_energy.append(total)
         if self.collect_components:
             self.component_energy.append(tuple(cur[name]

@@ -1,0 +1,351 @@
+"""Parallel batch execution engine for independent simulations.
+
+Every headline result in this reproduction is built from many *independent*
+cycle-accurate runs: DPA collects one trace per plaintext, the sensitivity
+sweep re-measures the four masking policies at 35 parameter points, and the
+experiment registry re-runs the same few programs with varied inputs.  This
+module fans such batches across a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping the results **bit-identical** to the serial path:
+
+* jobs are declarative :class:`SimJob` records, so the work ships cleanly
+  to worker processes and each job carries its own noise seed — the
+  injected Gaussian noise stream never depends on scheduling order;
+* results come back as :class:`JobResult` in **submission order**, whatever
+  order the workers finish in;
+* a :class:`CompileCache` memoizes compile/assemble artifacts per process
+  *and* on disk (atomic writes), so a pool of workers compiles each
+  ``(spec, masking, policy, optimize)`` variant once instead of once per
+  sweep point per process.
+
+``run_jobs(batch, jobs=1)`` is the single entry point; ``jobs=1`` executes
+in-process with behavior identical to calling the runner directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..energy.params import DEFAULT_PARAMS, EnergyParams
+from ..energy.trace import EnergyTrace
+from ..isa.program import Program
+from ..masking.policy import MaskingPolicy, apply_policy
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def _toolchain_fingerprint() -> str:
+    """Digest of the toolchain sources (sizes + mtimes), computed once.
+
+    Editing the compiler, assembler, source generators, or masking
+    policies invalidates every on-disk artifact, so a stale cache
+    directory can only ever miss — never serve outdated code.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for subpackage in ("lang", "isa", "programs", "masking", "des",
+                           "aes"):
+            directory = package_root / subpackage
+            try:
+                entries = sorted(directory.glob("*.py"))
+            except OSError:
+                continue
+            for entry in entries:
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                digest.update(f"{entry.name}:{stat.st_size}:"
+                              f"{stat.st_mtime_ns};".encode())
+        _FINGERPRINT = digest.hexdigest()[:16]
+    return _FINGERPRINT
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """Identity of a compilable program variant — the compile-cache key.
+
+    ``spec`` is a frozen :class:`~repro.programs.des_source.DesProgramSpec`
+    (or :class:`~repro.programs.aes_source.AesProgramSpec` with
+    ``cipher="aes"``); ``None`` means the cipher's default spec.  ``policy``
+    optionally applies an assembly-level masking rewrite *after*
+    compilation (the Section 4.3 whole-program policies).
+    """
+
+    cipher: str = "des"
+    spec: Optional[object] = None
+    masking: str = "selective"
+    policy: Optional[MaskingPolicy] = None
+    optimize: int = 0
+
+    def cache_key(self) -> str:
+        """Stable digest of everything the compiled artifact depends on."""
+        from .. import __version__
+
+        policy = self.policy.name if self.policy is not None else "-"
+        text = "|".join((__version__, _toolchain_fingerprint(), self.cipher,
+                         repr(self.spec), self.masking, policy,
+                         str(self.optimize)))
+        return hashlib.sha256(text.encode()).hexdigest()[:32]
+
+    def compile(self) -> Program:
+        """Compile (uncached) the requested program image."""
+        from ..programs.workloads import compile_aes, compile_des
+
+        if self.cipher == "des":
+            from ..programs.des_source import DesProgramSpec
+
+            spec = self.spec if self.spec is not None else DesProgramSpec()
+            compiled = compile_des(spec, masking=self.masking,
+                                   optimize=self.optimize)
+        elif self.cipher == "aes":
+            from ..programs.aes_source import AesProgramSpec
+
+            spec = self.spec if self.spec is not None else AesProgramSpec()
+            compiled = compile_aes(spec, masking=self.masking,
+                                   optimize=self.optimize)
+        else:
+            raise ValueError(f"unknown cipher {self.cipher!r}")
+        program = compiled.program
+        if self.policy is not None:
+            program = apply_policy(program, self.policy)
+        return program
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`CompileCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class CompileCache:
+    """Process-safe compile/assemble artifact cache.
+
+    Two layers: a per-process memo dict, and a shared on-disk layer of
+    pickled :class:`~repro.isa.program.Program` images written atomically
+    (temp file + ``os.replace``) so concurrent pool workers never observe a
+    partial artifact.  Keys include the package version, a fingerprint of
+    the toolchain sources, and the full ``repr`` of the program spec, so a
+    stale cache directory can only ever miss, not serve wrong code.  The
+    directory defaults to ``$REPRO_COMPILE_CACHE_DIR`` or
+    ``<tmpdir>/repro-compile-cache``; setting the variable to an empty
+    string disables the disk layer (memory memoization only).
+    """
+
+    def __init__(self, directory: Optional[Path] = None):
+        if directory is None:
+            configured = os.environ.get("REPRO_COMPILE_CACHE_DIR")
+            if configured == "":
+                directory = None
+            elif configured:
+                directory = Path(configured)
+            else:
+                directory = Path(tempfile.gettempdir()) \
+                    / "repro-compile-cache"
+        self.directory = Path(directory) if directory is not None else None
+        self.memory: dict[str, Program] = {}
+        self.stats = CacheStats()
+
+    def program_for(self, request: CompileRequest) -> Program:
+        """Return the compiled image, from memory, disk, or a fresh build."""
+        key = request.cache_key()
+        program = self.memory.get(key)
+        if program is not None:
+            self.stats.hits += 1
+            return program
+        program = self._load(key)
+        if program is not None:
+            self.stats.hits += 1
+        else:
+            program = request.compile()
+            self.stats.misses += 1
+            self._store(key, program)
+        self.memory[key] = program
+        return program
+
+    def _load(self, key: str) -> Optional[Program]:
+        if self.directory is None:
+            return None
+        try:
+            payload = (self.directory / f"{key}.pkl").read_bytes()
+            return pickle.loads(payload)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+
+    def _store(self, key: str, program: Program) -> None:
+        if self.directory is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            handle, temp_name = tempfile.mkstemp(dir=self.directory,
+                                                 suffix=".tmp")
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(program, stream)
+            os.replace(temp_name, self.directory / f"{key}.pkl")
+        except OSError:
+            pass  # caching is best-effort; the compile already succeeded
+
+
+_DEFAULT_CACHE: Optional[CompileCache] = None
+
+
+def default_cache() -> CompileCache:
+    """The process-wide cache used for :class:`CompileRequest` jobs."""
+    global _DEFAULT_CACHE
+    if _DEFAULT_CACHE is None:
+        _DEFAULT_CACHE = CompileCache()
+    return _DEFAULT_CACHE
+
+
+@dataclass
+class SimJob:
+    """One independent simulation: what to run, on what, under what model.
+
+    ``program`` is either a prebuilt :class:`~repro.isa.program.Program`
+    (pickled to the worker as-is) or a :class:`CompileRequest` resolved
+    through the worker's :class:`CompileCache`.  ``des_pair`` is the
+    ``(key64, plaintext64)`` convenience encoding used by the DES/AES
+    workloads; ``inputs`` writes raw symbol words.  ``noise_seed`` is fixed
+    per job so parallel execution replays the exact serial noise stream.
+    """
+
+    program: Union[Program, CompileRequest]
+    inputs: Optional[dict[str, list[int]]] = None
+    des_pair: Optional[tuple[int, int]] = None
+    params: EnergyParams = DEFAULT_PARAMS
+    noise_sigma: float = 0.0
+    noise_seed: int = 0
+    label: str = ""
+    collect_components: bool = False
+    operand_isolation: bool = True
+    max_cycles: int = 50_000_000
+
+
+@dataclass
+class JobResult:
+    """A finished :class:`SimJob`, reduced to picklable observables.
+
+    Carries everything the batch callers consume — the per-cycle energy
+    vector, phase markers, per-component totals — plus the observability
+    fields: per-job wall time and whether the compile cache hit
+    (``cache_hit is None`` when the job shipped a prebuilt program).
+    """
+
+    label: str
+    cycles: int
+    energy: np.ndarray
+    markers: tuple[tuple[int, int], ...] = ()
+    totals: dict[str, float] = field(default_factory=dict)
+    components: Optional[np.ndarray] = None
+    wall_time_s: float = 0.0
+    cache_hit: Optional[bool] = None
+
+    @property
+    def total_pj(self) -> float:
+        return float(self.energy.sum())
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    @property
+    def average_pj(self) -> float:
+        return self.total_pj / self.cycles if self.cycles else 0.0
+
+    @property
+    def trace(self) -> EnergyTrace:
+        """The run's energy trace, reconstructed for phase navigation."""
+        return EnergyTrace(energy=self.energy, markers=self.markers,
+                           components=self.components, label=self.label)
+
+
+def execute_job(job: SimJob) -> JobResult:
+    """Run one job in the current process (the workers' entry point)."""
+    from .runner import run_with_trace
+
+    start = time.perf_counter()
+    cache_hit = None
+    program = job.program
+    if isinstance(program, CompileRequest):
+        cache = default_cache()
+        hits_before = cache.stats.hits
+        program = cache.program_for(job.program)
+        cache_hit = cache.stats.hits > hits_before
+    inputs = dict(job.inputs) if job.inputs else {}
+    if job.des_pair is not None:
+        from ..programs.workloads import key_words, plaintext_words
+
+        key64, plaintext64 = job.des_pair
+        inputs["key"] = key_words(key64)
+        if "plaintext" in program.symbols:
+            inputs["plaintext"] = plaintext_words(plaintext64)
+    run = run_with_trace(program, inputs=inputs or None, params=job.params,
+                         collect_components=job.collect_components,
+                         label=job.label, max_cycles=job.max_cycles,
+                         noise_sigma=job.noise_sigma,
+                         noise_seed=job.noise_seed,
+                         operand_isolation=job.operand_isolation)
+    return JobResult(label=job.label, cycles=run.cycles,
+                     energy=run.trace.energy, markers=run.trace.markers,
+                     totals=dict(run.tracker.totals),
+                     components=run.trace.components,
+                     wall_time_s=time.perf_counter() - start,
+                     cache_hit=cache_hit)
+
+
+def _execute_indexed(indexed: tuple[int, SimJob]) -> tuple[int, JobResult]:
+    index, job = indexed
+    return index, execute_job(job)
+
+
+def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
+             progress: Optional[Callable[[int, int], None]] = None
+             ) -> list[JobResult]:
+    """Execute a batch of independent jobs, preserving submission order.
+
+    ``jobs=1`` (the default) runs serially in-process — identical to
+    calling the runner in a loop.  ``jobs>1`` fans the batch across a
+    process pool; because every job is self-contained and carries its own
+    noise seed, the collected results are bit-identical to the serial path
+    regardless of worker scheduling.  ``progress(done, total)`` is invoked
+    after each completion (in completion order under a pool).
+    """
+    batch = list(batch)
+    total = len(batch)
+    if jobs <= 1 or total <= 1:
+        results = []
+        for index, job in enumerate(batch):
+            results.append(execute_job(job))
+            if progress is not None:
+                progress(index + 1, total)
+        return results
+    results: list[Optional[JobResult]] = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+        futures = [pool.submit(_execute_indexed, (index, job))
+                   for index, job in enumerate(batch)]
+        for future in as_completed(futures):
+            index, result = future.result()
+            results[index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total)
+    return results  # type: ignore[return-value]

@@ -23,10 +23,10 @@ from ..attacks.spa import analyze as spa_analyze
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.models import FunctionalUnitModel
 from ..energy.circuits import PrechargedXorCell
-from ..masking.policy import MaskingPolicy, apply_policy
 from ..programs import markers as mk
 from ..programs.des_source import DesProgramSpec
 from ..programs.workloads import compile_des
+from .engine import run_jobs
 from .runner import RunResult, des_run
 
 KEY_A = 0x133457799BBCDFF1
@@ -275,22 +275,16 @@ PAPER_TOTALS_UJ = {
 
 
 def tab1_policy_energy(params: EnergyParams = DEFAULT_PARAMS,
-                       rounds: int = 16) -> ExperimentResult:
-    spec = DesProgramSpec(rounds=rounds)
-    base = compile_des(spec, masking="none")
-    selective = compile_des(spec, masking="selective")
-    programs = {
-        "none": base.program,
-        "selective": selective.program,
-        "all-loads-stores": apply_policy(base.program,
-                                         MaskingPolicy.ALL_LOADS_STORES),
-        "all": apply_policy(base.program, MaskingPolicy.ALL),
-    }
+                       rounds: int = 16, jobs: int = 1) -> ExperimentResult:
+    from .sweeps import policy_jobs
+
+    results = run_jobs(policy_jobs(params, rounds=rounds, key=KEY_A,
+                                   plaintext=PT_A), jobs=jobs)
     rows = []
     totals: dict[str, float] = {}
     averages: dict[str, float] = {}
-    for name, program in programs.items():
-        run = des_run(program, KEY_A, PT_A, params=params)
+    for run in results:
+        name = run.label
         totals[name] = run.total_uj
         averages[name] = run.average_pj
         rows.append((name, f"{run.total_uj:.2f}",
@@ -371,7 +365,7 @@ def xor_unit_energy(params: EnergyParams = DEFAULT_PARAMS,
 def dpa_experiment(params: EnergyParams = DEFAULT_PARAMS,
                    n_traces: int = 100, box: int = 0,
                    key: int = KEY_A, seed: int = 2003,
-                   all_boxes: bool = True) -> ExperimentResult:
+                   all_boxes: bool = True, jobs: int = 1) -> ExperimentResult:
     spec = DesProgramSpec(rounds=1, include_fp=False)
     plaintexts = random_plaintexts(n_traces, seed=seed)
     outcome: dict[str, float | int | str | bool] = {"n_traces": n_traces,
@@ -381,7 +375,8 @@ def dpa_experiment(params: EnergyParams = DEFAULT_PARAMS,
         scout = des_run(compiled.program, key, plaintexts[0], params=params)
         start = scout.trace.marker_cycles(mk.M_ROUND_BASE)[0]
         traces = collect_traces(compiled.program, key, plaintexts,
-                                params=params, window=(start, scout.cycles))
+                                params=params, window=(start, scout.cycles),
+                                jobs=jobs)
         single = dpa_attack(traces, box=box, target_bit=0, key=key)
         multi = dpa_attack_multibit(traces, box=box, key=key)
         correlation = cpa_attack(traces, box=box, key=key)
@@ -639,7 +634,7 @@ def extension_coupling(params: EnergyParams = DEFAULT_PARAMS,
 def extension_noise(params: EnergyParams = DEFAULT_PARAMS,
                     noise_sigma: float = 10.0, n_small: int = 20,
                     n_large: int = 250, box: int = 0,
-                    key: int = KEY_A) -> ExperimentResult:
+                    key: int = KEY_A, jobs: int = 1) -> ExperimentResult:
     """Extension: random power noise vs. masking (paper Section 1).
 
     The paper: "random noises in power measurements can be filtered
@@ -660,12 +655,12 @@ def extension_noise(params: EnergyParams = DEFAULT_PARAMS,
     # Hamming-weight model is the strongest attack in this suite, so it
     # sets the fairest baseline for the noise comparison).
     clean = collect_traces(unmasked.program, key, plaintexts[:n_small],
-                           params=params, window=window)
+                           params=params, window=window, jobs=jobs)
     clean_result = cpa_attack(clean, box=box, key=key)
 
     # Noisy device: same attack at small and large trace counts.
     noisy = collect_traces(unmasked.program, key, plaintexts, params=params,
-                           window=window, noise_sigma=noise_sigma)
+                           window=window, noise_sigma=noise_sigma, jobs=jobs)
     small_set = TraceSet(plaintexts=noisy.plaintexts[:n_small],
                          traces=noisy.traces[:n_small], window=noisy.window)
     noisy_small = cpa_attack(small_set, box=box, key=key)
@@ -674,7 +669,7 @@ def extension_noise(params: EnergyParams = DEFAULT_PARAMS,
     # Masked device: even a large noiseless set yields nothing.
     masked = compile_des(spec, masking="selective")
     masked_set = collect_traces(masked.program, key, plaintexts[:n_small],
-                                params=params, window=window)
+                                params=params, window=window, jobs=jobs)
     masked_result = cpa_attack(masked_set, box=box, key=key)
 
     return ExperimentResult(
@@ -738,7 +733,7 @@ def extension_tvla(params: EnergyParams = DEFAULT_PARAMS,
 
 
 def extension_sensitivity(params: EnergyParams = DEFAULT_PARAMS,
-                          rounds: int = 2) -> ExperimentResult:
+                          rounds: int = 2, jobs: int = 1) -> ExperimentResult:
     """Extension: sensitivity of the headline comparison to calibration.
 
     Sweeps each technology parameter over [0.5x, 2x] and re-measures the
@@ -753,7 +748,7 @@ def extension_sensitivity(params: EnergyParams = DEFAULT_PARAMS,
     worst_saving = 1.0
     for parameter in SWEEPABLE:
         sweep = sensitivity_sweep(parameter, base_params=params,
-                                  rounds=rounds)
+                                  rounds=rounds, jobs=jobs)
         summary[f"{parameter}_ordered"] = sweep.always_ordered
         summary[f"{parameter}_saving_range"] = (
             f"{sweep.min_saving:.2f}..{sweep.max_saving:.2f}")

@@ -6,12 +6,17 @@ Breaks a run's energy down two ways:
   program marks IP, key permutation, each round, and FP);
 * **by datapath component**, using the tracker's per-component totals.
 
+Also the observability surface of the batch engine: per-job wall times and
+compile-cache hit/miss counters, aggregated from a batch of
+:class:`~repro.harness.engine.JobResult` records.
+
 Used by the trace-inspection example and by ablation analysis.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..energy.trace import EnergyTrace
 from ..energy.tracker import COMPONENTS
@@ -62,12 +67,71 @@ def phase_energy(trace: EnergyTrace,
 
 
 def component_breakdown(run: RunResult) -> list[tuple[str, float, float]]:
-    """(component, total_pj, fraction) rows from a finished run."""
+    """(component, total_pj, fraction) rows from a finished run.
+
+    Includes the injected-noise total as its own row when a noise
+    countermeasure was active, so the fractions always sum to one.
+    """
     totals = run.tracker.totals
     grand_total = sum(totals.values())
-    return [(name, totals[name],
-             totals[name] / grand_total if grand_total else 0.0)
-            for name in COMPONENTS]
+    names = list(COMPONENTS)
+    if totals.get("noise"):
+        names.append("noise")
+    return [(name, totals.get(name, 0.0),
+             totals.get(name, 0.0) / grand_total if grand_total else 0.0)
+            for name in names]
+
+
+@dataclass
+class BatchProfile:
+    """Aggregated observability for one engine batch.
+
+    ``cache_hits``/``cache_misses`` count jobs resolved through the
+    compile cache; ``cache_untracked`` counts jobs that shipped a prebuilt
+    program (no cache involved).  Wall times are per-job, as measured
+    inside the worker.
+    """
+
+    jobs: int
+    total_wall_s: float
+    mean_wall_s: float
+    max_wall_s: float
+    cache_hits: int
+    cache_misses: int
+    cache_untracked: int
+
+    def rows(self) -> list[tuple[str, str]]:
+        """Human-readable (metric, value) rows for report tables."""
+        return [
+            ("jobs", str(self.jobs)),
+            ("total wall", f"{self.total_wall_s:.3f} s"),
+            ("mean wall/job", f"{self.mean_wall_s:.3f} s"),
+            ("max wall/job", f"{self.max_wall_s:.3f} s"),
+            ("compile cache", f"{self.cache_hits} hit / "
+                              f"{self.cache_misses} miss / "
+                              f"{self.cache_untracked} n/a"),
+        ]
+
+
+def profile_batch(results: Sequence) -> BatchProfile:
+    """Aggregate :class:`~repro.harness.engine.JobResult` observability."""
+    results = list(results)
+    wall_times = [result.wall_time_s for result in results]
+    total_wall = float(sum(wall_times))
+    return BatchProfile(
+        jobs=len(results),
+        total_wall_s=total_wall,
+        mean_wall_s=total_wall / len(results) if results else 0.0,
+        max_wall_s=max(wall_times) if wall_times else 0.0,
+        cache_hits=sum(1 for r in results if r.cache_hit is True),
+        cache_misses=sum(1 for r in results if r.cache_hit is False),
+        cache_untracked=sum(1 for r in results if r.cache_hit is None))
+
+
+def job_timings(results: Sequence) -> list[tuple[str, float]]:
+    """Per-job ``(label, wall_time_s)`` pairs, slowest first."""
+    return sorted(((result.label, result.wall_time_s) for result in results),
+                  key=lambda pair: -pair[1])
 
 
 def des_phase_labels(rounds: int = 16) -> dict[int, str]:

@@ -6,21 +6,36 @@ sensitivity sweep perturbs one technology parameter at a time across a
 wide range and re-measures the four-policy comparison: the *ordering*
 (none < selective < naive < all) and the sign of the overhead saving must
 survive every perturbation, even though the exact ratios move.
+
+Both :func:`measure_policies` and :func:`sensitivity_sweep` run through
+:mod:`repro.harness.engine`: the four program variants are described as
+:class:`~repro.harness.engine.CompileRequest` jobs, so the compile cache
+builds each variant once for the whole sweep instead of once per point,
+and ``jobs=N`` fans every ``factor × policy`` simulation across a process
+pool with bit-identical results to the serial path.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
-from ..masking.policy import MaskingPolicy, apply_policy
+from ..masking.policy import MaskingPolicy
 from ..programs.des_source import DesProgramSpec
-from ..programs.workloads import compile_des
-from .runner import des_run
+from .engine import CompileRequest, SimJob, run_jobs
 
 #: Parameters worth perturbing (each scaled by the sweep factors).
 SWEEPABLE = ("c_data_bus", "c_latch_bit", "c_alu_node", "c_instr_bus",
              "e_clock_cycle", "e_regfile_port", "e_dummy_load")
+
+#: The Section 4.3 policies as (name, compiler masking, assembly rewrite).
+POLICY_VARIANTS = (
+    ("none", "none", None),
+    ("selective", "selective", None),
+    ("all-loads-stores", "none", MaskingPolicy.ALL_LOADS_STORES),
+    ("all", "none", MaskingPolicy.ALL),
+)
 
 
 @dataclass
@@ -51,48 +66,69 @@ class SweepResult:
     def always_ordered(self) -> bool:
         return all(m.ordering_holds for m in self.measurements)
 
+    def _finite_savings(self) -> list[float]:
+        """Overhead savings excluding the NaN a degenerate point returns."""
+        return [saving for m in self.measurements
+                if not math.isnan(saving := m.overhead_saving)]
+
     @property
     def min_saving(self) -> float:
-        return min(m.overhead_saving for m in self.measurements)
+        finite = self._finite_savings()
+        return min(finite) if finite else float("nan")
 
     @property
     def max_saving(self) -> float:
-        return max(m.overhead_saving for m in self.measurements)
+        finite = self._finite_savings()
+        return max(finite) if finite else float("nan")
+
+
+def policy_jobs(params: EnergyParams, rounds: int = 2,
+                key: int = 0x133457799BBCDFF1,
+                plaintext: int = 0x0123456789ABCDEF) -> list[SimJob]:
+    """The four policy-comparison simulations as engine jobs."""
+    spec = DesProgramSpec(rounds=rounds)
+    return [SimJob(program=CompileRequest(spec=spec, masking=masking,
+                                          policy=policy),
+                   des_pair=(key, plaintext), params=params, label=name)
+            for name, masking, policy in POLICY_VARIANTS]
 
 
 def measure_policies(params: EnergyParams, rounds: int = 2,
                      key: int = 0x133457799BBCDFF1,
-                     plaintext: int = 0x0123456789ABCDEF
-                     ) -> dict[str, float]:
+                     plaintext: int = 0x0123456789ABCDEF,
+                     jobs: int = 1) -> dict[str, float]:
     """Total µJ for the four masking policies under given parameters."""
-    spec = DesProgramSpec(rounds=rounds)
-    base = compile_des(spec, masking="none")
-    selective = compile_des(spec, masking="selective")
-    programs = {
-        "none": base.program,
-        "selective": selective.program,
-        "all-loads-stores": apply_policy(base.program,
-                                         MaskingPolicy.ALL_LOADS_STORES),
-        "all": apply_policy(base.program, MaskingPolicy.ALL),
-    }
-    return {name: des_run(program, key, plaintext, params=params).total_uj
-            for name, program in programs.items()}
+    results = run_jobs(policy_jobs(params, rounds=rounds, key=key,
+                                   plaintext=plaintext), jobs=jobs)
+    return {result.label: result.total_uj for result in results}
 
 
 def sensitivity_sweep(parameter: str,
                       factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5,
                                                     2.0),
                       base_params: EnergyParams = DEFAULT_PARAMS,
-                      rounds: int = 2) -> SweepResult:
-    """Scale one parameter by each factor and re-measure the policies."""
+                      rounds: int = 2, jobs: int = 1) -> SweepResult:
+    """Scale one parameter by each factor and re-measure the policies.
+
+    With ``jobs>1`` every ``factor × policy`` simulation of the sweep is
+    one pool job, so the whole sweep parallelizes — not just the four runs
+    within a point.
+    """
     if parameter not in SWEEPABLE:
         raise ValueError(f"unknown sweep parameter {parameter!r}; "
                          f"choose from {SWEEPABLE}")
-    result = SweepResult(parameter=parameter)
+    batch: list[SimJob] = []
     for factor in factors:
         scaled = base_params.scaled(
             **{parameter: getattr(base_params, parameter) * factor})
-        totals = measure_policies(scaled, rounds=rounds)
+        batch.extend(policy_jobs(scaled, rounds=rounds))
+    results = run_jobs(batch, jobs=jobs)
+    width = len(POLICY_VARIANTS)
+    result = SweepResult(parameter=parameter)
+    for position, factor in enumerate(factors):
+        point = results[position * width:(position + 1) * width]
+        totals = {job_result.label: job_result.total_uj
+                  for job_result in point}
         result.measurements.append(PolicyMeasurement(factor=factor,
                                                      totals_uj=totals))
     return result

@@ -37,6 +37,16 @@ def test_welch_t_needs_two_per_group():
     assert list(welch_t_statistic(traces, np.array([1, 0, 0]))) == [0.0, 0.0]
 
 
+def test_welch_t_length_mismatch():
+    with pytest.raises(ValueError):
+        welch_t_statistic(np.ones((4, 2)), np.array([0, 1]))
+
+
+def test_signal_to_noise_length_mismatch():
+    with pytest.raises(ValueError):
+        signal_to_noise(np.ones((4, 2)), np.array([0, 1, 0, 1, 0]))
+
+
 def test_welch_t_detects_difference():
     rng = np.random.default_rng(1)
     group0 = rng.normal(0.0, 0.1, size=(50, 3))

@@ -55,6 +55,23 @@ def test_noise_sigma_scales():
     assert large > 5 * small
 
 
+def test_noise_counted_in_totals():
+    """Injected noise must not desynchronize the tracker's running totals
+    from the per-cycle trace (it is booked under the "noise" key)."""
+    result = run_with_trace(assemble(SOURCE), noise_sigma=5.0, noise_seed=3)
+    tracker = result.tracker
+    assert tracker.totals["noise"] != 0.0
+    assert tracker.total_energy_pj == pytest.approx(result.trace.total_pj)
+    assert sum(tracker.totals.values()) == pytest.approx(
+        sum(tracker.cycle_energy))
+    assert result.total_uj == pytest.approx(result.trace.total_uj)
+
+
+def test_noiseless_run_has_zero_noise_total():
+    result = run_with_trace(assemble(SOURCE))
+    assert result.tracker.totals["noise"] == 0.0
+
+
 def test_noise_buffer_refills_for_long_runs():
     """Runs longer than the 4096-sample buffer must keep injecting."""
     tracker = EnergyTracker(noise_sigma=2.0, noise_seed=5)

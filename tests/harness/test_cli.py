@@ -93,6 +93,23 @@ def test_experiment_runs_fast_one(capsys):
     assert "normal_mean_pj" in out
 
 
+def test_experiment_jobs_flag_parses():
+    from repro.cli import build_parser
+
+    arguments = build_parser().parse_args(["experiment", "dpa",
+                                           "--jobs", "4"])
+    assert arguments.jobs == 4
+    assert build_parser().parse_args(["experiment", "dpa"]).jobs == 1
+
+
+def test_experiment_jobs_flag_on_serial_experiment(capsys):
+    """--jobs on an experiment without batch loops warns but still runs."""
+    assert main(["experiment", "xor-op", "--jobs", "2"]) == 0
+    captured = capsys.readouterr()
+    assert "normal_mean_pj" in captured.out
+    assert "--jobs not applicable" in captured.err
+
+
 def test_run_fast_mode(sc_file, capsys):
     assert main(["run", sc_file, "--fast", "--input", "k=3",
                  "--dump", "out"]) == 0

@@ -1,0 +1,154 @@
+"""Batch engine: determinism vs the serial path, compile cache, profiling."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dpa import collect_traces, random_plaintexts
+from repro.harness.engine import (CompileCache, CompileRequest, SimJob,
+                                  execute_job, run_jobs)
+from repro.harness.profiling import job_timings, profile_batch
+from repro.harness.sweeps import measure_policies, sensitivity_sweep
+from repro.isa.assembler import assemble
+from repro.programs.des_source import DesProgramSpec
+from repro.programs.workloads import compile_des
+
+KEY = 0x133457799BBCDFF1
+
+ASM = """
+.data
+x: .word 5
+.text
+lw $t0, x
+xor $t1, $t0, $t0
+sw $t1, x
+nop
+halt
+"""
+
+TINY_SPEC = DesProgramSpec(rounds=0, include_ip=False, include_fp=False)
+
+
+# -- serial semantics -------------------------------------------------------
+
+
+def test_serial_results_match_runner():
+    program = assemble(ASM)
+    results = run_jobs([SimJob(program=program, label="a"),
+                        SimJob(program=program, label="b")])
+    assert [r.label for r in results] == ["a", "b"]
+    for result in results:
+        assert result.cycles == len(result.energy)
+        assert result.total_pj == pytest.approx(sum(result.totals.values()))
+        assert result.wall_time_s > 0
+        assert result.cache_hit is None  # prebuilt program, no cache
+
+
+def test_progress_callback_counts():
+    program = assemble(ASM)
+    seen = []
+    run_jobs([SimJob(program=program)] * 3,
+             progress=lambda done, total: seen.append((done, total)))
+    assert seen == [(1, 3), (2, 3), (3, 3)]
+
+
+def test_job_result_trace_navigation():
+    program = compile_des(TINY_SPEC, masking="none").program
+    result = execute_job(SimJob(program=program, des_pair=(KEY, 0)))
+    assert result.markers  # key permutation markers survive the hop
+    assert result.trace.total_pj == pytest.approx(result.total_pj)
+
+
+# -- compile cache ----------------------------------------------------------
+
+
+def test_compile_cache_memory_and_disk(tmp_path):
+    request = CompileRequest(spec=TINY_SPEC, masking="none")
+    cache = CompileCache(directory=tmp_path)
+    first = cache.program_for(request)
+    assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+    assert cache.program_for(request) is first  # memory hit
+    assert cache.stats.hits == 1
+
+    fresh = CompileCache(directory=tmp_path)  # simulates another process
+    loaded = fresh.program_for(request)
+    assert (fresh.stats.hits, fresh.stats.misses) == (1, 0)
+    assert [str(i) for i in loaded.text] == [str(i) for i in first.text]
+    assert loaded.data == first.data
+
+
+def test_compile_cache_distinguishes_variants(tmp_path):
+    cache = CompileCache(directory=tmp_path)
+    unmasked = cache.program_for(CompileRequest(spec=TINY_SPEC,
+                                                masking="none"))
+    masked = cache.program_for(CompileRequest(spec=TINY_SPEC,
+                                              masking="selective"))
+    assert cache.stats.misses == 2
+    assert unmasked.secure_fraction() == 0.0
+    assert masked.secure_fraction() > 0.0
+
+
+def test_compile_request_rejects_unknown_cipher():
+    with pytest.raises(ValueError):
+        CompileRequest(cipher="3des").compile()
+
+
+# -- parallel == serial (the headline determinism guarantee) ----------------
+
+
+def test_parallel_dpa_collection_bit_identical():
+    program = compile_des(DesProgramSpec(rounds=1, include_fp=False),
+                          masking="none").program
+    plaintexts = random_plaintexts(4)
+    serial = collect_traces(program, KEY, plaintexts, noise_sigma=2.0)
+    parallel = collect_traces(program, KEY, plaintexts, noise_sigma=2.0,
+                              jobs=4)
+    assert np.array_equal(serial.traces, parallel.traces)
+    assert serial.plaintexts == parallel.plaintexts
+    assert serial.window == parallel.window
+
+
+def test_parallel_sweep_bit_identical():
+    from repro import DEFAULT_PARAMS
+
+    serial = measure_policies(DEFAULT_PARAMS, rounds=1)
+    parallel = measure_policies(DEFAULT_PARAMS, rounds=1, jobs=4)
+    assert serial == parallel  # exact float equality, not approx
+
+    sweep_serial = sensitivity_sweep("c_data_bus", factors=(1.0,), rounds=1)
+    sweep_parallel = sensitivity_sweep("c_data_bus", factors=(1.0,),
+                                       rounds=1, jobs=4)
+    assert sweep_serial.measurements[0].totals_uj \
+        == sweep_parallel.measurements[0].totals_uj
+    assert sweep_serial.min_saving == sweep_parallel.min_saving
+
+
+def test_parallel_progress_reaches_total():
+    program = assemble(ASM)
+    seen = []
+    run_jobs([SimJob(program=program)] * 3, jobs=2,
+             progress=lambda done, total: seen.append((done, total)))
+    assert seen[-1] == (3, 3)
+    assert [done for done, _ in seen] == [1, 2, 3]
+
+
+# -- observability ----------------------------------------------------------
+
+
+def test_profile_batch_and_timings():
+    request = CompileRequest(spec=TINY_SPEC, masking="none")
+    results = run_jobs([
+        SimJob(program=request, des_pair=(KEY, 0), label="first"),
+        SimJob(program=request, des_pair=(KEY, 0), label="second"),
+        SimJob(program=assemble(ASM), label="raw"),
+    ])
+    profile = profile_batch(results)
+    assert profile.jobs == 3
+    assert profile.cache_hits >= 1   # second request reuses the first
+    assert profile.cache_untracked == 1
+    assert profile.total_wall_s >= profile.max_wall_s > 0
+    assert profile.mean_wall_s == pytest.approx(profile.total_wall_s / 3)
+    assert len(profile.rows()) == 5
+
+    timings = job_timings(results)
+    assert {label for label, _ in timings} == {"first", "second", "raw"}
+    assert timings[0][1] >= timings[-1][1]

@@ -3,8 +3,13 @@ benchmarks)."""
 
 import pytest
 
-from repro.harness.sweeps import (PolicyMeasurement, SWEEPABLE,
+from repro.harness.sweeps import (PolicyMeasurement, SWEEPABLE, SweepResult,
                                   measure_policies, sensitivity_sweep)
+
+GOOD_TOTALS = {"none": 10.0, "selective": 11.0, "all-loads-stores": 13.0,
+               "all": 18.0}
+DEGENERATE_TOTALS = {"none": 10.0, "selective": 10.0,
+                     "all-loads-stores": 10.0, "all": 10.0}
 
 
 def test_unknown_parameter_rejected():
@@ -47,6 +52,27 @@ def test_degenerate_measurement():
     assert not measurement.ordering_holds
     import math
     assert math.isnan(measurement.overhead_saving)
+
+
+def test_saving_range_ignores_nan_points():
+    """A degenerate point's NaN must not poison min/max (the result of
+    min()/max() over a NaN-bearing list depends on element order)."""
+    degenerate = PolicyMeasurement(factor=0.5, totals_uj=DEGENERATE_TOTALS)
+    good = PolicyMeasurement(factor=1.0, totals_uj=GOOD_TOTALS)
+    for ordering in ([degenerate, good], [good, degenerate]):
+        sweep = SweepResult(parameter="c_data_bus",
+                            measurements=list(ordering))
+        assert sweep.min_saving == pytest.approx(1 - 1 / 8)
+        assert sweep.max_saving == pytest.approx(1 - 1 / 8)
+
+
+def test_saving_range_all_nan_propagates():
+    import math
+
+    sweep = SweepResult(parameter="c_data_bus", measurements=[
+        PolicyMeasurement(factor=1.0, totals_uj=DEGENERATE_TOTALS)])
+    assert math.isnan(sweep.min_saving)
+    assert math.isnan(sweep.max_saving)
 
 
 def test_sweepable_parameters_exist_on_params():
