@@ -6,7 +6,10 @@ Commands:
 * ``asm FILE.s``        — assemble and print the program listing
 * ``run FILE``          — run a .s or .sc file on the energy simulator
 * ``experiment ID``     — run one registered paper experiment
+  (``--manifest``/``--metrics-out`` enable the observability sink and
+  write the run manifest / metrics snapshot)
 * ``experiments``       — list the experiment registry
+* ``obs summarize``     — render, aggregate, and diff run manifests
 """
 
 from __future__ import annotations
@@ -113,14 +116,22 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
 
     from .harness.experiments import EXPERIMENTS, run_experiment
 
+    observing = bool(arguments.manifest or arguments.metrics_out)
     kwargs = {}
+    jobs_effective = 1
     function = EXPERIMENTS.get(arguments.id)
-    if function is not None \
-            and "jobs" in inspect.signature(function).parameters:
+    signature = inspect.signature(function) if function is not None else None
+    if signature is not None and "jobs" in signature.parameters:
         kwargs["jobs"] = arguments.jobs
+        jobs_effective = arguments.jobs
     elif function is not None and arguments.jobs != 1:
         print(f"note: experiment {arguments.id!r} runs serially "
-              "(--jobs not applicable)", file=sys.stderr)
+              f"(--jobs not applicable; requested {arguments.jobs}, "
+              "effective jobs=1)", file=sys.stderr)
+    if observing:
+        from . import obs
+
+        obs.enable()
     result = run_experiment(arguments.id, **kwargs)
     print(f"[{result.experiment_id}] {result.title}")
     for key, value in result.summary.items():
@@ -134,6 +145,74 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         save_experiment_json(result, arguments.json,
                              include_series=not arguments.no_series)
         print(f"saved {arguments.json}")
+    if observing:
+        _write_observability(arguments, result, signature, jobs_effective)
+    return 0
+
+
+def _write_observability(arguments: argparse.Namespace, result,
+                         signature, jobs_effective: int) -> None:
+    """Build and persist the run manifest / metrics snapshot."""
+    import inspect
+    import json
+    from dataclasses import asdict
+
+    from . import obs
+    from .energy.params import DEFAULT_PARAMS
+
+    config: dict = {
+        "experiment": arguments.id,
+        #: --jobs is recorded even when an experiment ignores it, so a
+        #: manifest always attributes its numbers to the worker count
+        #: that actually produced them.
+        "jobs_requested": arguments.jobs,
+        "jobs_effective": jobs_effective,
+        "energy_params": asdict(DEFAULT_PARAMS),
+    }
+    if signature is not None:
+        # Seeds, trace counts, rounds, ... — the experiment's resolved
+        # defaults are part of what produced the numbers.
+        config["experiment_defaults"] = {
+            name: parameter.default
+            for name, parameter in signature.parameters.items()
+            if parameter.default is not inspect.Parameter.empty
+            and name not in ("params", "jobs")}
+    manifest = obs.build_manifest(experiment_id=result.experiment_id,
+                                  config=config, summary=result.summary)
+    if arguments.manifest:
+        path = obs.write_manifest(manifest, arguments.manifest)
+        print(f"saved manifest {path}")
+    if arguments.metrics_out:
+        Path(arguments.metrics_out).write_text(
+            json.dumps(manifest["metrics"], indent=2, sort_keys=True))
+        print(f"saved metrics {arguments.metrics_out}")
+
+
+def cmd_obs_summarize(arguments: argparse.Namespace) -> int:
+    """Render one manifest; aggregate and diff when given several."""
+    from . import obs
+    from .obs.registry import snapshot_totals
+
+    manifests = [obs.load_manifest(path) for path in arguments.manifests]
+    for manifest in manifests:
+        print(obs.summarize_manifest(manifest))
+        print()
+    if len(manifests) >= 2:
+        aggregate = obs.aggregate_manifests(manifests)
+        print(f"aggregate of {aggregate['manifests']} manifests "
+              f"({', '.join(aggregate['experiment_ids'])}):")
+        for name, value in snapshot_totals(aggregate["metrics"]).items():
+            formatted = f"{value:,.3f}" if isinstance(value, float) \
+                and not float(value).is_integer() else f"{int(value):,}"
+            print(f"  {name:<56} {formatted}")
+    if len(manifests) == 2:
+        print()
+        print("diff (first -> second):")
+        for name, before, after in obs.diff_totals(*manifests):
+            if before == after:
+                continue
+            print(f"  {name:<56} {before:,.3f} -> {after:,.3f} "
+                  f"({after - before:+,.3f})")
     return 0
 
 
@@ -193,11 +272,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--json", help="save the full result as JSON")
     p_exp.add_argument("--no-series", action="store_true",
                        help="omit per-cycle series from the JSON")
+    p_exp.add_argument("--manifest",
+                       help="enable the observability sink and write the "
+                            "run manifest (config, metrics, span tree) "
+                            "to this path")
+    p_exp.add_argument("--metrics-out",
+                       help="enable the observability sink and write the "
+                            "metrics snapshot JSON to this path")
     p_exp.set_defaults(func=cmd_experiment)
 
     p_list = subparsers.add_parser("experiments",
                                    help="list registered experiments")
     p_list.set_defaults(func=cmd_experiments)
+
+    p_obs = subparsers.add_parser(
+        "obs", help="inspect observability artifacts (run manifests)")
+    obs_subparsers = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_summarize = obs_subparsers.add_parser(
+        "summarize",
+        help="render manifests; with several, aggregate (and diff a pair)")
+    p_summarize.add_argument("manifests", nargs="+",
+                             metavar="MANIFEST.json")
+    p_summarize.set_defaults(func=cmd_obs_summarize)
     return parser
 
 

@@ -35,6 +35,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import obs
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.trace import EnergyTrace
 from ..isa.program import Program
@@ -247,6 +248,12 @@ class JobResult:
     vector, phase markers, per-component totals — plus the observability
     fields: per-job wall time and whether the compile cache hit
     (``cache_hit is None`` when the job shipped a prebuilt program).
+
+    When the observability sink is enabled (:mod:`repro.obs`), the worker
+    additionally serializes its scoped metrics snapshot and span tree
+    here; :func:`run_jobs` merges them into the parent's registry in
+    submission order, so the aggregate is deterministic regardless of
+    worker scheduling.
     """
 
     label: str
@@ -257,6 +264,10 @@ class JobResult:
     components: Optional[np.ndarray] = None
     wall_time_s: float = 0.0
     cache_hit: Optional[bool] = None
+    #: Scoped per-job metrics snapshot (observability sink enabled only).
+    metrics: Optional[dict] = None
+    #: Scoped per-job span tree (observability sink enabled only).
+    spans: Optional[list] = None
 
     @property
     def total_pj(self) -> float:
@@ -278,17 +289,44 @@ class JobResult:
 
 
 def execute_job(job: SimJob) -> JobResult:
-    """Run one job in the current process (the workers' entry point)."""
+    """Run one job in the current process (the workers' entry point).
+
+    With the observability sink enabled the job runs inside a fresh
+    :func:`repro.obs.scope` — a ``job`` span wrapping ``compile`` and
+    ``execute`` — and ships the scoped snapshot/span tree back on the
+    :class:`JobResult` for the parent to merge.
+    """
+    if not obs.enabled():
+        return _execute_job_inner(job)
+    with obs.scope() as scoped:
+        with obs.span("job", label=job.label):
+            result = _execute_job_inner(job)
+        result.metrics = scoped.registry.snapshot()
+        result.spans = scoped.tracer.tree()
+    return result
+
+
+def _execute_job_inner(job: SimJob) -> JobResult:
     from .runner import run_with_trace
 
+    observing = obs.enabled()
     start = time.perf_counter()
     cache_hit = None
     program = job.program
     if isinstance(program, CompileRequest):
-        cache = default_cache()
-        hits_before = cache.stats.hits
-        program = cache.program_for(job.program)
-        cache_hit = cache.stats.hits > hits_before
+        with obs.span("compile", cipher=job.program.cipher,
+                      masking=job.program.masking):
+            cache = default_cache()
+            hits_before = cache.stats.hits
+            program = cache.program_for(job.program)
+            cache_hit = cache.stats.hits > hits_before
+        if observing:
+            obs.counter("compile_cache_lookups",
+                        "compile cache resolutions by outcome") \
+                .inc(result="hit" if cache_hit else "miss")
+    elif observing:
+        obs.counter("jobs_prebuilt",
+                    "jobs that shipped a prebuilt program").inc()
     inputs = dict(job.inputs) if job.inputs else {}
     if job.des_pair is not None:
         from ..programs.workloads import key_words, plaintext_words
@@ -336,6 +374,7 @@ def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
             results.append(execute_job(job))
             if progress is not None:
                 progress(index + 1, total)
+        _merge_observability(results)
         return results
     results: list[Optional[JobResult]] = [None] * total
     done = 0
@@ -348,4 +387,28 @@ def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
             done += 1
             if progress is not None:
                 progress(done, total)
+    _merge_observability(results)
     return results  # type: ignore[return-value]
+
+
+def _merge_observability(results: Sequence[Optional[JobResult]]) -> None:
+    """Fold per-job scoped metrics/spans into the caller's context.
+
+    Always in submission order, so the aggregated registry and span tree
+    are identical for ``jobs=1`` and any worker count.  Additionally
+    records a wall-time histogram of the batch's jobs.
+    """
+    if not obs.enabled():
+        return
+    registry = obs.registry()
+    tracer = obs.tracer()
+    wall = registry.histogram("job_wall_seconds",
+                              "per-job wall time inside the worker")
+    for result in results:
+        if result is None:
+            continue
+        wall.observe(result.wall_time_s)
+        if result.metrics:
+            registry.merge_snapshot(result.metrics)
+        if result.spans:
+            tracer.attach(result.spans)

@@ -838,10 +838,22 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one registered experiment by id."""
+    """Run one registered experiment by id.
+
+    With the observability sink enabled the experiment runs under an
+    ``experiment`` span (jobs/compiles/executions nest beneath it) and
+    bumps ``experiments_run{experiment=...}``.
+    """
+    from .. import obs
+
     try:
         function = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: "
                        f"{sorted(EXPERIMENTS)}") from None
-    return function(**kwargs)
+    with obs.span("experiment", id=experiment_id):
+        result = function(**kwargs)
+    if obs.enabled():
+        obs.counter("experiments_run", "registered experiments executed") \
+            .inc(experiment=experiment_id)
+    return result

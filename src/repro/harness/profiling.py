@@ -15,11 +15,12 @@ Used by the trace-inspection example and by ablation analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..energy.trace import EnergyTrace
 from ..energy.tracker import COMPONENTS
+from ..obs.registry import MetricsRegistry
 from .runner import RunResult
 
 
@@ -46,6 +47,13 @@ def phase_energy(trace: EnergyTrace,
     ``labels`` optionally maps marker values to phase names; unlabeled
     markers use ``marker=<value>``.  A leading pre-marker span and a
     trailing post-marker span are included when nonempty.
+
+    When two markers land on the **same cycle** (a phase that compiled to
+    zero instructions, e.g. a ``rounds=0`` spec emitting round-start and
+    FP-start back to back), the earlier marker is emitted as a
+    *zero-cycle* phase instead of being silently dropped — every marker
+    the program fired appears in the profile, and the energies still sum
+    to the trace total.
     """
     markers = sorted(trace.markers)
     phases: list[PhaseEnergy] = []
@@ -63,6 +71,10 @@ def phase_energy(trace: EnergyTrace,
             phases.append(PhaseEnergy(
                 label=label, start_cycle=start, end_cycle=end,
                 energy_pj=float(trace.energy[start:end].sum())))
+        elif label != "start":
+            # Zero-length marker span: keep the label, carry no energy.
+            phases.append(PhaseEnergy(label=label, start_cycle=start,
+                                      end_cycle=start, energy_pj=0.0))
     return phases
 
 
@@ -86,6 +98,13 @@ def component_breakdown(run: RunResult) -> list[tuple[str, float, float]]:
 class BatchProfile:
     """Aggregated observability for one engine batch.
 
+    Built **on top of the metrics registry** (:mod:`repro.obs.registry`):
+    :func:`profile_batch` folds every job into a scratch registry — a
+    ``job_wall_seconds`` histogram plus ``compile_cache_lookups`` /
+    ``jobs_prebuilt`` counters — and the profile's scalar fields are read
+    back from it.  ``metrics`` carries the full registry snapshot so the
+    profile can be embedded in a run manifest or merged with others.
+
     ``cache_hits``/``cache_misses`` count jobs resolved through the
     compile cache; ``cache_untracked`` counts jobs that shipped a prebuilt
     program (no cache involved).  Wall times are per-job, as measured
@@ -99,6 +118,22 @@ class BatchProfile:
     cache_hits: int
     cache_misses: int
     cache_untracked: int
+    metrics: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "BatchProfile":
+        """Derive the scalar profile from a registry filled per job."""
+        wall = registry.histogram("job_wall_seconds").summary()
+        lookups = registry.counter("compile_cache_lookups")
+        prebuilt = registry.counter("jobs_prebuilt")
+        return cls(jobs=int(wall["count"]),
+                   total_wall_s=wall["sum"],
+                   mean_wall_s=wall["mean"],
+                   max_wall_s=wall["max"],
+                   cache_hits=int(lookups.value(result="hit")),
+                   cache_misses=int(lookups.value(result="miss")),
+                   cache_untracked=int(prebuilt.value()),
+                   metrics=registry.snapshot())
 
     def rows(self) -> list[tuple[str, str]]:
         """Human-readable (metric, value) rows for report tables."""
@@ -114,18 +149,30 @@ class BatchProfile:
 
 
 def profile_batch(results: Sequence) -> BatchProfile:
-    """Aggregate :class:`~repro.harness.engine.JobResult` observability."""
+    """Aggregate :class:`~repro.harness.engine.JobResult` observability.
+
+    Raises :class:`ValueError` on an empty batch: an all-zero profile is
+    indistinguishable from a batch of instantaneous jobs, so callers must
+    not silently receive one.
+    """
     results = list(results)
-    wall_times = [result.wall_time_s for result in results]
-    total_wall = float(sum(wall_times))
-    return BatchProfile(
-        jobs=len(results),
-        total_wall_s=total_wall,
-        mean_wall_s=total_wall / len(results) if results else 0.0,
-        max_wall_s=max(wall_times) if wall_times else 0.0,
-        cache_hits=sum(1 for r in results if r.cache_hit is True),
-        cache_misses=sum(1 for r in results if r.cache_hit is False),
-        cache_untracked=sum(1 for r in results if r.cache_hit is None))
+    if not results:
+        raise ValueError("profile_batch: empty batch (no JobResults); "
+                         "nothing to profile")
+    registry = MetricsRegistry()
+    wall = registry.histogram("job_wall_seconds",
+                              "per-job wall time inside the worker")
+    lookups = registry.counter("compile_cache_lookups",
+                               "compile cache resolutions by outcome")
+    prebuilt = registry.counter("jobs_prebuilt",
+                                "jobs that shipped a prebuilt program")
+    for result in results:
+        wall.observe(result.wall_time_s)
+        if result.cache_hit is None:
+            prebuilt.inc()
+        else:
+            lookups.inc(result="hit" if result.cache_hit else "miss")
+    return BatchProfile.from_registry(registry)
 
 
 def job_timings(results: Sequence) -> list[tuple[str, float]]:

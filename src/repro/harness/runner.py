@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.trace import EnergyTrace
 from ..energy.tracker import EnergyTracker
@@ -44,16 +45,54 @@ def run_with_trace(program: Program,
                    noise_sigma: float = 0.0,
                    noise_seed: int = 0,
                    operand_isolation: bool = True) -> RunResult:
-    """Assembled program + symbol inputs -> executed RunResult with trace."""
+    """Assembled program + symbol inputs -> executed RunResult with trace.
+
+    When the observability sink is enabled (:func:`repro.obs.enabled`),
+    the run executes under an ``execute`` span, collects the dynamic
+    instruction mix, and publishes pipeline/energy metrics to the current
+    registry; with the sink disabled (the default) the simulated path is
+    identical to an uninstrumented runner.
+    """
+    observing = obs.enabled()
     tracker = EnergyTracker(params, collect_components=collect_components,
                             noise_sigma=noise_sigma, noise_seed=noise_seed)
     cpu = CPU(program, tracker=tracker,
-              operand_isolation=operand_isolation)
+              operand_isolation=operand_isolation, collect_mix=observing)
     if inputs:
         for symbol, words in inputs.items():
             cpu.write_symbol_words(symbol, words)
-    cpu.run(max_cycles=max_cycles)
+    with obs.span("execute", label=label):
+        cpu.run(max_cycles=max_cycles)
+    if observing:
+        _publish_run_metrics(cpu, tracker)
     return RunResult(cpu, tracker, label=label)
+
+
+def _publish_run_metrics(cpu: CPU, tracker: EnergyTracker) -> None:
+    """Post-run metric publication (observability sink enabled only)."""
+    registry = obs.registry()
+    pipeline = cpu.pipeline
+    executed = registry.counter(
+        "instructions_executed",
+        "retired instructions by opcode and secure bit")
+    for (op, secure), count in sorted(pipeline.opcode_mix.items()):
+        executed.inc(count, opcode=op, secure=secure)
+    registry.counter("instructions_retired",
+                     "retired instructions by secure bit") \
+        .inc(pipeline.secure_retired, secure=True)
+    registry.counter("instructions_retired") \
+        .inc(pipeline.retired - pipeline.secure_retired, secure=False)
+    registry.counter("stall_cycles", "pipeline stalls by cause") \
+        .inc(pipeline.stall_cycles, reason="load_use")
+    registry.counter("squashed_instructions",
+                     "instructions squashed by cause") \
+        .inc(pipeline.squashed_instructions, reason="redirect")
+    taken = pipeline.branches_taken
+    registry.counter("branches_executed", "branches by outcome") \
+        .inc(taken, outcome="taken")
+    registry.counter("branches_executed") \
+        .inc(pipeline.branches_executed - taken, outcome="not_taken")
+    tracker.publish_metrics(registry)
 
 
 def des_run(program: Program, key64: int, plaintext64: int,

@@ -17,11 +17,13 @@ class CPU:
     """
 
     def __init__(self, program: Program, tracker=None,
-                 operand_isolation: bool = True):
+                 operand_isolation: bool = True,
+                 collect_mix: bool = False):
         self.program = program
         self.memory = Memory()
         self.pipeline = Pipeline(program, self.memory, tracker=tracker,
-                                 operand_isolation=operand_isolation)
+                                 operand_isolation=operand_isolation,
+                                 collect_mix=collect_mix)
 
     @property
     def regs(self):

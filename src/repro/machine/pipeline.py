@@ -102,7 +102,8 @@ class Pipeline:
     """Cycle-accurate five-stage pipeline over a loaded program image."""
 
     def __init__(self, program: Program, memory: Optional[Memory] = None,
-                 tracker=None, operand_isolation: bool = True):
+                 tracker=None, operand_isolation: bool = True,
+                 collect_mix: bool = False):
         self.program = program
         self.memory = memory if memory is not None else Memory()
         self.memory.load_image(program.data_base, program.data)
@@ -139,6 +140,11 @@ class Pipeline:
         self.loads_executed = 0
         self.stores_executed = 0
         self.secure_retired = 0
+        #: Dynamic instruction mix, (op, secure) -> retired count.  Only
+        #: collected when requested (the observability layer asks for it);
+        #: the default path pays a single attribute test per retirement.
+        self._mix: Optional[dict[tuple[str, bool], int]] = \
+            {} if collect_mix else None
 
     @property
     def stats(self) -> dict[str, int | float]:
@@ -157,6 +163,14 @@ class Pipeline:
             "secure_fraction_dynamic":
                 self.secure_retired / max(1, self.retired),
         }
+
+    @property
+    def opcode_mix(self) -> dict[tuple[str, bool], int]:
+        """Retired-instruction mix as ``(op, secure) -> count``.
+
+        Empty unless the pipeline was built with ``collect_mix=True``.
+        """
+        return dict(self._mix) if self._mix is not None else {}
 
     # ------------------------------------------------------------------
 
@@ -185,6 +199,9 @@ class Pipeline:
             self.halted = True
         if wb_ins is not BUBBLE:
             self.retired += 1
+            if self._mix is not None:
+                mix_key = (wb_ins.op, wb_ins.secure)
+                self._mix[mix_key] = self._mix.get(mix_key, 0) + 1
             if wb_ins.secure:
                 self.secure_retired += 1
             if wb_ins.spec.is_load:

@@ -169,5 +169,21 @@ def audit_masking(program: Program, secret_symbols: dict[str, int],
                   inputs: Optional[dict[str, list[int]]] = None,
                   max_instructions: int = 50_000_000) -> AuditReport:
     """Run the dynamic taint audit on one execution of ``program``."""
+    from .. import obs
+
     auditor = TaintAuditor(program, secret_symbols, inputs)
-    return auditor.run(max_instructions=max_instructions)
+    with obs.span("audit", secrets=",".join(sorted(secret_symbols))):
+        report = auditor.run(max_instructions=max_instructions)
+    if obs.enabled():
+        registry = obs.registry()
+        registry.counter("audit_instructions_executed",
+                         "instructions the taint audit stepped through") \
+            .inc(report.instructions_executed)
+        registry.counter("audit_tainted_instructions",
+                         "executed instructions that touched secret data") \
+            .inc(report.tainted_instructions)
+        violations = registry.counter(
+            "audit_violations", "insecure touches of tainted data by kind")
+        for violation in report.violations:
+            violations.inc(kind=violation.kind)
+    return report

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import enum
 
+from .. import obs
 from ..isa.instructions import Instruction
 from ..isa.program import Program
 
@@ -68,8 +69,18 @@ def apply_policy(program: Program, policy: MaskingPolicy) -> Program:
     if policy is MaskingPolicy.NONE:
         return program
     if policy is MaskingPolicy.ALL_LOADS_STORES:
-        return secure_all_loads_stores(program)
-    if policy is MaskingPolicy.ALL:
-        return secure_all(program)
-    raise ValueError(
-        f"policy {policy} is compiler-driven; use compile_source(masking=...)")
+        rewritten = secure_all_loads_stores(program)
+    elif policy is MaskingPolicy.ALL:
+        rewritten = secure_all(program)
+    else:
+        raise ValueError(f"policy {policy} is compiler-driven; "
+                         "use compile_source(masking=...)")
+    if obs.enabled():
+        secured = sum(1 for before, after
+                      in zip(program.text, rewritten.text)
+                      if after.secure and not before.secure)
+        obs.counter("policy_secured_instructions",
+                    "static instructions a masking policy rewrote "
+                    "to secure mode") \
+            .inc(secured, policy=policy.value)
+    return rewritten

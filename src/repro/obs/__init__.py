@@ -1,0 +1,176 @@
+"""repro.obs — structured observability for the simulator stack.
+
+Three pieces, all zero-dependency:
+
+* a **metrics registry** (:mod:`repro.obs.registry`): labeled counters,
+  gauges, and histograms — ``instructions_executed{opcode=xor,
+  secure=true}``, ``energy_component_pj{component=dbus}``,
+  ``compile_cache_lookups{result=hit}``;
+* **span tracing** (:mod:`repro.obs.spans`): nested context-manager
+  spans with wall and CPU time — ``experiment > job > compile >
+  execute``;
+* **run manifests** (:mod:`repro.obs.manifest`): one JSON document per
+  run capturing package version, toolchain fingerprint, configuration,
+  metric snapshot, and span tree, written atomically next to results.
+
+The sink is **off by default**: every instrumentation site in the hot
+layers is gated on :func:`enabled`, so an un-observed run executes the
+exact seed code path (energy output bit-identical, overhead limited to
+one predicate per run — never per cycle).  Enable it programmatically
+(:func:`enable`), per scope (:func:`scope`), or from the environment
+(``REPRO_OBS=1``).  :func:`enable` also exports ``REPRO_OBS=1`` so pool
+workers observe themselves under either fork or spawn start methods; a
+worker's registry snapshot and span tree ride home on its
+:class:`~repro.harness.engine.JobResult` and merge deterministically in
+submission order.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    with obs.span("experiment", id="tab1"):
+        result = run_experiment("tab1")
+    manifest = obs.build_manifest(experiment_id="tab1", config={...})
+    obs.write_manifest(manifest, "tab1.manifest.json")
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .manifest import (aggregate_manifests, build_manifest, diff_totals,
+                       load_manifest, summarize_manifest, write_manifest)
+from .registry import (CardinalityError, Counter, Gauge, Histogram,
+                       MetricsRegistry, snapshot_totals)
+from .spans import SpanRecord, Tracer, render_tree
+
+__all__ = [
+    "CardinalityError", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "ObsContext", "SpanRecord", "Tracer", "aggregate_manifests",
+    "build_manifest", "diff_totals", "disable", "enable", "enabled",
+    "load_manifest", "registry", "render_tree", "scope", "snapshot_totals",
+    "span", "summarize_manifest", "tracer", "write_manifest",
+]
+
+
+class ObsContext:
+    """One observability scope: a registry plus a tracer.
+
+    The engine pushes a fresh context around each job so per-job metrics
+    and spans serialize independently of whatever else the process has
+    recorded.
+    """
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+
+_context_stack: list[ObsContext] = [ObsContext()]
+
+_ENV_FLAG = "REPRO_OBS"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_FLAG, "").strip().lower() \
+        not in ("", "0", "false", "off")
+
+
+_enabled = _env_enabled()
+
+
+def enabled() -> bool:
+    """Is the observability sink collecting?  (Default: off.)"""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn the sink on, for this process and any future workers."""
+    global _enabled
+    _enabled = True
+    os.environ[_ENV_FLAG] = "1"
+
+
+def disable() -> None:
+    """Turn the sink off (the default no-op state)."""
+    global _enabled
+    _enabled = False
+    os.environ[_ENV_FLAG] = "0"
+
+
+def context() -> ObsContext:
+    """The current observability context."""
+    return _context_stack[-1]
+
+
+def registry() -> MetricsRegistry:
+    """The current metrics registry."""
+    return _context_stack[-1].registry
+
+
+def tracer() -> Tracer:
+    """The current span tracer."""
+    return _context_stack[-1].tracer
+
+
+@contextmanager
+def scope() -> Iterator[ObsContext]:
+    """Push a fresh registry+tracer; metrics recorded inside stay local.
+
+    Used by the engine to isolate per-job observability (serial and
+    worker paths alike) and by tests to keep the module-level context
+    clean.
+    """
+    fresh = ObsContext()
+    _context_stack.append(fresh)
+    try:
+        yield fresh
+    finally:
+        _context_stack.pop()
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled-sink span sites."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attributes):
+    """Open a span in the current tracer; a shared no-op when disabled."""
+    if not _enabled:
+        return _NULL_SPAN
+    return _context_stack[-1].tracer.span(name, **attributes)
+
+
+def counter(name: str, help: str = "") -> Counter:
+    """Shorthand for ``registry().counter(...)``."""
+    return _context_stack[-1].registry.counter(name, help)
+
+
+def gauge(name: str, help: str = "") -> Gauge:
+    """Shorthand for ``registry().gauge(...)``."""
+    return _context_stack[-1].registry.gauge(name, help)
+
+
+def histogram(name: str, help: str = "", **kwargs) -> Histogram:
+    """Shorthand for ``registry().histogram(...)``."""
+    return _context_stack[-1].registry.histogram(name, help, **kwargs)
+
+
+def reset() -> None:
+    """Clear the current context's metrics and spans (tests, REPL)."""
+    current = _context_stack[-1]
+    current.registry.reset()
+    current.tracer.reset()

@@ -1,0 +1,323 @@
+"""Metrics registry: labeled counters, gauges, and histograms.
+
+The registry is the numeric half of :mod:`repro.obs` (spans are the
+temporal half).  It is deliberately Prometheus-shaped — metrics are named,
+each name owns a family of *series* keyed by a label set, and the three
+instrument kinds have the usual semantics:
+
+* :class:`Counter` — monotonically increasing totals
+  (``instructions_executed{opcode=xor, secure=true}``);
+* :class:`Gauge` — point-in-time values that may also accumulate
+  (``energy_component_pj{component=regfile}``);
+* :class:`Histogram` — bucketed distributions with sum/count/min/max
+  (``job_wall_seconds``).
+
+Everything is plain Python (no numpy, no threads, no I/O) so a snapshot
+is JSON-serializable as-is and a worker process can ship its registry
+back to the parent through the engine's :class:`~repro.harness.engine.JobResult`.
+Merging snapshots is associative and, applied in submission order, makes
+parallel metric aggregation deterministic regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+#: Series-per-metric ceiling.  Labeled metrics multiply: a label whose
+#: value is unbounded (an address, a plaintext) would grow the registry
+#: without limit, so crossing the ceiling raises instead of silently
+#: dropping data.
+MAX_SERIES_PER_METRIC = 1024
+
+#: Default histogram bucket upper bounds (seconds-flavored, but any unit
+#: works); an implicit +Inf bucket always terminates the list.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+                   50.0, 100.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    """Canonical, hashable form of a label set (values stringified)."""
+    return tuple(sorted((name, _label_value(value))
+                        for name, value in labels.items()))
+
+
+def _label_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+class CardinalityError(ValueError):
+    """A metric exceeded :data:`MAX_SERIES_PER_METRIC` label sets."""
+
+
+class _Metric:
+    """Shared series bookkeeping for the three instrument kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._series: dict[LabelKey, object] = {}
+
+    def _series_for(self, labels: dict[str, object], default):
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            if len(self._series) >= MAX_SERIES_PER_METRIC:
+                raise CardinalityError(
+                    f"metric {self.name!r} exceeded "
+                    f"{MAX_SERIES_PER_METRIC} label sets; an unbounded "
+                    "label value (address, plaintext, ...) is being used "
+                    "as a metric label")
+            series = self._series[key] = default()
+            return series
+        return series
+
+    def series(self) -> Iterator[tuple[LabelKey, object]]:
+        yield from self._series.items()
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+
+class Counter(_Metric):
+    """Monotonic total, one value per label set."""
+
+    kind = "counter"
+
+    def inc(self, value: float = 1, **labels) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        current = self._series.get(key)
+        if current is None:
+            self._series_for(labels, float)
+            current = 0.0
+        self._series[key] = current + value
+
+    def value(self, **labels) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return float(sum(self._series.values()))
+
+
+class Gauge(_Metric):
+    """Point-in-time value.  ``set`` overwrites; ``add`` accumulates.
+
+    Merging two snapshots *sums* gauge series (see
+    :meth:`MetricsRegistry.merge_snapshot`): the gauges this stack
+    publishes — per-component energy totals, cycle counts — are per-run
+    quantities whose batch-level aggregate is their sum.
+    """
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        self._series_for(labels, float)
+        self._series[_label_key(labels)] = float(value)
+
+    def add(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        current = self._series.get(key)
+        if current is None:
+            self._series_for(labels, float)
+            current = 0.0
+        self._series[key] = current + value
+
+    def value(self, **labels) -> float:
+        return float(self._series.get(_label_key(labels), 0.0))
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count", "min", "max")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with cumulative-friendly scalars.
+
+    Buckets are upper bounds with ``value <= bound`` semantics (a value
+    exactly on a bound lands in that bucket); an implicit +Inf bucket
+    catches the rest.  ``min``/``max`` are tracked exactly so batch
+    profiles don't need the raw observations.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs >= 1 bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        value = float(value)
+        series: _HistogramSeries = self._series_for(
+            labels, lambda: _HistogramSeries(len(self.buckets) + 1))
+        index = len(self.buckets)  # +Inf
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = position
+                break
+        series.counts[index] += 1
+        series.sum += value
+        series.count += 1
+        series.min = value if series.min is None else min(series.min, value)
+        series.max = value if series.max is None else max(series.max, value)
+
+    def summary(self, **labels) -> dict[str, float]:
+        """``{count, sum, mean, min, max}`` of one series (zeros if unseen)."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return {"count": 0, "sum": 0.0, "mean": 0.0,
+                    "min": 0.0, "max": 0.0}
+        return {"count": series.count, "sum": series.sum,
+                "mean": series.sum / series.count if series.count else 0.0,
+                "min": series.min or 0.0, "max": series.max or 0.0}
+
+
+class MetricsRegistry:
+    """A namespace of metrics plus snapshot/merge plumbing.
+
+    One registry is *current* at any time (see :func:`repro.obs.registry`);
+    the engine pushes a fresh scoped registry around each job so worker
+    metrics serialize independently and merge deterministically.
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- instrument accessors (create on first use) --------------------
+
+    def _get(self, name: str, cls, help: str = "", **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name, help=help, **kwargs)
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}, not {cls.kind}")
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, help, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable dump of every series of every metric."""
+        out: dict = {}
+        for name, metric in sorted(self._metrics.items()):
+            entry: dict = {"kind": metric.kind, "series": []}
+            if metric.help:
+                entry["help"] = metric.help
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            for key, series in sorted(metric.series()):
+                labels = {k: v for k, v in key}
+                if isinstance(metric, Histogram):
+                    entry["series"].append({
+                        "labels": labels, "counts": list(series.counts),
+                        "sum": series.sum, "count": series.count,
+                        "min": series.min, "max": series.max})
+                else:
+                    entry["series"].append({"labels": labels,
+                                            "value": series})
+            out[name] = entry
+        return out
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a snapshot (from a worker or a manifest) into this registry.
+
+        Counters and histograms add; gauges add too (their series here are
+        per-run totals).  Applied in submission order this is deterministic
+        whatever order the workers finished in.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("kind")
+            if kind == "counter":
+                counter = self.counter(name, entry.get("help", ""))
+                for series in entry["series"]:
+                    counter.inc(series["value"], **series["labels"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, entry.get("help", ""))
+                for series in entry["series"]:
+                    gauge.add(series["value"], **series["labels"])
+            elif kind == "histogram":
+                histogram = self.histogram(name, entry.get("help", ""),
+                                           buckets=entry["buckets"])
+                if tuple(entry["buckets"]) != histogram.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch on merge")
+                for series in entry["series"]:
+                    target: _HistogramSeries = histogram._series_for(
+                        series["labels"],
+                        lambda: _HistogramSeries(len(histogram.buckets) + 1))
+                    for index, count in enumerate(series["counts"]):
+                        target.counts[index] += count
+                    target.sum += series["sum"]
+                    target.count += series["count"]
+                    for attr, pick in (("min", min), ("max", max)):
+                        incoming = series.get(attr)
+                        if incoming is None:
+                            continue
+                        current = getattr(target, attr)
+                        setattr(target, attr, incoming if current is None
+                                else pick(current, incoming))
+            else:
+                raise ValueError(f"snapshot entry {name!r} has unknown "
+                                 f"kind {kind!r}")
+
+
+def snapshot_totals(snapshot: dict) -> dict[str, float]:
+    """Flatten a snapshot to ``name{k=v,...} -> value`` scalar rows.
+
+    Histograms contribute ``name_count`` and ``name_sum`` rows.  This is
+    the view ``repro obs summarize`` renders and diffs.
+    """
+    rows: dict[str, float] = {}
+
+    def format_name(name: str, labels: dict[str, str]) -> str:
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f"{name}{{{inner}}}"
+
+    for name, entry in sorted(snapshot.items()):
+        for series in entry["series"]:
+            labels = series.get("labels", {})
+            if entry["kind"] == "histogram":
+                rows[format_name(name + "_count", labels)] = series["count"]
+                rows[format_name(name + "_sum", labels)] = series["sum"]
+            else:
+                rows[format_name(name, labels)] = series["value"]
+    return rows

@@ -1,0 +1,122 @@
+"""Span tracing: nested wall/CPU-timed regions of a run.
+
+A span is a named region with attributes, wall time, and CPU time;
+spans nest, and a finished trace is a tree such as::
+
+    experiment(tab1)
+    └─ job(selective)
+       ├─ compile
+       └─ execute
+
+The :class:`Tracer` records spans into whatever context is current (see
+:mod:`repro.obs`); a worker process serializes its finished tree through
+:func:`Tracer.tree` (plain dicts) and the parent grafts it back with
+:func:`Tracer.attach`, so ``jobs=N`` runs produce the same tree shape as
+serial runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class SpanRecord:
+    """One finished (or in-flight) span."""
+
+    __slots__ = ("name", "attributes", "wall_s", "cpu_s", "children",
+                 "_wall_start", "_cpu_start")
+
+    def __init__(self, name: str, attributes: dict[str, object]):
+        self.name = name
+        self.attributes = attributes
+        self.wall_s: float = 0.0
+        self.cpu_s: float = 0.0
+        self.children: list["SpanRecord"] = []
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+
+    def finish(self) -> None:
+        self.wall_s = time.perf_counter() - self._wall_start
+        self.cpu_s = time.process_time() - self._cpu_start
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "wall_s": self.wall_s,
+                     "cpu_s": self.cpu_s}
+        if self.attributes:
+            out["attributes"] = {key: value for key, value
+                                 in self.attributes.items()}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class Tracer:
+    """Records a forest of spans for one observability scope."""
+
+    def __init__(self):
+        self.roots: list[SpanRecord] = []
+        self._stack: list[SpanRecord] = []
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[SpanRecord]:
+        record = SpanRecord(name, attributes)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(record)
+        else:
+            self.roots.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            record.finish()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[SpanRecord]:
+        return self._stack[-1] if self._stack else None
+
+    def attach(self, subtree: list[dict]) -> None:
+        """Graft serialized span trees (from a worker) under the current
+        span, or as new roots if no span is open."""
+        records = [_from_dict(node) for node in subtree]
+        target = self._stack[-1].children if self._stack else self.roots
+        target.extend(records)
+
+    def tree(self) -> list[dict]:
+        """The finished forest as JSON-serializable dicts."""
+        return [root.to_dict() for root in self.roots]
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+
+def _from_dict(node: dict) -> SpanRecord:
+    record = SpanRecord(node["name"], dict(node.get("attributes", {})))
+    record.wall_s = node.get("wall_s", 0.0)
+    record.cpu_s = node.get("cpu_s", 0.0)
+    record.children = [_from_dict(child)
+                       for child in node.get("children", [])]
+    return record
+
+
+def render_tree(tree: list[dict], indent: str = "") -> list[str]:
+    """ASCII rendering of a span forest, one line per span."""
+    lines: list[str] = []
+    for position, node in enumerate(tree):
+        last = position == len(tree) - 1
+        connector = "└─ " if last else "├─ "
+        attributes = node.get("attributes", {})
+        suffix = ""
+        if attributes:
+            inner = ", ".join(f"{key}={value}"
+                              for key, value in sorted(attributes.items()))
+            suffix = f" [{inner}]"
+        lines.append(f"{indent}{connector}{node['name']}{suffix}  "
+                     f"wall={node['wall_s']:.3f}s cpu={node['cpu_s']:.3f}s")
+        child_indent = indent + ("   " if last else "│  ")
+        lines.extend(render_tree(node.get("children", []), child_indent))
+    return lines

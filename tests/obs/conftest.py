@@ -1,0 +1,30 @@
+"""Shared fixtures for the observability suite.
+
+Every test that flips the sink on must leave the process in the default
+(disabled) state, and must not leak metrics or spans into the module-level
+context other tests see — hence the scoped fixtures below.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_scope():
+    """A fresh registry+tracer pushed for the test; sink state untouched."""
+    with obs.scope() as scoped:
+        yield scoped
+
+
+@pytest.fixture
+def obs_on():
+    """Sink enabled inside a fresh scope; disabled again afterwards."""
+    was_enabled = obs.enabled()
+    with obs.scope() as scoped:
+        obs.enable()
+        try:
+            yield scoped
+        finally:
+            if not was_enabled:
+                obs.disable()

@@ -1,0 +1,83 @@
+"""Run manifests: round-trip, atomicity, aggregation, diff, rendering."""
+
+import json
+
+import pytest
+
+from repro import obs
+
+
+def _sample_manifest(obs_on) -> dict:
+    obs_on.registry.counter("ops").inc(5, opcode="xor", secure=True)
+    obs_on.registry.gauge("energy_component_pj").add(12.5, component="dbus")
+    with obs.span("experiment", id="unit"):
+        with obs.span("execute"):
+            pass
+    return obs.build_manifest(
+        experiment_id="unit",
+        config={"jobs_requested": 2, "jobs_effective": 2, "seed": 7},
+        summary={"total_uj": 1.25})
+
+
+def test_manifest_write_load_round_trip(tmp_path, obs_on):
+    manifest = _sample_manifest(obs_on)
+    path = obs.write_manifest(manifest, tmp_path / "run.json")
+    loaded = obs.load_manifest(path)
+    assert loaded == json.loads(json.dumps(manifest))  # JSON-exact
+    assert loaded["schema"] == "repro.obs.manifest/v1"
+    assert loaded["config"]["jobs_effective"] == 2
+    assert loaded["spans"][0]["name"] == "experiment"
+    assert loaded["spans"][0]["children"][0]["name"] == "execute"
+    # Atomic write leaves no temp droppings next to the manifest.
+    assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+
+
+def test_manifest_captures_current_context_by_default(obs_on):
+    obs.counter("ops").inc(3)
+    manifest = obs.build_manifest()
+    assert obs.snapshot_totals(manifest["metrics"])["ops"] == 3
+    assert manifest["package"]["name"] == "repro"
+    assert len(manifest["toolchain_fingerprint"]) == 16
+    assert "python" in manifest["platform"]
+
+
+def test_load_manifest_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(ValueError):
+        obs.load_manifest(path)
+
+
+def test_aggregate_of_one_manifest_is_identity(obs_on):
+    manifest = _sample_manifest(obs_on)
+    aggregate = obs.aggregate_manifests([manifest])
+    assert aggregate["manifests"] == 1
+    assert aggregate["experiment_ids"] == ["unit"]
+    assert aggregate["metrics"] == manifest["metrics"]
+
+
+def test_aggregate_of_two_manifests_doubles_totals(obs_on):
+    manifest = _sample_manifest(obs_on)
+    aggregate = obs.aggregate_manifests([manifest, manifest])
+    totals = obs.snapshot_totals(aggregate["metrics"])
+    assert totals["ops{opcode=xor,secure=true}"] == 10
+    assert totals["energy_component_pj{component=dbus}"] == 25.0
+
+
+def test_diff_totals_reads_absent_series_as_zero(obs_on):
+    manifest = _sample_manifest(obs_on)
+    empty = obs.build_manifest(metrics={}, spans=[])
+    rows = {name: (before, after)
+            for name, before, after in obs.diff_totals(empty, manifest)}
+    assert rows["ops{opcode=xor,secure=true}"] == (0.0, 5.0)
+    same = obs.diff_totals(manifest, manifest)
+    assert all(before == after for _, before, after in same)
+
+
+def test_summarize_manifest_renders_all_sections(obs_on):
+    text = obs.summarize_manifest(_sample_manifest(obs_on))
+    assert "manifest: unit" in text
+    assert "jobs_effective" in text
+    assert "total_uj" in text
+    assert "ops{opcode=xor,secure=true}" in text
+    assert "experiment [id=unit]" in text  # rendered span tree

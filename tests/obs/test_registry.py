@@ -1,0 +1,176 @@
+"""Metrics registry: label handling, cardinality, histogram buckets, merge."""
+
+import importlib
+
+import pytest
+
+from repro.obs.registry import (CardinalityError, Histogram, MetricsRegistry,
+                                snapshot_totals)
+
+# `repro.obs.registry` the *function* shadows the submodule on attribute
+# lookup, so resolve the module object explicitly for monkeypatching.
+registry_module = importlib.import_module("repro.obs.registry")
+
+
+# -- counters ---------------------------------------------------------------
+
+
+def test_counter_labels_are_order_insensitive():
+    registry = MetricsRegistry()
+    counter = registry.counter("ops")
+    counter.inc(opcode="xor", secure=True)
+    counter.inc(2, secure=True, opcode="xor")
+    assert counter.value(opcode="xor", secure=True) == 3
+    assert counter.value(secure=True, opcode="xor") == 3
+    assert len(counter) == 1  # one series, not two
+
+
+def test_counter_bool_labels_stringify_lowercase():
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(secure=True)
+    registry.counter("ops").inc(secure=False)
+    snapshot = registry.snapshot()
+    labels = [series["labels"] for series in snapshot["ops"]["series"]]
+    assert {"secure": "false"} in labels
+    assert {"secure": "true"} in labels
+
+
+def test_counter_rejects_negative_increment():
+    counter = MetricsRegistry().counter("ops")
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_counter_total_sums_all_series():
+    counter = MetricsRegistry().counter("ops")
+    counter.inc(2, opcode="xor")
+    counter.inc(3, opcode="lw")
+    assert counter.total() == 5
+    assert counter.value(opcode="sw") == 0  # unseen series reads zero
+
+
+def test_gauge_set_overwrites_add_accumulates():
+    gauge = MetricsRegistry().gauge("energy")
+    gauge.set(10.0, component="clock")
+    gauge.set(4.0, component="clock")
+    gauge.add(1.5, component="clock")
+    assert gauge.value(component="clock") == 5.5
+
+
+# -- cardinality ceiling ----------------------------------------------------
+
+
+def test_cardinality_ceiling_raises(monkeypatch):
+    monkeypatch.setattr(registry_module, "MAX_SERIES_PER_METRIC", 4)
+    counter = MetricsRegistry().counter("addresses")
+    for address in range(4):
+        counter.inc(address=address)
+    with pytest.raises(CardinalityError):
+        counter.inc(address=4)
+    # Existing series are still writable at the ceiling.
+    counter.inc(address=0)
+    assert counter.value(address=0) == 2
+
+
+def test_kind_conflict_raises_type_error():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+# -- histogram bucket edges -------------------------------------------------
+
+
+def test_histogram_value_on_bound_lands_in_that_bucket():
+    histogram = Histogram("h", buckets=(1.0, 2.0))
+    histogram.observe(1.0)   # == first bound -> bucket 0
+    histogram.observe(1.5)   # -> bucket 1
+    histogram.observe(2.0)   # == second bound -> bucket 1
+    histogram.observe(2.5)   # past the last bound -> +Inf bucket
+    (_, series), = histogram.series()
+    assert series.counts == [1, 2, 1]
+    assert series.count == 4
+    assert series.sum == pytest.approx(7.0)
+    assert (series.min, series.max) == (1.0, 2.5)
+
+
+def test_histogram_buckets_sorted_and_nonempty():
+    assert Histogram("h", buckets=(5.0, 1.0)).buckets == (1.0, 5.0)
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+
+
+def test_histogram_summary_unseen_series_is_zeros():
+    histogram = Histogram("h")
+    assert histogram.summary(label="nope") == {
+        "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+
+
+def test_histogram_summary_mean():
+    histogram = Histogram("h", buckets=(10.0,))
+    for value in (1.0, 2.0, 6.0):
+        histogram.observe(value)
+    summary = histogram.summary()
+    assert summary["count"] == 3
+    assert summary["mean"] == pytest.approx(3.0)
+    assert summary["min"] == 1.0
+    assert summary["max"] == 6.0
+
+
+# -- snapshot / merge -------------------------------------------------------
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("ops", "retired ops").inc(7, opcode="xor", secure=True)
+    registry.gauge("energy_pj").add(12.5, component="dbus")
+    histogram = registry.histogram("wall", buckets=(0.5, 1.0))
+    histogram.observe(0.25)
+    histogram.observe(2.0)
+    return registry
+
+
+def test_merge_snapshot_doubles_everything():
+    registry = _populated_registry()
+    snapshot = registry.snapshot()
+    registry.merge_snapshot(snapshot)
+    assert registry.counter("ops").value(opcode="xor", secure=True) == 14
+    assert registry.gauge("energy_pj").value(component="dbus") == 25.0
+    summary = registry.histogram("wall").summary()
+    assert summary["count"] == 4
+    assert summary["sum"] == pytest.approx(4.5)
+    assert (summary["min"], summary["max"]) == (0.25, 2.0)
+
+
+def test_merge_into_empty_registry_reproduces_snapshot():
+    snapshot = _populated_registry().snapshot()
+    fresh = MetricsRegistry()
+    fresh.merge_snapshot(snapshot)
+    assert fresh.snapshot() == snapshot
+
+
+def test_merge_histogram_bucket_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.histogram("wall", buckets=(0.5, 1.0)).observe(0.1)
+    snapshot = registry.snapshot()
+    other = MetricsRegistry()
+    other.histogram("wall", buckets=(0.25, 1.0))  # incompatible layout
+    with pytest.raises(ValueError):
+        other.merge_snapshot(snapshot)
+
+
+def test_merge_unknown_kind_raises():
+    with pytest.raises(ValueError):
+        MetricsRegistry().merge_snapshot(
+            {"weird": {"kind": "summary", "series": []}})
+
+
+def test_snapshot_totals_formatting():
+    totals = snapshot_totals(_populated_registry().snapshot())
+    assert totals["ops{opcode=xor,secure=true}"] == 7
+    assert totals["energy_pj{component=dbus}"] == 12.5
+    assert totals["wall_count"] == 2
+    assert totals["wall_sum"] == pytest.approx(2.25)

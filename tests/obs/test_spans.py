@@ -1,0 +1,85 @@
+"""Span tracing: nesting, serialization, grafting, rendering, no-op sink."""
+
+from repro import obs
+from repro.obs.spans import Tracer, render_tree
+
+
+def test_span_nesting_builds_a_tree():
+    tracer = Tracer()
+    with tracer.span("experiment", id="tab1"):
+        with tracer.span("job", label="a"):
+            with tracer.span("compile"):
+                pass
+            with tracer.span("execute"):
+                pass
+        with tracer.span("job", label="b"):
+            pass
+    (root,) = tracer.roots
+    assert root.name == "experiment"
+    assert [child.name for child in root.children] == ["job", "job"]
+    assert [g.name for g in root.children[0].children] == ["compile",
+                                                           "execute"]
+    assert tracer.current is None  # fully unwound
+
+
+def test_span_times_are_recorded():
+    tracer = Tracer()
+    with tracer.span("work") as record:
+        total = sum(range(1000))
+    assert total == 499500
+    assert record.wall_s >= 0.0
+    assert record.cpu_s >= 0.0
+
+
+def test_tree_round_trips_through_dicts():
+    tracer = Tracer()
+    with tracer.span("outer", kind="test"):
+        with tracer.span("inner"):
+            pass
+    tree = tracer.tree()
+    assert tree[0]["name"] == "outer"
+    assert tree[0]["attributes"] == {"kind": "test"}
+    assert tree[0]["children"][0]["name"] == "inner"
+    assert "attributes" not in tree[0]["children"][0]
+
+    receiver = Tracer()
+    with receiver.span("parent"):
+        receiver.attach(tree)  # graft under the open span (worker -> parent)
+    grafted = receiver.tree()
+    assert grafted[0]["children"][0]["name"] == "outer"
+    assert grafted[0]["children"][0]["children"][0]["name"] == "inner"
+
+
+def test_attach_without_open_span_adds_roots():
+    tracer = Tracer()
+    tracer.attach([{"name": "orphan", "wall_s": 0.5, "cpu_s": 0.4}])
+    assert tracer.tree()[0]["name"] == "orphan"
+    assert tracer.tree()[0]["wall_s"] == 0.5
+
+
+def test_render_tree_connectors_and_attributes():
+    tree = [{"name": "experiment", "wall_s": 1.0, "cpu_s": 0.9,
+             "attributes": {"id": "tab1"},
+             "children": [
+                 {"name": "compile", "wall_s": 0.25, "cpu_s": 0.2},
+                 {"name": "execute", "wall_s": 0.75, "cpu_s": 0.7}]}]
+    lines = render_tree(tree)
+    assert lines[0].startswith("└─ experiment [id=tab1]")
+    assert "wall=1.000s" in lines[0]
+    assert lines[1].startswith("   ├─ compile")
+    assert lines[2].startswith("   └─ execute")
+
+
+def test_obs_span_is_noop_when_disabled(obs_scope):
+    assert not obs.enabled()
+    with obs.span("invisible"):
+        pass
+    assert obs_scope.tracer.tree() == []
+
+
+def test_obs_span_records_when_enabled(obs_on):
+    with obs.span("visible", why="test"):
+        pass
+    tree = obs_on.tracer.tree()
+    assert tree[0]["name"] == "visible"
+    assert tree[0]["attributes"] == {"why": "test"}
