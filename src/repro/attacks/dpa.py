@@ -84,7 +84,9 @@ def collect_traces(program: Program, key: int, plaintexts: list[int],
                    params: EnergyParams = DEFAULT_PARAMS,
                    window: Optional[tuple[int, int]] = None,
                    progress: Optional[Callable[[int, int], None]] = None,
-                   noise_sigma: float = 0.0, jobs: int = 1) -> TraceSet:
+                   noise_sigma: float = 0.0, jobs: int = 1,
+                   retries: int = 0, job_timeout: Optional[float] = None,
+                   checkpoint: Optional[str] = None) -> TraceSet:
     """Run the device once per plaintext and stack the energy traces.
 
     ``window`` restricts the stored cycles (an attacker applies SPA first to
@@ -94,17 +96,30 @@ def collect_traces(program: Program, key: int, plaintexts: list[int],
     ``jobs`` fans the acquisitions across worker processes; each trace
     keeps its serial noise seed (``index + 1``), so the stacked matrix is
     bit-identical to a ``jobs=1`` collection.
+
+    Long collections can be made fault-tolerant: ``retries`` re-runs a
+    crashed/timed-out acquisition (retried traces are bit-identical —
+    the noise seed is per-job), ``job_timeout`` bounds each acquisition
+    in wall-clock seconds, and ``checkpoint`` journals completed traces
+    so an interrupted collection resumes where it stopped.  DPA needs
+    every trace, so a job that still fails after its retry budget raises
+    :class:`~repro.harness.resilience.BatchError`.
     """
     # Imported here to avoid a package-level cycle (harness.experiments
     # imports this module).
     from ..harness.engine import SimJob, run_jobs
+    from ..harness.resilience import require_results
 
     batch = [SimJob(program=program, des_pair=(key, plaintext),
                     params=params, noise_sigma=noise_sigma,
                     noise_seed=index + 1, label=f"trace[{index}]")
              for index, plaintext in enumerate(plaintexts)]
+    results = run_jobs(batch, jobs=jobs, progress=progress,
+                       failure_policy="retry" if retries else "raise",
+                       retries=retries, job_timeout=job_timeout,
+                       checkpoint=checkpoint)
     rows = []
-    for result in run_jobs(batch, jobs=jobs, progress=progress):
+    for result in require_results(results):
         energy = result.energy
         if window is not None:
             energy = energy[window[0]:window[1]]

@@ -128,6 +128,17 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         print(f"note: experiment {arguments.id!r} runs serially "
               f"(--jobs not applicable; requested {arguments.jobs}, "
               "effective jobs=1)", file=sys.stderr)
+    # Fault-tolerance trio: forwarded to experiments whose batches are
+    # engine-backed (see repro.harness.resilience); a no-op elsewhere.
+    for option, default in (("retries", 0), ("job_timeout", None),
+                            ("checkpoint", None)):
+        value = getattr(arguments, option)
+        if signature is not None and option in signature.parameters:
+            kwargs[option] = value
+        elif function is not None and value != default:
+            flag = "--" + option.replace("_", "-")
+            print(f"note: experiment {arguments.id!r} does not take "
+                  f"{flag} (requested {value}; ignored)", file=sys.stderr)
     if observing:
         from . import obs
 
@@ -167,6 +178,9 @@ def _write_observability(arguments: argparse.Namespace, result,
         #: that actually produced them.
         "jobs_requested": arguments.jobs,
         "jobs_effective": jobs_effective,
+        "retries": arguments.retries,
+        "job_timeout": arguments.job_timeout,
+        "checkpoint": arguments.checkpoint,
         "energy_params": asdict(DEFAULT_PARAMS),
     }
     if signature is not None:
@@ -176,7 +190,8 @@ def _write_observability(arguments: argparse.Namespace, result,
             name: parameter.default
             for name, parameter in signature.parameters.items()
             if parameter.default is not inspect.Parameter.empty
-            and name not in ("params", "jobs")}
+            and name not in ("params", "jobs", "retries", "job_timeout",
+                             "checkpoint")}
     manifest = obs.build_manifest(experiment_id=result.experiment_id,
                                   config=config, summary=result.summary)
     if arguments.manifest:
@@ -269,6 +284,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("-j", "--jobs", type=int, default=1,
                        help="worker processes for batch simulations "
                             "(default 1 = serial; results are identical)")
+    p_exp.add_argument("--retries", type=int, default=0,
+                       help="re-run a crashed or timed-out batch job up "
+                            "to N times (default 0 = fail fast; retried "
+                            "jobs are bit-identical)")
+    p_exp.add_argument("--job-timeout", type=float, default=None,
+                       dest="job_timeout", metavar="SECONDS",
+                       help="wall-clock budget per batch job; a runaway "
+                            "simulation is killed and counts as a failure")
+    p_exp.add_argument("--checkpoint", metavar="PATH",
+                       help="journal completed batch jobs to PATH so an "
+                            "interrupted experiment resumes by recomputing "
+                            "only unfinished jobs")
     p_exp.add_argument("--json", help="save the full result as JSON")
     p_exp.add_argument("--no-series", action="store_true",
                        help="omit per-cycle series from the JSON")

@@ -15,7 +15,11 @@ while keeping the results **bit-identical** to the serial path:
 * a :class:`CompileCache` memoizes compile/assemble artifacts per process
   *and* on disk (atomic writes), so a pool of workers compiles each
   ``(spec, masking, policy, optimize)`` variant once instead of once per
-  sweep point per process.
+  sweep point per process;
+* batches survive faults: ``failure_policy``/``retries``/``job_timeout``
+  and the ``checkpoint`` journal delegate to
+  :mod:`repro.harness.resilience`, so one crashed worker, one runaway
+  simulation, or one ``BrokenProcessPool`` no longer discards the batch.
 
 ``run_jobs(batch, jobs=1)`` is the single entry point; ``jobs=1`` executes
 in-process with behavior identical to calling the runner directly.
@@ -28,7 +32,6 @@ import os
 import pickle
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
@@ -149,7 +152,17 @@ class CompileCache:
     directory defaults to ``$REPRO_COMPILE_CACHE_DIR`` or
     ``<tmpdir>/repro-compile-cache``; setting the variable to an empty
     string disables the disk layer (memory memoization only).
+
+    Corrupt artifacts are **quarantined**: an entry that exists but does
+    not unpickle is renamed to ``<key>.corrupt`` (best-effort) so every
+    later process recompiles once instead of re-reading the bad file
+    forever; stale ``*.tmp`` files left by crashed writers are swept on
+    construction.
     """
+
+    #: ``*.tmp`` files older than this are presumed orphaned by a crashed
+    #: writer (a live writer holds its temp file for milliseconds).
+    STALE_TMP_S = 300.0
 
     def __init__(self, directory: Optional[Path] = None):
         if directory is None:
@@ -164,6 +177,23 @@ class CompileCache:
         self.directory = Path(directory) if directory is not None else None
         self.memory: dict[str, Program] = {}
         self.stats = CacheStats()
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self) -> None:
+        """Delete orphaned writer temp files (crashed mid-store)."""
+        if self.directory is None:
+            return
+        try:
+            candidates = list(self.directory.glob("*.tmp"))
+        except OSError:
+            return
+        cutoff = time.time() - self.STALE_TMP_S
+        for candidate in candidates:
+            try:
+                if candidate.stat().st_mtime < cutoff:
+                    candidate.unlink()
+            except OSError:
+                pass  # another process may have swept it first
 
     def program_for(self, request: CompileRequest) -> Program:
         """Return the compiled image, from memory, disk, or a fresh build."""
@@ -185,11 +215,31 @@ class CompileCache:
     def _load(self, key: str) -> Optional[Program]:
         if self.directory is None:
             return None
+        path = self.directory / f"{key}.pkl"
         try:
-            payload = (self.directory / f"{key}.pkl").read_bytes()
+            payload = path.read_bytes()
+        except OSError:
+            return None  # plain miss (or unreadable: nothing to salvage)
+        try:
             return pickle.loads(payload)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+        except (pickle.PickleError, EOFError, AttributeError, ValueError,
+                TypeError, IndexError, ImportError):
+            self._quarantine(path)
             return None
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt artifact aside so it is recompiled exactly once.
+
+        ``os.replace`` is atomic, so concurrent readers either still see
+        the corrupt file (and also try to quarantine it — idempotent) or
+        see a clean miss.  Best-effort: on a read-only cache the corrupt
+        entry simply stays a per-process miss.
+        """
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
 
     def _store(self, key: str, program: Program) -> None:
         if self.directory is None:
@@ -349,14 +399,11 @@ def _execute_job_inner(job: SimJob) -> JobResult:
                      cache_hit=cache_hit)
 
 
-def _execute_indexed(indexed: tuple[int, SimJob]) -> tuple[int, JobResult]:
-    index, job = indexed
-    return index, execute_job(job)
-
-
 def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
-             progress: Optional[Callable[[int, int], None]] = None
-             ) -> list[JobResult]:
+             progress: Optional[Callable[[int, int], None]] = None, *,
+             failure_policy: str = "raise", retries: int = 2,
+             job_timeout: Optional[float] = None,
+             checkpoint: Optional[Union[str, Path]] = None) -> list:
     """Execute a batch of independent jobs, preserving submission order.
 
     ``jobs=1`` (the default) runs serially in-process — identical to
@@ -365,38 +412,42 @@ def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
     noise seed, the collected results are bit-identical to the serial path
     regardless of worker scheduling.  ``progress(done, total)`` is invoked
     after each completion (in completion order under a pool).
+
+    Fault tolerance (see :mod:`repro.harness.resilience`):
+
+    * ``failure_policy`` — ``"raise"`` (default) re-raises the first
+      failure after cancelling pending work; ``"collect"`` puts a
+      :class:`~repro.harness.resilience.JobFailure` in the failed job's
+      slot and keeps going; ``"retry"`` re-runs failures up to
+      ``retries`` more times with deterministic jittered backoff, then
+      collects whatever still fails.
+    * ``job_timeout`` — per-job wall-clock bound (seconds): an alarm
+      inside the worker plus a parent-side deadline that kills and
+      rebuilds a wedged pool.
+    * ``checkpoint`` — path to an append-only journal keyed by the
+      batch's content digest; completed jobs are skipped on resume.
+
+    A broken pool is rebuilt and only unfinished jobs are resubmitted;
+    if the pool cannot be created at all the batch degrades to serial
+    execution with a logged warning.
     """
-    batch = list(batch)
-    total = len(batch)
-    if jobs <= 1 or total <= 1:
-        results = []
-        for index, job in enumerate(batch):
-            results.append(execute_job(job))
-            if progress is not None:
-                progress(index + 1, total)
-        _merge_observability(results)
-        return results
-    results: list[Optional[JobResult]] = [None] * total
-    done = 0
-    with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
-        futures = [pool.submit(_execute_indexed, (index, job))
-                   for index, job in enumerate(batch)]
-        for future in as_completed(futures):
-            index, result = future.result()
-            results[index] = result
-            done += 1
-            if progress is not None:
-                progress(done, total)
+    from .resilience import execute_batch
+
+    results = execute_batch(list(batch), jobs=jobs, progress=progress,
+                            failure_policy=failure_policy, retries=retries,
+                            job_timeout=job_timeout, checkpoint=checkpoint)
     _merge_observability(results)
-    return results  # type: ignore[return-value]
+    return results
 
 
-def _merge_observability(results: Sequence[Optional[JobResult]]) -> None:
+def _merge_observability(results: Sequence) -> None:
     """Fold per-job scoped metrics/spans into the caller's context.
 
     Always in submission order, so the aggregated registry and span tree
     are identical for ``jobs=1`` and any worker count.  Additionally
-    records a wall-time histogram of the batch's jobs.
+    records a wall-time histogram of the batch's jobs.  Failure slots
+    (:class:`~repro.harness.resilience.JobFailure`) carry no scoped
+    metrics and are skipped.
     """
     if not obs.enabled():
         return
@@ -405,7 +456,7 @@ def _merge_observability(results: Sequence[Optional[JobResult]]) -> None:
     wall = registry.histogram("job_wall_seconds",
                               "per-job wall time inside the worker")
     for result in results:
-        if result is None:
+        if not isinstance(result, JobResult):
             continue
         wall.observe(result.wall_time_s)
         if result.metrics:

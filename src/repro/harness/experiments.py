@@ -66,6 +66,16 @@ def _secure_region(run: RunResult) -> tuple[int, int]:
     return start, end
 
 
+def _subcheckpoint(checkpoint: Optional[str], tag: str) -> Optional[str]:
+    """Derive a per-batch journal path for a multi-batch experiment.
+
+    A checkpoint journal is keyed by one batch's content digest, so an
+    experiment that runs several distinct batches (two trace collections,
+    one sweep per parameter) gives each its own ``<path>.<tag>`` file.
+    """
+    return f"{checkpoint}.{tag}" if checkpoint else None
+
+
 # ---------------------------------------------------------------------------
 # Fig. 6 — energy trace of the whole encryption reveals the 16 rounds
 # ---------------------------------------------------------------------------
@@ -275,11 +285,18 @@ PAPER_TOTALS_UJ = {
 
 
 def tab1_policy_energy(params: EnergyParams = DEFAULT_PARAMS,
-                       rounds: int = 16, jobs: int = 1) -> ExperimentResult:
+                       rounds: int = 16, jobs: int = 1, retries: int = 0,
+                       job_timeout: Optional[float] = None,
+                       checkpoint: Optional[str] = None) -> ExperimentResult:
+    from .resilience import require_results
     from .sweeps import policy_jobs
 
-    results = run_jobs(policy_jobs(params, rounds=rounds, key=KEY_A,
-                                   plaintext=PT_A), jobs=jobs)
+    results = require_results(
+        run_jobs(policy_jobs(params, rounds=rounds, key=KEY_A,
+                             plaintext=PT_A), jobs=jobs,
+                 failure_policy="retry" if retries else "raise",
+                 retries=retries, job_timeout=job_timeout,
+                 checkpoint=checkpoint))
     rows = []
     totals: dict[str, float] = {}
     averages: dict[str, float] = {}
@@ -365,7 +382,9 @@ def xor_unit_energy(params: EnergyParams = DEFAULT_PARAMS,
 def dpa_experiment(params: EnergyParams = DEFAULT_PARAMS,
                    n_traces: int = 100, box: int = 0,
                    key: int = KEY_A, seed: int = 2003,
-                   all_boxes: bool = True, jobs: int = 1) -> ExperimentResult:
+                   all_boxes: bool = True, jobs: int = 1, retries: int = 0,
+                   job_timeout: Optional[float] = None,
+                   checkpoint: Optional[str] = None) -> ExperimentResult:
     spec = DesProgramSpec(rounds=1, include_fp=False)
     plaintexts = random_plaintexts(n_traces, seed=seed)
     outcome: dict[str, float | int | str | bool] = {"n_traces": n_traces,
@@ -376,7 +395,10 @@ def dpa_experiment(params: EnergyParams = DEFAULT_PARAMS,
         start = scout.trace.marker_cycles(mk.M_ROUND_BASE)[0]
         traces = collect_traces(compiled.program, key, plaintexts,
                                 params=params, window=(start, scout.cycles),
-                                jobs=jobs)
+                                jobs=jobs, retries=retries,
+                                job_timeout=job_timeout,
+                                checkpoint=_subcheckpoint(checkpoint,
+                                                          masking))
         single = dpa_attack(traces, box=box, target_bit=0, key=key)
         multi = dpa_attack_multibit(traces, box=box, key=key)
         correlation = cpa_attack(traces, box=box, key=key)
@@ -634,7 +656,9 @@ def extension_coupling(params: EnergyParams = DEFAULT_PARAMS,
 def extension_noise(params: EnergyParams = DEFAULT_PARAMS,
                     noise_sigma: float = 10.0, n_small: int = 20,
                     n_large: int = 250, box: int = 0,
-                    key: int = KEY_A, jobs: int = 1) -> ExperimentResult:
+                    key: int = KEY_A, jobs: int = 1, retries: int = 0,
+                    job_timeout: Optional[float] = None,
+                    checkpoint: Optional[str] = None) -> ExperimentResult:
     """Extension: random power noise vs. masking (paper Section 1).
 
     The paper: "random noises in power measurements can be filtered
@@ -655,12 +679,16 @@ def extension_noise(params: EnergyParams = DEFAULT_PARAMS,
     # Hamming-weight model is the strongest attack in this suite, so it
     # sets the fairest baseline for the noise comparison).
     clean = collect_traces(unmasked.program, key, plaintexts[:n_small],
-                           params=params, window=window, jobs=jobs)
+                           params=params, window=window, jobs=jobs,
+                           retries=retries, job_timeout=job_timeout,
+                           checkpoint=_subcheckpoint(checkpoint, "clean"))
     clean_result = cpa_attack(clean, box=box, key=key)
 
     # Noisy device: same attack at small and large trace counts.
     noisy = collect_traces(unmasked.program, key, plaintexts, params=params,
-                           window=window, noise_sigma=noise_sigma, jobs=jobs)
+                           window=window, noise_sigma=noise_sigma, jobs=jobs,
+                           retries=retries, job_timeout=job_timeout,
+                           checkpoint=_subcheckpoint(checkpoint, "noisy"))
     small_set = TraceSet(plaintexts=noisy.plaintexts[:n_small],
                          traces=noisy.traces[:n_small], window=noisy.window)
     noisy_small = cpa_attack(small_set, box=box, key=key)
@@ -669,7 +697,10 @@ def extension_noise(params: EnergyParams = DEFAULT_PARAMS,
     # Masked device: even a large noiseless set yields nothing.
     masked = compile_des(spec, masking="selective")
     masked_set = collect_traces(masked.program, key, plaintexts[:n_small],
-                                params=params, window=window, jobs=jobs)
+                                params=params, window=window, jobs=jobs,
+                                retries=retries, job_timeout=job_timeout,
+                                checkpoint=_subcheckpoint(checkpoint,
+                                                          "masked"))
     masked_result = cpa_attack(masked_set, box=box, key=key)
 
     return ExperimentResult(
@@ -733,7 +764,10 @@ def extension_tvla(params: EnergyParams = DEFAULT_PARAMS,
 
 
 def extension_sensitivity(params: EnergyParams = DEFAULT_PARAMS,
-                          rounds: int = 2, jobs: int = 1) -> ExperimentResult:
+                          rounds: int = 2, jobs: int = 1, retries: int = 0,
+                          job_timeout: Optional[float] = None,
+                          checkpoint: Optional[str] = None
+                          ) -> ExperimentResult:
     """Extension: sensitivity of the headline comparison to calibration.
 
     Sweeps each technology parameter over [0.5x, 2x] and re-measures the
@@ -748,7 +782,10 @@ def extension_sensitivity(params: EnergyParams = DEFAULT_PARAMS,
     worst_saving = 1.0
     for parameter in SWEEPABLE:
         sweep = sensitivity_sweep(parameter, base_params=params,
-                                  rounds=rounds, jobs=jobs)
+                                  rounds=rounds, jobs=jobs, retries=retries,
+                                  job_timeout=job_timeout,
+                                  checkpoint=_subcheckpoint(checkpoint,
+                                                            parameter))
         summary[f"{parameter}_ordered"] = sweep.always_ordered
         summary[f"{parameter}_saving_range"] = (
             f"{sweep.min_saving:.2f}..{sweep.max_saving:.2f}")

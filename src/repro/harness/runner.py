@@ -10,6 +10,7 @@ from ..energy.trace import EnergyTrace
 from ..energy.tracker import EnergyTracker
 from ..isa.program import Program
 from ..machine.cpu import CPU
+from ..machine.exceptions import CycleLimitExceeded
 from ..programs.workloads import key_words, plaintext_words
 
 
@@ -62,7 +63,13 @@ def run_with_trace(program: Program,
         for symbol, words in inputs.items():
             cpu.write_symbol_words(symbol, words)
     with obs.span("execute", label=label):
-        cpu.run(max_cycles=max_cycles)
+        try:
+            cpu.run(max_cycles=max_cycles)
+        except CycleLimitExceeded as overrun:
+            # Tag the overrun with the job it belongs to; batch failure
+            # records surface the label alongside pc/cycle context.
+            overrun.label = label
+            raise
     if observing:
         _publish_run_metrics(cpu, tracker)
     return RunResult(cpu, tracker, label=label)

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..masking.policy import MaskingPolicy
 from ..programs.des_source import DesProgramSpec
 from .engine import CompileRequest, SimJob, run_jobs
+from .resilience import require_results
 
 #: Parameters worth perturbing (each scaled by the sweep factors).
 SWEEPABLE = ("c_data_bus", "c_latch_bit", "c_alu_node", "c_instr_bus",
@@ -96,23 +98,39 @@ def policy_jobs(params: EnergyParams, rounds: int = 2,
 def measure_policies(params: EnergyParams, rounds: int = 2,
                      key: int = 0x133457799BBCDFF1,
                      plaintext: int = 0x0123456789ABCDEF,
-                     jobs: int = 1) -> dict[str, float]:
-    """Total µJ for the four masking policies under given parameters."""
+                     jobs: int = 1, retries: int = 0,
+                     job_timeout: Optional[float] = None,
+                     checkpoint: Optional[str] = None) -> dict[str, float]:
+    """Total µJ for the four masking policies under given parameters.
+
+    A comparison needs all four totals, so failures retry (``retries``)
+    and anything that still fails raises
+    :class:`~repro.harness.resilience.BatchError`.
+    """
     results = run_jobs(policy_jobs(params, rounds=rounds, key=key,
-                                   plaintext=plaintext), jobs=jobs)
-    return {result.label: result.total_uj for result in results}
+                                   plaintext=plaintext), jobs=jobs,
+                       failure_policy="retry" if retries else "raise",
+                       retries=retries, job_timeout=job_timeout,
+                       checkpoint=checkpoint)
+    return {result.label: result.total_uj
+            for result in require_results(results)}
 
 
 def sensitivity_sweep(parameter: str,
                       factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5,
                                                     2.0),
                       base_params: EnergyParams = DEFAULT_PARAMS,
-                      rounds: int = 2, jobs: int = 1) -> SweepResult:
+                      rounds: int = 2, jobs: int = 1, retries: int = 0,
+                      job_timeout: Optional[float] = None,
+                      checkpoint: Optional[str] = None) -> SweepResult:
     """Scale one parameter by each factor and re-measure the policies.
 
     With ``jobs>1`` every ``factor × policy`` simulation of the sweep is
     one pool job, so the whole sweep parallelizes — not just the four runs
-    within a point.
+    within a point.  ``checkpoint`` journals each completed point so an
+    interrupted sweep resumes by recomputing only the unfinished jobs;
+    ``retries``/``job_timeout`` bound worker faults and runaways (see
+    :mod:`repro.harness.resilience`).
     """
     if parameter not in SWEEPABLE:
         raise ValueError(f"unknown sweep parameter {parameter!r}; "
@@ -122,7 +140,11 @@ def sensitivity_sweep(parameter: str,
         scaled = base_params.scaled(
             **{parameter: getattr(base_params, parameter) * factor})
         batch.extend(policy_jobs(scaled, rounds=rounds))
-    results = run_jobs(batch, jobs=jobs)
+    results = require_results(
+        run_jobs(batch, jobs=jobs,
+                 failure_policy="retry" if retries else "raise",
+                 retries=retries, job_timeout=job_timeout,
+                 checkpoint=checkpoint))
     width = len(POLICY_VARIANTS)
     result = SweepResult(parameter=parameter)
     for position, factor in enumerate(factors):

@@ -13,3 +13,29 @@ class MemoryError_(SimulationError):
 
 class CpuError(SimulationError):
     """Pipeline-level error (bad PC, runaway execution, ...)."""
+
+
+class CycleLimitExceeded(CpuError):
+    """The cycle budget ran out before the program halted.
+
+    Raised by :meth:`repro.machine.pipeline.Pipeline.run` (and the
+    functional interpreter, counting instructions) so batch callers can
+    distinguish a runaway simulation from other CPU faults and record
+    *where* it was spinning: the failure carries the program counter and
+    the cycle count at the moment the budget expired, and the harness
+    surfaces both on the :class:`~repro.harness.resilience.JobFailure`.
+    """
+
+    def __init__(self, pc: int, cycles: int, max_cycles: int):
+        super().__init__(
+            f"exceeded max_cycles={max_cycles} without halting "
+            f"(pc=0x{pc:08x}, cycle={cycles})")
+        self.pc = pc
+        self.cycles = cycles
+        self.max_cycles = max_cycles
+
+    def __reduce__(self):
+        # Exceptions pickle as type(*args); args holds the formatted
+        # message, so rebuild from the structured fields instead (the
+        # instance must survive the pool's result channel intact).
+        return (type(self), (self.pc, self.cycles, self.max_cycles))

@@ -35,7 +35,7 @@ from ..isa.encoding import encode
 from ..isa.instructions import Format, Instruction
 from ..isa.program import Program
 from .alu import alu_execute
-from .exceptions import CpuError
+from .exceptions import CycleLimitExceeded
 from .memory import Memory
 from .regfile import RegisterFile
 
@@ -451,8 +451,6 @@ class Pipeline:
         step = self.step
         while not self.halted:
             if self.cycle >= max_cycles:
-                raise CpuError(
-                    f"exceeded max_cycles={max_cycles} without halting "
-                    f"(pc=0x{self.pc:08x})")
+                raise CycleLimitExceeded(self.pc, self.cycle, max_cycles)
             step()
         return self.cycle

@@ -68,6 +68,11 @@ def build_manifest(experiment_id: Optional[str] = None,
         "metrics": metrics,
         "spans": spans,
     }
+    fault_plan = os.environ.get("REPRO_FAULT_PLAN")
+    if fault_plan:
+        # Injected faults invalidate timing comparisons; a manifest from
+        # such a run must say so.
+        manifest["fault_plan"] = fault_plan
     if experiment_id is not None:
         manifest["experiment_id"] = experiment_id
     if summary is not None:

@@ -13,6 +13,20 @@ KEY = 0x133457799BBCDFF1
 PLAINTEXT = 0x0123456789ABCDEF
 
 
+def pytest_addoption(parser, pluginmanager):
+    """Keep the ``timeout`` ini option valid without pytest-timeout.
+
+    CI installs pytest-timeout so a wedged pool test cannot hang a run
+    forever; local environments may not have it.  Registering the ini
+    option ourselves when the plugin is absent means `pyproject.toml`
+    can set a default timeout unconditionally (it is simply inert
+    without the plugin) instead of warning about an unknown key.
+    """
+    if not pluginmanager.hasplugin("timeout"):
+        parser.addini("timeout", "per-test timeout (needs pytest-timeout)",
+                      default=None)
+
+
 @pytest.fixture(scope="session")
 def round1_unmasked():
     return compile_des(DesProgramSpec(rounds=1), masking="none")

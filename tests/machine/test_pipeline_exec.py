@@ -214,10 +214,16 @@ def test_inputs_injected_before_run():
 
 
 def test_runaway_program_raises():
-    with pytest.raises(CpuError):
+    from repro.machine.exceptions import CycleLimitExceeded
+
+    with pytest.raises(CycleLimitExceeded) as excinfo:
         run("""
         loop: j loop
         """, max_cycles=1000)
+    assert isinstance(excinfo.value, CpuError)  # old handlers still catch
+    assert excinfo.value.cycles == 1000
+    assert excinfo.value.max_cycles == 1000
+    assert excinfo.value.pc is not None
 
 
 def test_retired_instruction_count():
