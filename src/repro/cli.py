@@ -7,9 +7,14 @@ Commands:
 * ``run FILE``          — run a .s or .sc file on the energy simulator
 * ``experiment ID``     — run one registered paper experiment
   (``--manifest``/``--metrics-out`` enable the observability sink and
-  write the run manifest / metrics snapshot)
+  write the run manifest / metrics snapshot; ``--attribution`` books
+  every picojoule to its (pc, unit, class) cell and saves the snapshot;
+  ``--report-html`` writes the self-contained HTML leakage report)
 * ``experiments``       — list the experiment registry
 * ``obs summarize``     — render, aggregate, and diff run manifests
+* ``obs attribution``   — ASCII energy-attribution tables from a
+  snapshot or manifest
+* ``obs report``        — HTML leakage report from a manifest
 """
 
 from __future__ import annotations
@@ -92,8 +97,23 @@ def cmd_run(arguments: argparse.Namespace) -> int:
                 print(f"{symbol} = {words}")
         return 0
 
-    result = run_with_trace(program, inputs=inputs,
-                            max_cycles=arguments.max_cycles)
+    stream = None
+    if arguments.trace_out:
+        from .harness.io import StreamingTraceWriter
+
+        stream = StreamingTraceWriter(arguments.trace_out)
+    try:
+        result = run_with_trace(program, inputs=inputs,
+                                max_cycles=arguments.max_cycles,
+                                stream=stream)
+        if stream is not None:
+            stream.write_markers(result.trace.markers)
+    finally:
+        if stream is not None:
+            stream.close()
+    if stream is not None:
+        print(f"streamed {stream.cycles_written} cycles "
+              f"to {arguments.trace_out} ({stream.fmt})")
     print(f"cycles:            {result.cycles}")
     print(f"total energy:      {result.total_uj:.3f} uJ")
     print(f"average power:     {result.average_pj:.1f} pJ/cycle")
@@ -116,7 +136,8 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
 
     from .harness.experiments import EXPERIMENTS, run_experiment
 
-    observing = bool(arguments.manifest or arguments.metrics_out)
+    observing = bool(arguments.manifest or arguments.metrics_out
+                     or arguments.report_html)
     kwargs = {}
     jobs_effective = 1
     function = EXPERIMENTS.get(arguments.id)
@@ -143,6 +164,10 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         from . import obs
 
         obs.enable()
+    if arguments.attribution:
+        from . import obs
+
+        obs.enable_attribution()
     result = run_experiment(arguments.id, **kwargs)
     print(f"[{result.experiment_id}] {result.title}")
     for key, value in result.summary.items():
@@ -156,7 +181,18 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         save_experiment_json(result, arguments.json,
                              include_series=not arguments.no_series)
         print(f"saved {arguments.json}")
-    if observing:
+    if arguments.attribution:
+        import json as json_module
+
+        from . import obs
+
+        snapshot = obs.attribution().snapshot()
+        Path(arguments.attribution).write_text(
+            json_module.dumps(snapshot, indent=2, sort_keys=True))
+        print(f"saved attribution {arguments.attribution} "
+              f"({len(snapshot['cells'])} cells, "
+              f"{snapshot['total_pj']:,.1f} pJ)")
+    if observing or arguments.attribution:
         _write_observability(arguments, result, signature, jobs_effective)
     return 0
 
@@ -192,8 +228,11 @@ def _write_observability(arguments: argparse.Namespace, result,
             if parameter.default is not inspect.Parameter.empty
             and name not in ("params", "jobs", "retries", "job_timeout",
                              "checkpoint")}
-    manifest = obs.build_manifest(experiment_id=result.experiment_id,
-                                  config=config, summary=result.summary)
+    manifest = obs.build_manifest(
+        experiment_id=result.experiment_id, config=config,
+        summary=result.summary,
+        leakage=result.leakage.to_dict() if result.leakage is not None
+        else None)
     if arguments.manifest:
         path = obs.write_manifest(manifest, arguments.manifest)
         print(f"saved manifest {path}")
@@ -201,6 +240,14 @@ def _write_observability(arguments: argparse.Namespace, result,
         Path(arguments.metrics_out).write_text(
             json.dumps(manifest["metrics"], indent=2, sort_keys=True))
         print(f"saved metrics {arguments.metrics_out}")
+    if arguments.report_html:
+        from .harness.io import experiment_to_dict
+        from .obs.report import report_from_manifest, write_report
+
+        path = write_report(
+            report_from_manifest(manifest, experiment_to_dict(result)),
+            arguments.report_html)
+        print(f"saved report {path}")
 
 
 def cmd_obs_summarize(arguments: argparse.Namespace) -> int:
@@ -228,6 +275,47 @@ def cmd_obs_summarize(arguments: argparse.Namespace) -> int:
                 continue
             print(f"  {name:<56} {before:,.3f} -> {after:,.3f} "
                   f"({after - before:+,.3f})")
+    return 0
+
+
+def cmd_obs_attribution(arguments: argparse.Namespace) -> int:
+    """ASCII attribution tables from a snapshot JSON or a run manifest."""
+    import json
+
+    from .obs.attribution import SCHEMA as ATTRIBUTION_SCHEMA
+    from .obs.attribution import render_attribution
+    from .obs.manifest import COMPATIBLE_SCHEMAS
+
+    document = json.loads(Path(arguments.file).read_text())
+    schema = document.get("schema")
+    if schema == ATTRIBUTION_SCHEMA:
+        snapshot = document
+    elif schema in COMPATIBLE_SCHEMAS:
+        snapshot = document.get("attribution")
+        if not snapshot:
+            raise SystemExit(f"{arguments.file}: manifest carries no "
+                             "attribution section (run the experiment "
+                             "with --attribution)")
+    else:
+        raise SystemExit(f"{arguments.file}: neither an attribution "
+                         f"snapshot nor a run manifest (schema={schema!r})")
+    print(render_attribution(snapshot, top=arguments.top))
+    return 0
+
+
+def cmd_obs_report(arguments: argparse.Namespace) -> int:
+    """Self-contained HTML leakage report from a run manifest."""
+    import json
+
+    from . import obs
+    from .obs.report import report_from_manifest, write_report
+
+    manifest = obs.load_manifest(arguments.manifest)
+    result = json.loads(Path(arguments.json).read_text()) \
+        if arguments.json else None
+    path = write_report(report_from_manifest(manifest, result),
+                        arguments.output)
+    print(f"saved report {path}")
     return 0
 
 
@@ -276,6 +364,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-cycles", type=int, default=50_000_000)
     p_run.add_argument("--fast", action="store_true",
                        help="functional interpreter (no timing/energy)")
+    p_run.add_argument("--trace-out", metavar="PATH", dest="trace_out",
+                       help="stream the per-cycle trace to PATH while "
+                            "running (.csv -> CSV, else NDJSON; memory "
+                            "use stays bounded regardless of length)")
     p_run.set_defaults(func=cmd_run)
 
     p_exp = subparsers.add_parser("experiment",
@@ -306,6 +398,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--metrics-out",
                        help="enable the observability sink and write the "
                             "metrics snapshot JSON to this path")
+    p_exp.add_argument("--attribution", metavar="PATH",
+                       help="enable per-PC energy attribution and write "
+                            "the full (pc, unit, class) snapshot JSON "
+                            "to this path")
+    p_exp.add_argument("--report-html", metavar="PATH", dest="report_html",
+                       help="enable the observability sink and write a "
+                            "self-contained HTML leakage report "
+                            "(charts, verdicts, hotspots) to this path")
     p_exp.set_defaults(func=cmd_experiment)
 
     p_list = subparsers.add_parser("experiments",
@@ -321,6 +421,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_summarize.add_argument("manifests", nargs="+",
                              metavar="MANIFEST.json")
     p_summarize.set_defaults(func=cmd_obs_summarize)
+    p_attr = obs_subparsers.add_parser(
+        "attribution",
+        help="render energy-attribution tables from a snapshot or "
+             "manifest")
+    p_attr.add_argument("file", metavar="SNAPSHOT_OR_MANIFEST.json")
+    p_attr.add_argument("--top", type=int, default=20,
+                        help="hotspot rows to show (default 20)")
+    p_attr.set_defaults(func=cmd_obs_attribution)
+    p_report = obs_subparsers.add_parser(
+        "report",
+        help="write the self-contained HTML leakage report for a "
+             "manifest")
+    p_report.add_argument("manifest", metavar="MANIFEST.json")
+    p_report.add_argument("--json", metavar="RESULT.json",
+                          help="saved experiment result (adds the "
+                               "per-cycle charts)")
+    p_report.add_argument("-o", "--output", default="report.html",
+                          help="output path (default report.html)")
+    p_report.set_defaults(func=cmd_obs_report)
     return parser
 
 

@@ -318,6 +318,10 @@ class JobResult:
     metrics: Optional[dict] = None
     #: Scoped per-job span tree (observability sink enabled only).
     spans: Optional[list] = None
+    #: Per-component event counts (accesses/operations) of the run.
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Scoped per-job attribution snapshot (attribution enabled only).
+    attribution: Optional[dict] = None
 
     @property
     def total_pj(self) -> float:
@@ -346,13 +350,15 @@ def execute_job(job: SimJob) -> JobResult:
     ``execute`` — and ships the scoped snapshot/span tree back on the
     :class:`JobResult` for the parent to merge.
     """
-    if not obs.enabled():
+    if not obs.enabled() and not obs.attribution_enabled():
         return _execute_job_inner(job)
     with obs.scope() as scoped:
         with obs.span("job", label=job.label):
             result = _execute_job_inner(job)
         result.metrics = scoped.registry.snapshot()
         result.spans = scoped.tracer.tree()
+        if scoped.attribution:
+            result.attribution = scoped.attribution.snapshot()
     return result
 
 
@@ -396,7 +402,8 @@ def _execute_job_inner(job: SimJob) -> JobResult:
                      totals=dict(run.tracker.totals),
                      components=run.trace.components,
                      wall_time_s=time.perf_counter() - start,
-                     cache_hit=cache_hit)
+                     cache_hit=cache_hit,
+                     counts=dict(run.tracker.counts))
 
 
 def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
@@ -449,10 +456,11 @@ def _merge_observability(results: Sequence) -> None:
     (:class:`~repro.harness.resilience.JobFailure`) carry no scoped
     metrics and are skipped.
     """
-    if not obs.enabled():
+    if not obs.enabled() and not obs.attribution_enabled():
         return
     registry = obs.registry()
     tracer = obs.tracer()
+    attribution = obs.attribution()
     wall = registry.histogram("job_wall_seconds",
                               "per-job wall time inside the worker")
     for result in results:
@@ -463,3 +471,5 @@ def _merge_observability(results: Sequence) -> None:
             registry.merge_snapshot(result.metrics)
         if result.spans:
             tracer.attach(result.spans)
+        if result.attribution:
+            attribution.merge_snapshot(result.attribution)

@@ -23,6 +23,7 @@ from ..attacks.spa import analyze as spa_analyze
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.models import FunctionalUnitModel
 from ..energy.circuits import PrechargedXorCell
+from ..obs.leakage import LeakageReport, assess_pair
 from ..programs import markers as mk
 from ..programs.des_source import DesProgramSpec
 from ..programs.workloads import compile_des
@@ -47,6 +48,10 @@ class ExperimentResult:
     series: dict[str, np.ndarray] = field(default_factory=dict)
     rows: list[tuple] = field(default_factory=list)
     notes: str = ""
+    #: Per-region leakage-budget verdicts for the differential
+    #: experiments (kept out of ``summary`` so existing manifests and
+    #: benchmark assertions are unchanged).
+    leakage: Optional[LeakageReport] = None
 
 
 def _round1_window(run: RunResult) -> tuple[int, int]:
@@ -113,16 +118,19 @@ def fig06_rounds_trace(params: EnergyParams = DEFAULT_PARAMS
 
 
 def _key_differential(masking: str, key_a: int, key_b: int,
-                      params: EnergyParams) -> tuple[RunResult, np.ndarray]:
+                      params: EnergyParams
+                      ) -> tuple[RunResult, np.ndarray, LeakageReport]:
     compiled = compile_des(DesProgramSpec(rounds=1), masking=masking)
     run_a = des_run(compiled.program, key_a, PT_A, params=params)
     run_b = des_run(compiled.program, key_b, PT_A, params=params)
-    return run_a, run_a.trace.diff(run_b.trace)
+    report = assess_pair(run_a.trace, run_b.trace,
+                         label=f"keys/{masking}")
+    return run_a, run_a.trace.diff(run_b.trace), report
 
 
 def fig07_key_diff_round1(params: EnergyParams = DEFAULT_PARAMS
                           ) -> ExperimentResult:
-    run, diff = _key_differential("none", KEY_A, KEY_B_BIT1, params)
+    run, diff, leakage = _key_differential("none", KEY_A, KEY_B_BIT1, params)
     start, end = _secure_region(run)
     window = diff[start:end]
     return ExperimentResult(
@@ -136,13 +144,14 @@ def fig07_key_diff_round1(params: EnergyParams = DEFAULT_PARAMS
             "leak_visible": bool(np.abs(window).max() > 0),
         },
         series={"diff": window},
+        leakage=leakage,
         notes="A single flipped key bit produces visible per-cycle energy "
               "differences in the unmasked round-1 computation.")
 
 
 def fig08_key_diff_unmasked(params: EnergyParams = DEFAULT_PARAMS
                             ) -> ExperimentResult:
-    run, diff = _key_differential("none", KEY_A, KEY_C, params)
+    run, diff, leakage = _key_differential("none", KEY_A, KEY_C, params)
     start, end = _secure_region(run)
     window = diff[start:end]
     return ExperimentResult(
@@ -154,12 +163,13 @@ def fig08_key_diff_unmasked(params: EnergyParams = DEFAULT_PARAMS
             "window_cycles": int(window.size),
             "leak_visible": bool(np.abs(window).max() > 0),
         },
-        series={"diff": window})
+        series={"diff": window},
+        leakage=leakage)
 
 
 def fig09_key_diff_masked(params: EnergyParams = DEFAULT_PARAMS
                           ) -> ExperimentResult:
-    run, diff = _key_differential("selective", KEY_A, KEY_C, params)
+    run, diff, leakage = _key_differential("selective", KEY_A, KEY_C, params)
     start, end = _secure_region(run)
     window = diff[start:end]
     return ExperimentResult(
@@ -172,6 +182,7 @@ def fig09_key_diff_masked(params: EnergyParams = DEFAULT_PARAMS
             "masked_flat": bool(np.abs(window).max() == 0),
         },
         series={"diff": window},
+        leakage=leakage,
         notes="With selective secure instructions the differential trace is "
               "identically zero over every key-dependent operation.")
 
@@ -182,16 +193,18 @@ def fig09_key_diff_masked(params: EnergyParams = DEFAULT_PARAMS
 
 
 def _plaintext_differential(masking: str, params: EnergyParams
-                            ) -> tuple[RunResult, np.ndarray]:
+                            ) -> tuple[RunResult, np.ndarray, LeakageReport]:
     compiled = compile_des(DesProgramSpec(rounds=1), masking=masking)
     run_a = des_run(compiled.program, KEY_A, PT_A, params=params)
     run_b = des_run(compiled.program, KEY_A, PT_B, params=params)
-    return run_a, run_a.trace.diff(run_b.trace)
+    report = assess_pair(run_a.trace, run_b.trace,
+                         label=f"plaintexts/{masking}")
+    return run_a, run_a.trace.diff(run_b.trace), report
 
 
 def fig10_pt_diff_unmasked(params: EnergyParams = DEFAULT_PARAMS
                            ) -> ExperimentResult:
-    run, diff = _plaintext_differential("none", params)
+    run, diff, leakage = _plaintext_differential("none", params)
     ip_start = run.trace.marker_cycles(mk.M_IP_START)[0]
     ip_end = run.trace.marker_cycles(mk.M_IP_END)[0]
     sec_start, sec_end = _secure_region(run)
@@ -205,12 +218,13 @@ def fig10_pt_diff_unmasked(params: EnergyParams = DEFAULT_PARAMS
             "round_leak_visible":
                 bool(np.abs(diff[sec_start:sec_end]).max() > 0),
         },
-        series={"diff": diff})
+        series={"diff": diff},
+        leakage=leakage)
 
 
 def fig11_pt_diff_masked(params: EnergyParams = DEFAULT_PARAMS
                          ) -> ExperimentResult:
-    run, diff = _plaintext_differential("selective", params)
+    run, diff, leakage = _plaintext_differential("selective", params)
     ip_start = run.trace.marker_cycles(mk.M_IP_START)[0]
     ip_end = run.trace.marker_cycles(mk.M_IP_END)[0]
     sec_start, sec_end = _secure_region(run)
@@ -226,6 +240,7 @@ def fig11_pt_diff_masked(params: EnergyParams = DEFAULT_PARAMS
                 bool(np.abs(diff[sec_start:sec_end]).max() == 0),
         },
         series={"diff": diff},
+        leakage=leakage,
         notes="The initial permutation is deliberately not secured (no key "
               "involved), so plaintext-dependent differences remain there; "
               "the secured round body is flat.")
@@ -444,7 +459,7 @@ def ablation_no_slicing(params: EnergyParams = DEFAULT_PARAMS
     """Annotate-only masking (no forward slicing) leaks indirectly."""
     results = {}
     for masking in ("annotate-only", "selective"):
-        run, diff = _key_differential(masking, KEY_A, KEY_C, params)
+        run, diff, _ = _key_differential(masking, KEY_A, KEY_C, params)
         start, end = _secure_region(run)
         window = diff[start:end]
         results[masking] = (float(np.abs(window).max()),
@@ -893,4 +908,6 @@ def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
     if obs.enabled():
         obs.counter("experiments_run", "registered experiments executed") \
             .inc(experiment=experiment_id)
+        if result.leakage is not None:
+            result.leakage.publish_metrics(obs.registry())
     return result

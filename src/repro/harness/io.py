@@ -5,7 +5,11 @@ simulation each); saving them lets attack development iterate offline, and
 lets experiment results be archived/diffed across code changes.
 
 Formats: numpy ``.npz`` for numeric data, JSON for experiment summaries,
-CSV for tabular rows.
+CSV for tabular rows, and **streaming** NDJSON/CSV per-cycle trace export
+(:class:`StreamingTraceWriter`) whose memory footprint is bounded by a
+small line buffer regardless of trace length — million-cycle batch runs
+can export their traces without ever holding them in RAM
+(``run_with_trace(..., stream=writer, keep_trace=False)``).
 """
 
 from __future__ import annotations
@@ -13,15 +17,127 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from ..attacks.dpa import TraceSet
+from ..energy.tracker import COMPONENTS
 from ..energy.trace import EnergyTrace
 from .experiments import ExperimentResult
 
 PathLike = Union[str, Path]
+
+
+class StreamingTraceWriter:
+    """Bounded-memory per-cycle trace writer (NDJSON or CSV).
+
+    Plugs into :class:`~repro.energy.tracker.EnergyTracker` as its
+    ``stream`` sink: the tracker calls :meth:`write_cycle` once per cycle
+    and the writer appends one line per cycle, flushing its line buffer
+    every ``buffer_cycles`` cycles — memory use is O(buffer), not
+    O(cycles).
+
+    * ``ndjson`` — one JSON object per line: ``{"cycle": n, "pj": total}``
+      plus a ``"components"`` object when per-component collection is on;
+      phase markers can be appended via :meth:`write_marker`.
+    * ``csv`` — header ``cycle,total_pj[,<component>...]``; markers are
+      not representable and are silently skipped.
+
+    The format defaults from the path suffix (``.csv`` -> csv, anything
+    else -> ndjson).  Use as a context manager or call :meth:`close`.
+    """
+
+    FORMATS = ("ndjson", "csv")
+
+    def __init__(self, path: PathLike, fmt: Optional[str] = None,
+                 buffer_cycles: int = 4096,
+                 component_names: Sequence[str] = COMPONENTS):
+        self.path = Path(path)
+        if fmt is None:
+            fmt = "csv" if self.path.suffix.lower() == ".csv" else "ndjson"
+        if fmt not in self.FORMATS:
+            raise ValueError(f"unknown trace format {fmt!r} "
+                             f"(expected one of {self.FORMATS})")
+        self.fmt = fmt
+        self.component_names = tuple(component_names)
+        self.buffer_cycles = max(1, int(buffer_cycles))
+        self.cycles_written = 0
+        self._buffer: list[str] = []
+        self._wrote_header = False
+        self._handle = open(self.path, "w", encoding="utf-8")
+
+    # -- tracker sink interface ---------------------------------------
+
+    def write_cycle(self, index: int, total_pj: float,
+                    components=None) -> None:
+        if self.fmt == "csv":
+            if not self._wrote_header:
+                names = ",".join(self.component_names) \
+                    if components is not None else ""
+                header = "cycle,total_pj" + ("," + names if names else "")
+                self._buffer.append(header)
+                self._wrote_header = True
+            line = f"{index},{total_pj!r}"
+            if components is not None:
+                line += "," + ",".join(repr(value) for value in components)
+        else:
+            if components is not None:
+                parts = ",".join(f'"{name}":{value!r}' for name, value
+                                 in zip(self.component_names, components))
+                line = (f'{{"cycle":{index},"pj":{total_pj!r},'
+                        f'"components":{{{parts}}}}}')
+            else:
+                line = f'{{"cycle":{index},"pj":{total_pj!r}}}'
+        self._buffer.append(line)
+        self.cycles_written += 1
+        if len(self._buffer) >= self.buffer_cycles:
+            self.flush()
+
+    def write_marker(self, cycle: int, value: int) -> None:
+        """Append a phase-marker record (NDJSON only)."""
+        if self.fmt == "ndjson":
+            self._buffer.append(f'{{"marker":{value},"cycle":{cycle}}}')
+
+    def write_markers(self, markers: Sequence[tuple[int, int]]) -> None:
+        for cycle, value in markers:
+            self.write_marker(cycle, value)
+
+    # -- lifecycle ----------------------------------------------------
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._handle.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "StreamingTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def stream_trace(trace: EnergyTrace, path: PathLike,
+                 fmt: Optional[str] = None,
+                 buffer_cycles: int = 4096) -> int:
+    """Export an in-memory :class:`EnergyTrace` through the streaming
+    writer; returns the number of cycles written."""
+    with StreamingTraceWriter(path, fmt=fmt,
+                              buffer_cycles=buffer_cycles) as writer:
+        components = trace.components
+        for index, total in enumerate(trace.energy):
+            writer.write_cycle(
+                index, float(total),
+                tuple(float(v) for v in components[index])
+                if components is not None else None)
+        writer.write_markers(trace.markers)
+        return writer.cycles_written
 
 
 def save_trace(trace: EnergyTrace, path: PathLike) -> None:
@@ -70,7 +186,7 @@ def load_trace_set(path: PathLike) -> TraceSet:
 
 def experiment_to_dict(result: ExperimentResult) -> dict:
     """JSON-serializable representation of an experiment result."""
-    return {
+    payload = {
         "experiment_id": result.experiment_id,
         "title": result.title,
         "summary": {key: (value.item()
@@ -81,6 +197,9 @@ def experiment_to_dict(result: ExperimentResult) -> dict:
         "rows": [list(row) for row in result.rows],
         "notes": result.notes,
     }
+    if result.leakage is not None:
+        payload["leakage"] = result.leakage.to_dict()
+    return payload
 
 
 def save_experiment_json(result: ExperimentResult, path: PathLike,

@@ -43,11 +43,18 @@ def series_preview(values: np.ndarray, count: int = 12,
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 
+#: Glyph for buckets containing non-finite samples (NaN/inf).
+_SPARK_HOLE = "·"
+
+
 def sparkline(values: np.ndarray, width: int = 72) -> str:
     """Render a series as a unicode sparkline (the terminal's Fig. 6).
 
     The series is resampled to ``width`` buckets (bucket mean) and each
-    bucket maps to one of eight block characters by value.
+    bucket maps to one of eight block characters by value.  Buckets
+    containing non-finite samples (NaN/inf) render as ``·`` and are
+    excluded from the scale, so one bad sample cannot flatten — or crash —
+    the rest of the line.
     """
     values = np.asarray(values, dtype=np.float64)
     if values.size == 0:
@@ -57,12 +64,21 @@ def sparkline(values: np.ndarray, width: int = 72) -> str:
         buckets = values[:n].reshape(width, -1).mean(axis=1)
     else:
         buckets = values
-    low = float(buckets.min())
-    high = float(buckets.max())
+    finite = np.isfinite(buckets)
+    if not finite.any():
+        return _SPARK_HOLE * buckets.size
+    low = float(buckets[finite].min())
+    high = float(buckets[finite].max())
     if high == low:
-        return _SPARK_LEVELS[0] * buckets.size
-    scaled = (buckets - low) / (high - low) * (len(_SPARK_LEVELS) - 1)
-    return "".join(_SPARK_LEVELS[int(round(level))] for level in scaled)
+        return "".join(_SPARK_LEVELS[0] if ok else _SPARK_HOLE
+                       for ok in finite)
+    top = len(_SPARK_LEVELS) - 1
+    with np.errstate(invalid="ignore"):
+        scaled = (buckets - low) / (high - low) * top
+    return "".join(
+        _SPARK_LEVELS[min(top, max(0, int(round(level))))] if ok
+        else _SPARK_HOLE
+        for ok, level in zip(finite, scaled))
 
 
 def summarize_series(values: np.ndarray) -> dict[str, float]:

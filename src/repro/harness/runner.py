@@ -20,6 +20,8 @@ class RunResult:
     def __init__(self, cpu: CPU, tracker: EnergyTracker, label: str = ""):
         self.cpu = cpu
         self.tracker = tracker
+        #: Per-run attribution sink (None unless attribution was enabled).
+        self.attribution = tracker.attribution
         self.trace = EnergyTrace.from_tracker(tracker,
                                               markers=cpu.pipeline.markers,
                                               label=label)
@@ -45,7 +47,8 @@ def run_with_trace(program: Program,
                    max_cycles: int = 50_000_000,
                    noise_sigma: float = 0.0,
                    noise_seed: int = 0,
-                   operand_isolation: bool = True) -> RunResult:
+                   operand_isolation: bool = True,
+                   stream=None, keep_trace: bool = True) -> RunResult:
     """Assembled program + symbol inputs -> executed RunResult with trace.
 
     When the observability sink is enabled (:func:`repro.obs.enabled`),
@@ -53,10 +56,25 @@ def run_with_trace(program: Program,
     instruction mix, and publishes pipeline/energy metrics to the current
     registry; with the sink disabled (the default) the simulated path is
     identical to an uninstrumented runner.
+
+    When attribution is enabled (:func:`repro.obs.attribution_enabled`),
+    the tracker additionally books every energy increment to its
+    (pc, unit, class, secure) provenance key; the per-run sink is
+    annotated with the program's debug info and merged into the current
+    observability context.
+
+    ``stream`` is an optional bounded-memory per-cycle trace writer
+    (:class:`~repro.harness.io.StreamingTraceWriter`); pass
+    ``keep_trace=False`` alongside it to drop the in-memory trace
+    entirely (the returned result then has an empty energy vector).
     """
     observing = obs.enabled()
+    attribution = obs.AttributionSink() if obs.attribution_enabled() \
+        else None
     tracker = EnergyTracker(params, collect_components=collect_components,
-                            noise_sigma=noise_sigma, noise_seed=noise_seed)
+                            noise_sigma=noise_sigma, noise_seed=noise_seed,
+                            attribution=attribution, stream=stream,
+                            keep_trace=keep_trace)
     cpu = CPU(program, tracker=tracker,
               operand_isolation=operand_isolation, collect_mix=observing)
     if inputs:
@@ -72,6 +90,9 @@ def run_with_trace(program: Program,
             raise
     if observing:
         _publish_run_metrics(cpu, tracker)
+    if attribution is not None:
+        attribution.annotate(program)
+        obs.attribution().merge(attribution)
     return RunResult(cpu, tracker, label=label)
 
 

@@ -5,7 +5,11 @@ Accepted syntax (a superset of the paper's Figure 4 listing style):
 * comments start with ``#`` or ``;``
 * labels: ``name:`` (may share a line with an instruction)
 * directives: ``.text``, ``.data``, ``.word v, ...``, ``.byte v, ...``,
-  ``.space n``, ``.align n``, ``.globl name`` (accepted, ignored)
+  ``.space n``, ``.align n``, ``.globl name`` (accepted, ignored), and the
+  DWARF-style debug directive ``.loc line [sliced]``: subsequent text
+  instructions carry ``source_line=line`` (the high-level source line) and
+  ``sliced`` (slice membership) until the next ``.loc``; ``.loc 0 0``
+  clears the state
 * memory operands: ``off($reg)``, ``($reg)``, ``label``, ``label+off``
 * secure mnemonics: ``slw/ssw/sxor/ssll/.../silw`` and the generic ``s.<op>``
 
@@ -120,6 +124,8 @@ class Assembler:
         data = _DataSegment(self.data_base)
         symbols: dict[str, int] = {}
         in_text = True
+        #: Pending (source_line, sliced) debug state set by ``.loc``.
+        loc: Optional[tuple[int, bool]] = None
 
         for line_no, raw in enumerate(source.splitlines(), start=1):
             line = raw.split("#", 1)[0].split(";", 1)[0].strip()
@@ -138,6 +144,9 @@ class Assembler:
             if not line:
                 continue
             if line.startswith("."):
+                if line.split(None, 1)[0].lower() == ".loc":
+                    loc = self._parse_loc(line, line_no, raw)
+                    continue
                 in_text = self._directive(line, data, in_text, line_no, raw)
                 continue
             if not in_text:
@@ -145,8 +154,24 @@ class Assembler:
                                      line_no, raw)
             for ins in self._parse_instruction(line, line_no, raw):
                 ins.line = line_no
+                if loc is not None:
+                    ins.source_line, ins.sliced = loc
                 text.append(ins)
         return text, data, symbols
+
+    @staticmethod
+    def _parse_loc(line: str, line_no: int,
+                   raw: str) -> Optional[tuple[int, bool]]:
+        """Parse ``.loc line [sliced]``; line 0 clears the debug state."""
+        tokens = line.split()
+        if len(tokens) not in (2, 3):
+            raise AssemblerError(".loc expects 'line [sliced]'",
+                                 line_no, raw)
+        source_line = _parse_int(tokens[1])
+        sliced = bool(_parse_int(tokens[2])) if len(tokens) == 3 else False
+        if source_line <= 0:
+            return None
+        return (source_line, sliced)
 
     @staticmethod
     def _looks_like_mem_operand(line: str) -> bool:

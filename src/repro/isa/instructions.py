@@ -227,6 +227,13 @@ class Instruction:
     line: Optional[int] = None
     #: Optional free-form provenance tag (e.g. the IR op that generated it).
     tag: Optional[str] = None
+    #: High-level *source* line (DWARF-style ``.loc`` debug info threaded
+    #: by the compiler through the assembler), distinct from ``line``,
+    #: which is the assembly line.  None when no debug info was emitted.
+    source_line: Optional[int] = field(default=None, compare=False)
+    #: True if the instruction belongs to the program slice the masking
+    #: pass secured (slice membership, not the per-instruction secure bit).
+    sliced: bool = field(default=False, compare=False)
     spec: OpSpec = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:

@@ -64,6 +64,24 @@ class Program:
             return 0.0
         return sum(1 for ins in self.text if ins.secure) / len(self.text)
 
+    def source_map(self) -> dict[int, tuple[Optional[int], bool]]:
+        """Debug info per text address: ``{pc: (source_line, sliced)}``.
+
+        The pairs come from ``.loc`` directives (see
+        :mod:`repro.isa.assembler`); addresses of instructions without
+        debug info map to ``(None, False)``.  Energy attribution uses
+        this to roll per-PC totals up to source lines and the secured
+        program slice.
+        """
+        return {self.address_of_index(index): (ins.source_line,
+                                               bool(ins.sliced))
+                for index, ins in enumerate(self.text)}
+
+    def sliced_addresses(self) -> set[int]:
+        """Text addresses inside the masked program slice."""
+        return {self.address_of_index(index)
+                for index, ins in enumerate(self.text) if ins.sliced}
+
     def listing(self) -> str:
         """Human-readable disassembly listing with addresses."""
         lines = []

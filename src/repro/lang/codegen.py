@@ -63,6 +63,10 @@ class CodegenOptions:
     #: ori, xori, slti, immediate shifts, load/store offsets) instead of
     #: materializing them with ``li``.  Part of the -O1 pipeline.
     use_immediates: bool = False
+    #: Emit ``.loc line sliced`` debug directives so every generated
+    #: instruction carries its high-level source line and slice membership
+    #: (consumed by energy attribution; see repro.obs.attribution).
+    emit_debug: bool = True
 
 
 class _Allocator:
@@ -268,8 +272,17 @@ class CodeGenerator:
         allocator = _Allocator(self.code)
         critical = self.slice.critical
         saw_halt_op = False
+        emit_debug = self.options.emit_debug
+        last_loc: tuple[int, bool] | None = None
         for position, instr in enumerate(self.code):
             secure = position in critical
+            if emit_debug and not isinstance(instr, Label) \
+                    and not (isinstance(instr, Const)
+                             and instr.dest in self._inlined):
+                line = getattr(instr, "line", 0) or 0
+                if line and (line, secure) != last_loc:
+                    emit(f"    .loc {line} {1 if secure else 0}")
+                    last_loc = (line, secure)
             if isinstance(instr, Label):
                 emit(f"{instr.name}:")
             elif isinstance(instr, Const):
@@ -314,6 +327,8 @@ class CodeGenerator:
                 emit("    jr $ra")
             allocator.release_dead(position)
         if self.options.emit_halt and not saw_halt_op:
+            if emit_debug and last_loc is not None:
+                emit("    .loc 0 0")  # the epilogue halt has no source line
             emit("    halt")
 
     def _emit_call(self, instr: Call, allocator: _Allocator) -> None:

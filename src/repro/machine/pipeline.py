@@ -59,7 +59,7 @@ class _IFID:
     __slots__ = ("ins", "iword", "pc")
 
     def __init__(self, ins: Instruction = BUBBLE, iword: int = 0,
-                 pc: int = 0):
+                 pc: int = -1):
         self.ins = ins
         self.iword = iword
         self.pc = pc
@@ -77,25 +77,28 @@ class _IDEX:
         self.b_src: Optional[int] = None
         self.store_val = 0
         self.store_src: Optional[int] = None
-        self.pc = 0
+        self.pc = -1
 
 
 class _EXMEM:
-    __slots__ = ("ins", "alu_out", "store_val")
+    __slots__ = ("ins", "alu_out", "store_val", "pc")
 
     def __init__(self, ins: Instruction = BUBBLE, alu_out: int = 0,
-                 store_val: int = 0):
+                 store_val: int = 0, pc: int = -1):
         self.ins = ins
         self.alu_out = alu_out
         self.store_val = store_val
+        self.pc = pc
 
 
 class _MEMWB:
-    __slots__ = ("ins", "value")
+    __slots__ = ("ins", "value", "pc")
 
-    def __init__(self, ins: Instruction = BUBBLE, value: int = 0):
+    def __init__(self, ins: Instruction = BUBBLE, value: int = 0,
+                 pc: int = -1):
         self.ins = ins
         self.value = value
+        self.pc = pc
 
 
 class Pipeline:
@@ -209,12 +212,12 @@ class Pipeline:
             elif wb_ins.spec.is_store:
                 self.stores_executed += 1
         if tracker is not None:
-            tracker.wb_stage(wb_ins, mem_wb.value)
+            tracker.wb_stage(wb_ins, mem_wb.value, mem_wb.pc)
 
         # ---------------- MEM ----------------
         mem_ins = ex_mem.ins
         mem_spec = mem_ins.spec
-        new_mem_wb = _MEMWB(mem_ins, ex_mem.alu_out)
+        new_mem_wb = _MEMWB(mem_ins, ex_mem.alu_out, ex_mem.pc)
         bus_value = 0
         bus_active = False
         if mem_spec.is_load:
@@ -239,7 +242,7 @@ class Pipeline:
             bus_value = ex_mem.store_val
             bus_active = True
         if tracker is not None:
-            tracker.mem_stage(mem_ins, bus_value, bus_active)
+            tracker.mem_stage(mem_ins, bus_value, bus_active, ex_mem.pc)
 
         # ---------------- EX ----------------
         ex_ins = id_ex.ins
@@ -283,9 +286,9 @@ class Pipeline:
             else:  # jr / jalr
                 redirect = a
         if tracker is not None:
-            tracker.ex_stage(ex_ins, a, b, alu_out)
+            tracker.ex_stage(ex_ins, a, b, alu_out, id_ex.pc)
 
-        new_ex_mem = _EXMEM(ex_ins, alu_out, store_val)
+        new_ex_mem = _EXMEM(ex_ins, alu_out, store_val, id_ex.pc)
 
         # ---------------- ID ----------------
         id_ins = if_id.ins
@@ -306,7 +309,10 @@ class Pipeline:
             new_id_ex, reg_reads = self._decode(id_ins, if_id.pc,
                                                 ex_ins.dest, mem_ins.dest)
         if tracker is not None:
-            tracker.regfile_access(reg_reads, reg_writes)
+            # Port attribution: reads belong to the decoding instruction,
+            # the write to the retiring one.
+            tracker.regfile_access(reg_reads, reg_writes,
+                                   id_ins, if_id.pc, wb_ins, mem_wb.pc)
 
         # ---------------- IF ----------------
         fetch_active = False
@@ -334,7 +340,7 @@ class Pipeline:
                 new_if_id = _IFID()
             next_pc = (self.pc + 4) & _WORD_MASK
         if tracker is not None:
-            tracker.fetch(iword, fetch_active)
+            tracker.fetch(iword, fetch_active, new_if_id.ins, new_if_id.pc)
 
         # ---------------- redirect / squash ----------------
         if redirect is not None:
@@ -351,12 +357,16 @@ class Pipeline:
 
         # ---------------- latch commit ----------------
         if tracker is not None:
-            tracker.latch(0, (new_if_id.iword,), new_if_id.ins.secure)
+            tracker.latch(0, (new_if_id.iword,), new_if_id.ins.secure,
+                          new_if_id.ins, new_if_id.pc)
             tracker.latch(1, (new_id_ex.a, new_id_ex.b,
-                              new_id_ex.store_val), new_id_ex.ins.secure)
+                              new_id_ex.store_val), new_id_ex.ins.secure,
+                          new_id_ex.ins, new_id_ex.pc)
             tracker.latch(2, (new_ex_mem.alu_out, new_ex_mem.store_val),
-                          new_ex_mem.ins.secure)
-            tracker.latch(3, (new_mem_wb.value,), new_mem_wb.ins.secure)
+                          new_ex_mem.ins.secure,
+                          new_ex_mem.ins, new_ex_mem.pc)
+            tracker.latch(3, (new_mem_wb.value,), new_mem_wb.ins.secure,
+                          new_mem_wb.ins, new_mem_wb.pc)
             tracker.end_cycle()
 
         self.if_id = new_if_id

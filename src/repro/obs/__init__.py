@@ -41,6 +41,7 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from .attribution import AttributionSink
 from .manifest import (aggregate_manifests, build_manifest, diff_totals,
                        load_manifest, summarize_manifest, write_manifest)
 from .registry import (CardinalityError, Counter, Gauge, Histogram,
@@ -48,25 +49,32 @@ from .registry import (CardinalityError, Counter, Gauge, Histogram,
 from .spans import SpanRecord, Tracer, render_tree
 
 __all__ = [
-    "CardinalityError", "Counter", "Gauge", "Histogram", "MetricsRegistry",
-    "ObsContext", "SpanRecord", "Tracer", "aggregate_manifests",
-    "build_manifest", "diff_totals", "disable", "enable", "enabled",
-    "load_manifest", "registry", "render_tree", "scope", "snapshot_totals",
-    "span", "summarize_manifest", "tracer", "write_manifest",
+    "AttributionSink", "CardinalityError", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "ObsContext", "SpanRecord", "Tracer",
+    "aggregate_manifests", "attribution", "attribution_enabled",
+    "build_manifest", "diff_totals", "disable", "disable_attribution",
+    "enable", "enable_attribution", "enabled", "load_manifest", "registry",
+    "render_tree", "scope", "snapshot_totals", "span", "summarize_manifest",
+    "tracer", "write_manifest",
 ]
 
 
 class ObsContext:
-    """One observability scope: a registry plus a tracer.
+    """One observability scope: a registry, a tracer, and an attribution
+    accumulator.
 
-    The engine pushes a fresh context around each job so per-job metrics
-    and spans serialize independently of whatever else the process has
-    recorded.
+    The engine pushes a fresh context around each job so per-job metrics,
+    spans, and attribution cells serialize independently of whatever else
+    the process has recorded.  The attribution accumulator is a plain
+    :class:`~repro.obs.attribution.AttributionSink`; per-run sinks merge
+    into it (sums are associative, so any merge order that respects
+    submission order is deterministic).
     """
 
     def __init__(self):
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self.attribution = AttributionSink()
 
 
 _context_stack: list[ObsContext] = [ObsContext()]
@@ -99,6 +107,47 @@ def disable() -> None:
     global _enabled
     _enabled = False
     os.environ[_ENV_FLAG] = "0"
+
+
+_ATTR_ENV_FLAG = "REPRO_ATTRIBUTION"
+
+
+def _attr_env_enabled() -> bool:
+    return os.environ.get(_ATTR_ENV_FLAG, "").strip().lower() \
+        not in ("", "0", "false", "off")
+
+
+_attribution_enabled = _attr_env_enabled()
+
+
+def attribution_enabled() -> bool:
+    """Is per-PC energy attribution collecting?  (Default: off.)"""
+    return _attribution_enabled
+
+
+def enable_attribution() -> None:
+    """Turn attribution on, for this process and any future workers.
+
+    Attribution rides on the observability sink (per-run sinks merge into
+    the current context and ship home on ``JobResult``), so enabling it
+    also enables the sink.
+    """
+    global _attribution_enabled
+    _attribution_enabled = True
+    os.environ[_ATTR_ENV_FLAG] = "1"
+    enable()
+
+
+def disable_attribution() -> None:
+    """Turn attribution off (the default state)."""
+    global _attribution_enabled
+    _attribution_enabled = False
+    os.environ[_ATTR_ENV_FLAG] = "0"
+
+
+def attribution() -> AttributionSink:
+    """The current context's attribution accumulator."""
+    return _context_stack[-1].attribution
 
 
 def context() -> ObsContext:
@@ -174,3 +223,4 @@ def reset() -> None:
     current = _context_stack[-1]
     current.registry.reset()
     current.tracer.reset()
+    current.attribution.reset()

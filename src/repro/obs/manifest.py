@@ -27,14 +27,22 @@ from .spans import render_tree
 
 PathLike = Union[str, Path]
 
-SCHEMA = "repro.obs.manifest/v1"
+SCHEMA = "repro.obs.manifest/v2"
+
+#: Schemas :func:`load_manifest` accepts.  v2 adds the optional
+#: ``attribution`` (energy-provenance rollup) and ``leakage``
+#: (per-region budget verdicts) sections; every v1 field is unchanged,
+#: so v1 manifests load, aggregate, and diff exactly as before.
+COMPATIBLE_SCHEMAS = ("repro.obs.manifest/v1", SCHEMA)
 
 
 def build_manifest(experiment_id: Optional[str] = None,
                    config: Optional[dict] = None,
                    summary: Optional[dict] = None,
                    metrics: Optional[dict] = None,
-                   spans: Optional[list] = None) -> dict:
+                   spans: Optional[list] = None,
+                   attribution: Optional[dict] = None,
+                   leakage: Optional[dict] = None) -> dict:
     """Assemble a manifest document from the current observability state.
 
     ``metrics``/``spans`` default to the *current* context's snapshot and
@@ -42,8 +50,19 @@ def build_manifest(experiment_id: Optional[str] = None,
     ``config`` is the caller's configuration record (masking policy,
     energy parameters, seeds, jobs); ``summary`` carries experiment
     headline scalars.
+
+    Schema v2 sections, both optional (omitted when empty, so runs that
+    collect neither produce documents with the exact v1 field set):
+
+    * ``attribution`` — the energy-provenance rollup; defaults to a
+      summary of the current context's attribution accumulator when it
+      holds cells, or pass a full/summarized snapshot explicitly;
+    * ``leakage`` — a :class:`~repro.obs.leakage.LeakageReport` dict (or
+      a mapping of several).
     """
     from . import context
+    from .attribution import SCHEMA as ATTRIBUTION_SCHEMA
+    from .attribution import summarize_attribution
     from ..harness.engine import _toolchain_fingerprint
 
     current = context()
@@ -51,6 +70,12 @@ def build_manifest(experiment_id: Optional[str] = None,
         metrics = current.registry.snapshot()
     if spans is None:
         spans = current.tracer.tree()
+    if attribution is None and current.attribution:
+        attribution = summarize_attribution(current.attribution.snapshot())
+    elif attribution is not None and "cells" in attribution \
+            and isinstance(attribution.get("cells"), list) \
+            and attribution.get("schema") == ATTRIBUTION_SCHEMA:
+        attribution = summarize_attribution(attribution)
     manifest: dict = {
         "schema": SCHEMA,
         "created_unix": time.time(),
@@ -78,6 +103,10 @@ def build_manifest(experiment_id: Optional[str] = None,
     if summary is not None:
         manifest["summary"] = {key: _jsonable(value)
                                for key, value in summary.items()}
+    if attribution:
+        manifest["attribution"] = attribution
+    if leakage:
+        manifest["leakage"] = leakage
     return manifest
 
 
@@ -125,7 +154,7 @@ def load_manifest(path: PathLike) -> dict:
     """Load a manifest written by :func:`write_manifest`."""
     manifest = json.loads(Path(path).read_text())
     schema = manifest.get("schema")
-    if schema != SCHEMA:
+    if schema not in COMPATIBLE_SCHEMAS:
         raise ValueError(f"{path}: not a repro run manifest "
                          f"(schema={schema!r})")
     return manifest
@@ -198,6 +227,40 @@ def summarize_manifest(manifest: dict) -> str:
             formatted = f"{value:,.3f}" if isinstance(value, float) \
                 and not float(value).is_integer() else f"{int(value):,}"
             lines.append(f"    {name:<56} {formatted}")
+    attribution = manifest.get("attribution", {})
+    if attribution:
+        lines.append(f"  attribution: {attribution.get('total_pj', 0.0):,.3f}"
+                     f" pJ over {attribution.get('cells', 0)} cells")
+        for section in ("by_unit", "by_region"):
+            rollup = attribution.get(section, {})
+            if rollup:
+                lines.append(f"    {section}:")
+                for key, slot in sorted(rollup.items(),
+                                        key=lambda kv: -kv[1]["pj"]):
+                    lines.append(f"      {key:<24} {slot['pj']:,.3f} pJ"
+                                 f"  ({slot['events']:,} events)")
+        hotspots = attribution.get("top_hotspots", [])
+        if hotspots:
+            lines.append("    top hotspots:")
+            for spot in hotspots[:5]:
+                where = f"pc=0x{spot['pc']:04x}" if spot.get("pc", -1) >= 0 \
+                    else "overhead"
+                line_no = spot.get("line")
+                if line_no:
+                    where += f" line {line_no}"
+                lines.append(f"      {where:<28} {spot['pj']:,.3f} pJ")
+    leakage = manifest.get("leakage", {})
+    if leakage:
+        # Either one report dict or a mapping of labelled reports.
+        reports = leakage.values() if "regions" not in leakage \
+            else [leakage]
+        lines.append("  leakage:")
+        for report in reports:
+            label = report.get("label", "-")
+            verdict = "PASS" if report.get("passed") else "FAIL"
+            lines.append(f"    {label:<32} {verdict} "
+                         f"({report.get('violations', 0)} violation(s), "
+                         f"budget {report.get('budget_pj', 0.0):g} pJ)")
     spans = manifest.get("spans", [])
     if spans:
         lines.append("  spans:")

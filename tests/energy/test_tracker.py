@@ -173,3 +173,58 @@ def test_xor_unit_separate_from_alu():
     xor_prev = tracker.xor_unit.prev_a
     assert xor_prev == 0xFFFF
     assert tracker.alu.prev_a == 0
+
+
+def test_counts_track_events_per_component():
+    _, tracker = tracked_run("""
+    .data
+    x: .word 3
+    .text
+    lw $t0, x
+    xor $t1, $t0, $t0
+    sw $t1, x
+    halt
+    """)
+    assert tracker.counts["clock"] == tracker.cycles
+    assert tracker.counts["memport"] == 2  # one load + one store
+    assert tracker.counts["dbus"] == 2
+    assert tracker.counts["regfile"] > 0
+    assert all(isinstance(count, int) for count in tracker.counts.values())
+
+
+def test_publish_metrics_counts_and_cycles():
+    from repro.obs.registry import MetricsRegistry, snapshot_totals
+
+    _, tracker = tracked_run("nop\nnop\nhalt\n")
+    registry = MetricsRegistry()
+    tracker.publish_metrics(registry)
+    totals = snapshot_totals(registry.snapshot())
+    assert totals["cycles"] == tracker.cycles
+    assert totals["cycles_simulated"] == tracker.cycles
+    assert totals["energy_component_events{component=clock}"] \
+        == tracker.cycles
+    # Counter merges add: two runs' snapshots aggregate associatively.
+    other = MetricsRegistry()
+    tracker.publish_metrics(other)
+    registry.merge_snapshot(other.snapshot())
+    merged = snapshot_totals(registry.snapshot())
+    assert merged["cycles"] == 2 * tracker.cycles
+    assert merged["energy_component_events{component=clock}"] \
+        == 2 * tracker.cycles
+
+
+def test_keep_trace_false_drops_series_not_totals():
+    from repro.energy.params import EnergyParams
+    from repro.energy.tracker import EnergyTracker
+    from repro.isa.assembler import assemble as asm
+    from repro.machine.cpu import run_to_halt as run
+
+    kept = EnergyTracker(EnergyParams())
+    run(asm("nop\nnop\nhalt\n"), tracker=kept)
+    dropped = EnergyTracker(EnergyParams(), keep_trace=False)
+    run(asm("nop\nnop\nhalt\n"), tracker=dropped)
+    assert dropped.cycle_energy == []
+    assert dropped.cycles == kept.cycles
+    assert dropped.total_energy_pj == pytest.approx(kept.total_energy_pj)
+    assert dropped.average_energy_pj == pytest.approx(
+        kept.average_energy_pj)

@@ -125,3 +125,86 @@ def test_experiment_json_export(tmp_path, capsys):
     data = json.loads(open(out).read())
     assert data["experiment_id"] == "xor-op"
     assert abs(data["summary"]["secure_mean_pj"] - 0.6) < 1e-9
+
+
+def test_run_trace_out_streams_ndjson(asm_file, tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.ndjson"
+    assert main(["run", asm_file, "--trace-out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "streamed" in out and "ndjson" in out
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert all("pj" in r or "marker" in r for r in records)
+    assert sum("pj" in r for r in records) > 0
+
+
+def test_run_trace_out_csv(asm_file, tmp_path, capsys):
+    path = tmp_path / "trace.csv"
+    assert main(["run", asm_file, "--trace-out", str(path)]) == 0
+    assert path.read_text().splitlines()[0] == "cycle,total_pj"
+
+
+def test_experiment_attribution_and_report(tmp_path, capsys):
+    import json
+
+    from repro import obs
+
+    manifest_path = tmp_path / "m.json"
+    attribution_path = tmp_path / "a.json"
+    report_path = tmp_path / "r.html"
+    result_path = tmp_path / "j.json"
+    try:
+        assert main(["experiment", "fig12",
+                     "--manifest", str(manifest_path),
+                     "--attribution", str(attribution_path),
+                     "--report-html", str(report_path),
+                     "--json", str(result_path), "--no-series"]) == 0
+    finally:
+        obs.disable_attribution()
+        obs.disable()
+        obs.reset()
+    out = capsys.readouterr().out
+    assert "saved attribution" in out and "saved report" in out
+
+    snapshot = json.loads(attribution_path.read_text())
+    assert snapshot["schema"] == "repro.obs.attribution/v1"
+    assert snapshot["total_pj"] > 0
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["schema"] == "repro.obs.manifest/v2"
+    assert manifest["attribution"]["cells"] == len(snapshot["cells"])
+    html = report_path.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "Energy attribution" in html
+
+    # The artifacts feed the obs subcommands.
+    assert main(["obs", "attribution", str(attribution_path),
+                 "--top", "3"]) == 0
+    full = capsys.readouterr().out
+    assert "attributed energy" in full and "by unit:" in full
+    assert main(["obs", "attribution", str(manifest_path)]) == 0
+    assert "summarized" in capsys.readouterr().out
+    out_html = tmp_path / "out.html"
+    assert main(["obs", "report", str(manifest_path),
+                 "--json", str(result_path), "-o", str(out_html)]) == 0
+    capsys.readouterr()
+    assert "fig12" in out_html.read_text()
+
+
+def test_obs_attribution_rejects_manifest_without_section(tmp_path,
+                                                          capsys):
+    import json
+
+    import pytest
+
+    from repro import obs
+
+    manifest = obs.build_manifest(metrics={}, spans=[])
+    path = tmp_path / "plain.json"
+    obs.write_manifest(manifest, path)
+    with pytest.raises(SystemExit):
+        main(["obs", "attribution", str(path)])
+    other = tmp_path / "foreign.json"
+    other.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(SystemExit):
+        main(["obs", "attribution", str(other)])

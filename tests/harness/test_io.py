@@ -112,3 +112,103 @@ def test_real_trace_roundtrip(tmp_path, round1_masked):
     loaded = load_trace(path)
     assert np.array_equal(loaded.energy, run.trace.energy)
     assert loaded.markers == run.trace.markers
+
+
+# -- streaming per-cycle export --------------------------------------------
+
+
+def test_streaming_ndjson_round_trips_floats(tmp_path):
+    import json
+
+    from repro.harness.io import stream_trace
+
+    path = tmp_path / "trace.ndjson"
+    trace = make_trace()
+    assert stream_trace(trace, path) == 4
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    cycles = [r for r in records if "pj" in r]
+    markers = [(r["cycle"], r["marker"]) for r in records if "marker" in r]
+    assert [r["cycle"] for r in cycles] == [0, 1, 2, 3]
+    # repr() round-trip: the exported floats are exact, not approximations.
+    assert [r["pj"] for r in cycles] == list(trace.energy)
+    assert markers == list(trace.markers)
+
+
+def test_streaming_ndjson_components(tmp_path):
+    import json
+
+    from repro.harness.io import stream_trace
+
+    path = tmp_path / "trace.ndjson"
+    stream_trace(make_trace(with_components=True), path)
+    first = json.loads(path.read_text().splitlines()[0])
+    assert "components" in first
+    assert len(first["components"]) == 2
+
+
+def test_streaming_csv_format_from_suffix(tmp_path):
+    from repro.harness.io import StreamingTraceWriter, stream_trace
+
+    path = tmp_path / "trace.csv"
+    trace = make_trace()
+    stream_trace(trace, path)
+    lines = path.read_text().splitlines()
+    assert lines[0] == "cycle,total_pj"
+    assert lines[1] == "0,1.5"
+    assert len(lines) == 5  # header + 4 cycles; markers skipped in CSV
+    with pytest.raises(ValueError):
+        StreamingTraceWriter(tmp_path / "x", fmt="parquet")
+
+
+def test_streaming_writer_buffers_and_flushes(tmp_path):
+    from repro.harness.io import StreamingTraceWriter
+
+    path = tmp_path / "big.ndjson"
+    with StreamingTraceWriter(path, buffer_cycles=8) as writer:
+        for cycle in range(20):
+            writer.write_cycle(cycle, float(cycle))
+            # Nothing is written until a full buffer accumulates.
+            if cycle == 3:
+                assert path.read_text() == ""
+            if cycle == 8:
+                assert len(path.read_text().splitlines()) == 8
+    assert len(path.read_text().splitlines()) == 20
+    assert writer.cycles_written == 20
+
+
+def test_tracker_streams_without_keeping_the_trace(tmp_path):
+    """keep_trace=False + stream: bounded memory, identical numbers."""
+    import json
+
+    from repro.harness.io import StreamingTraceWriter
+    from repro.harness.runner import run_with_trace
+    from repro.isa.assembler import assemble
+
+    source = "li $t0, 5\nli $t1, 6\nxor $t2, $t0, $t1\nhalt\n"
+    kept = run_with_trace(assemble(source))
+    path = tmp_path / "streamed.ndjson"
+    with StreamingTraceWriter(path) as stream:
+        streamed = run_with_trace(assemble(source), stream=stream,
+                                  keep_trace=False)
+    assert len(streamed.trace.energy) == 0  # nothing retained in memory
+    assert streamed.tracker.total_energy_pj == pytest.approx(
+        kept.tracker.total_energy_pj)
+    values = [json.loads(line)["pj"]
+              for line in path.read_text().splitlines()]
+    assert values == list(kept.trace.energy)
+
+
+def test_experiment_dict_includes_leakage():
+    from repro.obs.leakage import LeakageReport, RegionAssessment
+
+    result = make_result()
+    result.leakage = LeakageReport(
+        budget_pj=1e-6, label="unit",
+        regions=[RegionAssessment(
+            region="keyperm", start=0, end=10, protected=True, cycles=10,
+            max_abs_diff_pj=0.0, mean_abs_diff_pj=0.0, leaking_cycles=0,
+            passed=True)])
+    payload = experiment_to_dict(result)
+    assert payload["leakage"]["passed"] is True
+    assert payload["leakage"]["regions"][0]["region"] == "keyperm"
+    assert "leakage" not in experiment_to_dict(make_result())

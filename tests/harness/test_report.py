@@ -65,3 +65,22 @@ def test_sparkline_empty():
 
 def test_sparkline_short_series_not_resampled():
     assert len(sparkline(np.array([1.0, 2.0, 3.0]), width=50)) == 3
+
+
+def test_sparkline_nonfinite_samples_render_as_holes():
+    values = np.array([1.0, np.nan, 3.0, np.inf, 2.0, -np.inf])
+    line = sparkline(values, width=10)
+    assert len(line) == 6
+    assert line[1] == "·" and line[3] == "·" and line[5] == "·"
+    # Finite samples still scale normally: the scale ignores the holes.
+    assert line[0] == "▁"
+    assert line[2] == "█"
+
+
+def test_sparkline_all_nonfinite():
+    assert sparkline(np.array([np.nan, np.inf])) == "··"
+
+
+def test_sparkline_flat_finite_with_holes():
+    line = sparkline(np.array([2.0, np.nan, 2.0]))
+    assert line == "▁·▁"

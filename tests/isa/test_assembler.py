@@ -293,3 +293,51 @@ def test_byte_then_align_then_word_label_correct():
     from repro.machine.cpu import run_to_halt
     cpu = run_to_halt(program)
     assert cpu.regs.read(8) == 42
+
+
+def test_loc_directive_threads_debug_info():
+    program = assemble("""
+    .text
+    .loc 7 0
+    li $t0, 1
+    .loc 9 1
+    xor $t1, $t0, $t0
+    li $t2, 2
+    .loc 0 0
+    halt
+    """)
+    first, second, third, last = program.text
+    assert (first.source_line, first.sliced) == (7, False)
+    assert (second.source_line, second.sliced) == (9, True)
+    # Debug state is sticky until the next .loc.
+    assert (third.source_line, third.sliced) == (9, True)
+    # .loc 0 0 clears it.
+    assert (last.source_line, last.sliced) == (None, False)
+    assert program.source_map() == {program.text_base: (7, False),
+                                    program.text_base + 4: (9, True),
+                                    program.text_base + 8: (9, True),
+                                    program.text_base + 12: (None, False)}
+    assert program.sliced_addresses() == {program.text_base + 4,
+                                          program.text_base + 8}
+
+
+def test_loc_directive_does_not_change_encoding_or_equality():
+    from dataclasses import replace
+
+    with_loc = assemble(".text\n.loc 3 1\nxor $t0, $t0, $t0\nhalt\n")
+    without = assemble(".text\nxor $t0, $t0, $t0\nhalt\n")
+    # Debug fields are compare=False: equal once the assembly-line shift
+    # introduced by the .loc directive itself is normalized away.
+    assert [replace(ins, line=0) for ins in with_loc.text] \
+        == [replace(ins, line=0) for ins in without.text]
+    from repro.isa.encoding import encode
+
+    assert [encode(ins) for ins in with_loc.text] \
+        == [encode(ins) for ins in without.text]
+
+
+def test_loc_directive_validates_operands():
+    with pytest.raises(AssemblerError):
+        assemble(".text\n.loc\nhalt\n")
+    with pytest.raises(AssemblerError):
+        assemble(".text\n.loc 1 2 3 4\nhalt\n")

@@ -153,3 +153,42 @@ def test_secure_static_fraction_increases_with_masking():
                               masking="selective").secure_static_fraction
     assert none_frac == 0.0
     assert sel_frac > 0.0
+
+
+def test_loc_directives_thread_source_lines_and_slice():
+    source = """secure int k;
+int out;
+out = k ^ 5;
+"""
+    asm = asm_of(source)
+    assert ".loc 3 1" in asm  # the sliced assignment on source line 3
+    assert ".loc 0 0" in asm  # debug state cleared before the epilogue
+    program = compile_source(source, masking="selective").program
+    lines = {ins.source_line for ins in program.text
+             if ins.source_line is not None}
+    assert 3 in lines
+    assert any(ins.sliced for ins in program.text)
+    # Every sliced instruction maps to a source line, never orphaned.
+    assert all(ins.source_line is not None
+               for ins in program.text if ins.sliced)
+
+
+def test_loc_emission_can_be_disabled():
+    source = "secure int k; int out; out = k ^ 5;"
+    asm = asm_of(source, options=CodegenOptions(emit_debug=False))
+    assert ".loc" not in asm
+    program = compile_source(
+        source, masking="selective",
+        options=CodegenOptions(emit_debug=False)).program
+    assert all(ins.source_line is None for ins in program.text)
+
+
+def test_loc_survives_the_o2_scheduler():
+    source = """secure int k;
+int out;
+out = k ^ 5;
+"""
+    program = compile_source(source, masking="selective",
+                             optimize=2).program
+    assert any(ins.sliced and ins.source_line == 3
+               for ins in program.text)

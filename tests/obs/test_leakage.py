@@ -1,0 +1,172 @@
+"""Leakage telemetry: region construction, budget verdicts, population
+statistics, and the paper's headline acceptance pair (fig8 FAIL / fig9
+PASS)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.harness.runner import des_run
+from repro.obs.leakage import (DEFAULT_BUDGET_PJ, DEFAULT_BUDGET_T, Region,
+                               assess_pair, assess_population,
+                               regions_from_markers)
+from repro.programs import markers as mk
+from repro.programs.des_source import DesProgramSpec
+from repro.programs.workloads import compile_des
+
+KEY_A = 0x133457799BBCDFF1
+KEY_C = 0x0E329232EA6D0D73
+PT_A = 0x0123456789ABCDEF
+
+
+def _key_pair(masking):
+    program = compile_des(DesProgramSpec(rounds=1), masking=masking).program
+    return (des_run(program, KEY_A, PT_A), des_run(program, KEY_C, PT_A))
+
+
+# -- region construction ---------------------------------------------------
+
+
+def test_regions_from_markers_synthetic():
+    markers = [(10, mk.M_IP_START), (20, mk.M_IP_END),
+               (30, mk.M_KEYPERM_START), (40, mk.M_KEYPERM_END),
+               (50, mk.M_ROUND_BASE), (70, mk.M_ROUND_BASE + 1),
+               (90, mk.M_FP_START), (95, mk.M_FP_END)]
+    regions = {r.name: r for r in regions_from_markers(markers, 100)}
+    assert (regions["ip"].start, regions["ip"].end) == (10, 20)
+    assert not regions["ip"].protected
+    assert regions["keyperm"].protected
+    assert (regions["round00"].start, regions["round00"].end) == (50, 70)
+    assert (regions["round01"].start, regions["round01"].end) == (70, 90)
+    assert regions["round01"].protected
+    assert (regions["fp"].start, regions["fp"].end) == (90, 95)
+
+
+def test_regions_from_real_run():
+    run, _ = _key_pair("none")
+    regions = regions_from_markers(run.trace.markers, run.cycles)
+    names = [r.name for r in regions]
+    assert names == ["ip", "keyperm", "round00", "fp"]
+    assert [r.protected for r in regions] == [False, True, True, False]
+    # Regions tile without overlap in start order.
+    for earlier, later in zip(regions, regions[1:]):
+        assert earlier.end <= later.start + 1
+
+
+# -- pair assessment -------------------------------------------------------
+
+
+def test_unmasked_pair_fails_budget():
+    run_a, run_b = _key_pair("none")
+    report = assess_pair(run_a.trace, run_b.trace, label="unmasked")
+    assert not report.passed
+    assert len(report.violations) == 2  # keyperm + round00
+    violated = {v.region for v in report.violations}
+    assert violated == {"keyperm", "round00"}
+    assert all(v.max_abs_diff_pj > DEFAULT_BUDGET_PJ
+               for v in report.violations)
+
+
+def test_masked_pair_passes_budget():
+    run_a, run_b = _key_pair("selective")
+    report = assess_pair(run_a.trace, run_b.trace, label="masked")
+    assert report.passed
+    assert report.violations == []
+    for assessment in report.regions:
+        if assessment.protected:
+            assert assessment.max_abs_diff_pj == 0.0
+            assert assessment.leaking_cycles == 0
+
+
+def test_unprotected_regions_never_count_as_violations():
+    run_a, run_b = _key_pair("selective")
+    report = assess_pair(run_a.trace, run_b.trace)
+    fp = next(a for a in report.regions if a.region == "fp")
+    # The final permutation legitimately differs (ciphertext handling)
+    # but is not a claimed-protected region, so the report still passes.
+    assert fp.max_abs_diff_pj > 0
+    assert report.passed
+
+
+def test_to_dict_and_render():
+    run_a, run_b = _key_pair("none")
+    report = assess_pair(run_a.trace, run_b.trace, label="pair")
+    record = report.to_dict()
+    assert record["passed"] is False
+    assert record["violations"] == 2
+    assert record["label"] == "pair"
+    assert {r["region"] for r in record["regions"]} \
+        == {"ip", "keyperm", "round00", "fp"}
+    text = report.render()
+    assert "FAIL" in text
+    assert "keyperm" in text
+    assert "2 violation(s)" in text
+
+
+def test_publish_metrics(obs_scope):
+    run_a, run_b = _key_pair("none")
+    report = assess_pair(run_a.trace, run_b.trace)
+    report.publish_metrics(obs_scope.registry)
+    totals = obs.snapshot_totals(obs_scope.registry.snapshot())
+    assert totals["leakage_budget_violations"] == 2
+    assert totals["leakage_region_passed{region=keyperm}"] == 0.0
+    assert totals["leakage_region_max_abs_diff_pj{region=keyperm}"] > 0
+
+
+def test_custom_regions_and_budget():
+    trace = np.zeros(100)
+    trace[50] = 3.0
+
+    class FakeTrace:
+        def __init__(self, energy):
+            self.energy = energy
+            self.markers = ()
+
+        def diff(self, other):
+            return self.energy - other.energy
+
+    a, b = FakeTrace(trace), FakeTrace(np.zeros(100))
+    regions = [Region("lo", 0, 50, protected=True),
+               Region("hi", 50, 100, protected=True)]
+    report = assess_pair(a, b, budget_pj=2.0, regions=regions)
+    assert [r.passed for r in report.regions] == [True, False]
+    report = assess_pair(a, b, budget_pj=4.0, regions=regions)
+    assert report.passed
+
+
+# -- population assessment -------------------------------------------------
+
+
+def test_population_unmasked_fails_masked_passes():
+    rng = np.random.default_rng(7)
+    partition = np.array([0, 1] * 8)
+    markers = [(0, mk.M_KEYPERM_START), (64, mk.M_KEYPERM_END)]
+    flat = rng.normal(100.0, 0.1, size=(16, 64))
+    leaky = flat.copy()
+    leaky[partition == 1, 20:30] += 50.0  # strong partition-correlated step
+    failing = assess_population(leaky, partition, markers,
+                                budget_t=DEFAULT_BUDGET_T)
+    assert not failing.passed
+    keyperm = failing.regions[0]
+    assert keyperm.welch_t_max is not None
+    assert keyperm.welch_t_max > DEFAULT_BUDGET_T
+    assert keyperm.snr_max is not None
+    passing = assess_population(flat, partition, markers,
+                                budget_t=DEFAULT_BUDGET_T)
+    assert passing.passed
+    assert passing.regions[0].welch_t_max < DEFAULT_BUDGET_T
+    assert passing.budget_t == DEFAULT_BUDGET_T
+
+
+# -- acceptance: the paper's figures as budget checks ----------------------
+
+
+def test_fig8_fails_and_fig9_passes_the_budget():
+    from repro.harness.experiments import (fig08_key_diff_unmasked,
+                                           fig09_key_diff_masked)
+
+    unmasked = fig08_key_diff_unmasked()
+    masked = fig09_key_diff_masked()
+    assert unmasked.leakage is not None and not unmasked.leakage.passed
+    assert masked.leakage is not None and masked.leakage.passed
+    assert len(masked.leakage.violations) == 0

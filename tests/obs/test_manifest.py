@@ -24,7 +24,7 @@ def test_manifest_write_load_round_trip(tmp_path, obs_on):
     path = obs.write_manifest(manifest, tmp_path / "run.json")
     loaded = obs.load_manifest(path)
     assert loaded == json.loads(json.dumps(manifest))  # JSON-exact
-    assert loaded["schema"] == "repro.obs.manifest/v1"
+    assert loaded["schema"] == "repro.obs.manifest/v2"
     assert loaded["config"]["jobs_effective"] == 2
     assert loaded["spans"][0]["name"] == "experiment"
     assert loaded["spans"][0]["children"][0]["name"] == "execute"
@@ -46,6 +46,35 @@ def test_load_manifest_rejects_foreign_json(tmp_path):
     path.write_text(json.dumps({"schema": "something/else"}))
     with pytest.raises(ValueError):
         obs.load_manifest(path)
+
+
+def test_load_manifest_accepts_v1_documents(tmp_path):
+    # v2 only adds optional sections; v1 archives must keep loading.
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"schema": "repro.obs.manifest/v1",
+                                "metrics": {}, "spans": []}))
+    assert obs.load_manifest(path)["schema"] == "repro.obs.manifest/v1"
+
+
+def test_manifest_v2_sections_default_from_context(obs_on):
+    # No attribution collected, no leakage passed: the optional sections
+    # are absent, so the document has the exact v1 field set.
+    plain = obs.build_manifest()
+    assert "attribution" not in plain
+    assert "leakage" not in plain
+
+    obs_on.attribution.book(pc=0, unit="alu", iclass="xor",
+                            secure=False, pj=2.5)
+    leakage = {"budget_pj": 1e-6, "passed": True, "violations": 0,
+               "regions": [], "label": "unit"}
+    manifest = obs.build_manifest(leakage=leakage)
+    assert manifest["attribution"]["total_pj"] == pytest.approx(2.5)
+    assert manifest["attribution"]["by_unit"]["alu"]["pj"] \
+        == pytest.approx(2.5)
+    assert manifest["leakage"]["passed"] is True
+    text = obs.summarize_manifest(manifest)
+    assert "attribution:" in text
+    assert "leakage:" in text and "PASS" in text
 
 
 def test_aggregate_of_one_manifest_is_identity(obs_on):

@@ -1,0 +1,103 @@
+"""HTML leakage report: SVG primitives, section assembly, manifest path."""
+
+import math
+
+from repro import obs
+from repro.obs.report import (MAX_POINTS, build_report, decimate,
+                              report_from_manifest, svg_line_chart,
+                              svg_stacked_bars, write_report)
+
+
+def test_decimate_preserves_short_series_and_means_long_ones():
+    short = [1.0, 2.0, 3.0]
+    assert decimate(short) == short
+    long = list(range(8000))
+    out = decimate(long)
+    assert len(out) == MAX_POINTS
+    assert out[0] == sum(range(10)) / 10  # first bucket mean
+    assert out[-1] > out[0]
+
+
+def test_svg_line_chart_overlay_and_nonfinite():
+    chart = svg_line_chart({"a": [0.0, 1.0, 2.0],
+                            "b": [2.0, 1.0, 0.0]}, title="overlay")
+    assert chart.startswith("<svg")
+    assert chart.count("<polyline") == 2
+    assert "overlay" in chart
+    # NaN samples are dropped from the polyline, not rendered as NaN.
+    chart = svg_line_chart({"a": [1.0, math.nan, 3.0]})
+    assert "nan" not in chart.lower()
+    assert svg_line_chart({"a": []}) == ""
+    assert svg_line_chart({"a": [math.nan]}) == ""
+
+
+def test_svg_stacked_bars():
+    chart = svg_stacked_bars({"alu": {"xor": 5.0, "shift": 3.0},
+                              "dbus": {"load": 10.0}}, title="units")
+    assert chart.count("<rect") >= 6  # 3 segments + 3 legend swatches
+    assert "alu" in chart and "dbus" in chart
+    assert svg_stacked_bars({}) == ""
+    assert svg_stacked_bars({"empty": {}}) == ""
+
+
+def test_build_report_sections(tmp_path):
+    leakage = {"budget_pj": 1e-6, "passed": False, "violations": 1,
+               "label": "unit",
+               "regions": [
+                   {"region": "keyperm", "start": 0, "end": 10,
+                    "protected": True, "cycles": 10,
+                    "max_abs_diff_pj": 5.0, "mean_abs_diff_pj": 1.0,
+                    "leaking_cycles": 4, "passed": False},
+                   {"region": "ip", "start": 10, "end": 20,
+                    "protected": False, "cycles": 10,
+                    "max_abs_diff_pj": 0.0, "mean_abs_diff_pj": 0.0,
+                    "leaking_cycles": 0, "passed": True}]}
+    attribution = {"schema": "repro.obs.attribution/v1", "total_pj": 100.0,
+                   "cells": [[0, "alu", "xor", 0, 60.0, 3],
+                             [4, "dbus", "load", 1, 40.0, 2]],
+                   "pc_info": {"0": {"asm": "xor $t0, $t1, $t2",
+                                     "line": 7, "sliced": True}}}
+    html = build_report("unit report",
+                        summary={"total_uj": 1.25, "cycles": 100},
+                        series={"diff": [0.0, 1.0, -1.0, 0.0]},
+                        leakage=leakage, attribution=attribution,
+                        meta={"schema": "test/v2"}, notes="a note")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "unit report" in html
+    assert "verdict-banner fail" in html  # headline verdict
+    assert "FAIL" in html and "unprotected" in html
+    assert "<svg" in html
+    assert "Hotspots" in html
+    assert "xor $t0, $t1, $t2" in html  # escaped asm reaches the table
+    assert "a note" in html
+    assert "test/v2" in html
+    path = write_report(html, tmp_path / "sub" / "report.html")
+    assert path.read_text() == html
+
+
+def test_html_escapes_untrusted_strings():
+    html = build_report("<script>alert(1)</script>",
+                        summary={"<k>": "<v>"})
+    assert "<script>" not in html
+    assert "&lt;script&gt;" in html
+
+
+def test_report_from_manifest_round_trip(obs_on, tmp_path):
+    obs_on.attribution.book(pc=0, unit="alu", iclass="xor",
+                            secure=False, pj=2.5)
+    leakage = {"budget_pj": 1e-6, "passed": True, "violations": 0,
+               "regions": [], "label": "unit"}
+    manifest = obs.build_manifest(experiment_id="fig9",
+                                  summary={"total_uj": 1.0},
+                                  leakage=leakage)
+    result = {"series": {"diff": [0.0, 0.5, 0.0]},
+              "notes": "from the result json"}
+    html = report_from_manifest(manifest, result)
+    assert "fig9" in html
+    assert "verdict-banner pass" in html
+    assert "<polyline" in html  # the series chart made it in
+    assert "from the result json" in html
+    assert "Energy attribution" in html
+    # Without the result JSON the report still builds (no charts).
+    bare = report_from_manifest(manifest)
+    assert "fig9" in bare and "Leakage budget" in bare

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Benchmark the toolchain's wall-time trajectory and police regressions.
+
+Times the same workloads as ``benchmarks/test_perf_simulator.py`` —
+compile, assemble, cycle-accurate simulation with energy, the functional
+interpreter, and the 16-trace parallel collection — with plain
+``perf_counter`` (no pytest-benchmark dependency), then:
+
+* writes ``BENCH_<sha>.json`` through the observability manifest writer,
+  so every CI run leaves a machine-readable performance record next to
+  its provenance (toolchain fingerprint, platform, config);
+* compares against the committed ``benchmarks/baseline.json`` and exits
+  non-zero when any benchmark regresses more than ``--max-regress``
+  (default 25 %) in *calibrated* wall time.
+
+Cross-machine calibration: the baseline records how long a fixed
+pure-Python spin loop took on the machine that produced it.  Measured
+times are scaled by ``baseline_spin / current_spin`` — clamped to
+[0.5, 3.0] so a wildly different host can never hide (or fake) a real
+regression — before the comparison.
+
+Usage:
+    python tools/bench_trajectory.py                      # compare + BENCH json
+    python tools/bench_trajectory.py --update-baseline    # re-pin the baseline
+    python tools/bench_trajectory.py --out artifacts/ --max-regress 0.25
+"""
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.attacks.dpa import collect_traces, random_plaintexts  # noqa: E402
+from repro.harness.runner import des_run  # noqa: E402
+from repro.isa.assembler import assemble  # noqa: E402
+from repro.lang.compiler import compile_source  # noqa: E402
+from repro.machine.interpreter import run_functional  # noqa: E402
+from repro.programs.des_source import DesProgramSpec, des_source  # noqa: E402
+from repro.programs.workloads import (compile_des, key_words,  # noqa: E402
+                                      plaintext_words)
+
+KEY = 0x133457799BBCDFF1
+PT = 0x0123456789ABCDEF
+
+BASELINE_SCHEMA = "repro.bench.baseline/v1"
+CALIBRATION_CLAMP = (0.5, 3.0)
+
+
+def _spin() -> float:
+    """Fixed pure-Python workload; measures this host's interpreter speed."""
+    start = time.perf_counter()
+    accumulator = 0
+    for i in range(2_000_000):
+        accumulator ^= (i * 2654435761) & 0xFFFF_FFFF
+    if accumulator < 0:  # pragma: no cover - keeps the loop un-elidable
+        print(accumulator)
+    return time.perf_counter() - start
+
+
+def _best_of(function, rounds: int) -> float:
+    return min(_timed(function) for _ in range(rounds))
+
+
+def _timed(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+def run_benches(rounds: int) -> dict[str, float]:
+    """Wall seconds per benchmark, best-of-``rounds`` (parallel: 1 round)."""
+    source = des_source(DesProgramSpec(rounds=1))
+    assembly = compile_source(source, masking="selective").assembly
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="selective").program
+    inputs = {"key": key_words(KEY), "plaintext": plaintext_words(PT)}
+    plaintexts = random_plaintexts(16)
+    jobs = 4 if _usable_cores() >= 4 else 2
+    benches = {
+        "compile_des_round1":
+            lambda: compile_source(source, masking="selective"),
+        "assemble_des_round1": lambda: assemble(assembly),
+        "simulate_with_energy": lambda: des_run(program, KEY, PT),
+        "functional_interpreter":
+            lambda: run_functional(program, inputs=inputs),
+    }
+    results = {name: _best_of(fn, rounds) for name, fn in benches.items()}
+    results["parallel_traces_16"] = _timed(
+        lambda: collect_traces(program, KEY, plaintexts, jobs=jobs))
+    return results
+
+
+def _usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _head_sha() -> str:
+    sha = os.environ.get("GITHUB_SHA", "")
+    if not sha:
+        try:
+            sha = subprocess.run(
+                ["git", "rev-parse", "HEAD"], capture_output=True,
+                text=True, check=True,
+                cwd=Path(__file__).resolve().parent).stdout.strip()
+        except (OSError, subprocess.CalledProcessError):
+            sha = "unknown"
+    return sha[:12] or "unknown"
+
+
+def compare(measured: dict[str, float], baseline: dict,
+            max_regress: float) -> tuple[list[str], dict[str, dict]]:
+    """Calibrated comparison; returns (failure lines, per-bench record)."""
+    spin = statistics.median(_spin() for _ in range(3))
+    factor = baseline["calibration_s"] / spin
+    low, high = CALIBRATION_CLAMP
+    factor = max(low, min(high, factor))
+    failures, record = [], {}
+    for name, wall in sorted(measured.items()):
+        reference = baseline["benches"].get(name)
+        entry = {"wall_s": round(wall, 4),
+                 "calibrated_s": round(wall * factor, 4)}
+        if reference is not None:
+            delta = wall * factor / reference - 1.0
+            entry["baseline_s"] = reference
+            entry["regress"] = round(delta, 4)
+            entry["passed"] = delta <= max_regress
+            if not entry["passed"]:
+                failures.append(
+                    f"  {name}: {wall:.3f}s (calibrated "
+                    f"{wall * factor:.3f}s) vs baseline {reference:.3f}s "
+                    f"= {delta:+.1%} (budget {max_regress:+.0%})")
+        record[name] = entry
+    record["_calibration"] = {"spin_s": round(spin, 4),
+                              "baseline_spin_s": baseline["calibration_s"],
+                              "factor": round(factor, 4)}
+    return failures, record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument("--baseline", type=Path,
+                        default=root / "benchmarks" / "baseline.json")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory for BENCH_<sha>.json")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="tolerated fractional wall-time regression")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="best-of rounds per benchmark")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="re-pin the baseline instead of comparing")
+    arguments = parser.parse_args()
+
+    measured = run_benches(arguments.rounds)
+    for name, wall in sorted(measured.items()):
+        print(f"{name:28s} {wall:8.3f}s")
+
+    if arguments.update_baseline:
+        spin = statistics.median(_spin() for _ in range(3))
+        arguments.baseline.write_text(json.dumps(
+            {"schema": BASELINE_SCHEMA, "calibration_s": round(spin, 4),
+             "max_regress": arguments.max_regress,
+             "benches": {k: round(v, 4) for k, v in sorted(
+                 measured.items())}},
+            indent=2) + "\n")
+        print(f"baseline pinned -> {arguments.baseline}")
+        return 0
+
+    baseline = json.loads(arguments.baseline.read_text())
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"unrecognized baseline schema in {arguments.baseline}",
+              file=sys.stderr)
+        return 2
+    failures, record = compare(measured, baseline, arguments.max_regress)
+
+    sha = _head_sha()
+    manifest = obs.build_manifest(
+        experiment_id="bench-trajectory",
+        config={"sha": sha, "rounds": arguments.rounds,
+                "max_regress": arguments.max_regress,
+                "cores": _usable_cores(),
+                "calibration": record["_calibration"]},
+        summary={name: entry["wall_s"] for name, entry in record.items()
+                 if not name.startswith("_")})
+    manifest["benches"] = record
+    manifest["passed"] = not failures
+    out = obs.write_manifest(manifest, arguments.out / f"BENCH_{sha}.json")
+    print(f"trajectory record -> {out} "
+          f"(calibration factor {record['_calibration']['factor']})")
+
+    if failures:
+        print(f"\nFAIL: wall-time regression beyond "
+              f"{arguments.max_regress:.0%}:", file=sys.stderr)
+        print("\n".join(failures), file=sys.stderr)
+        return 1
+    print("PASS: all benchmarks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
