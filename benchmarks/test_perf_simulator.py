@@ -55,12 +55,44 @@ def test_assemble_des_round1(benchmark, round1_source):
 
 
 def test_simulate_with_energy(benchmark, round1_program):
-    run = benchmark.pedantic(lambda: des_run(round1_program, KEY, PT),
-                             rounds=3, iterations=1)
+    run = benchmark.pedantic(
+        lambda: des_run(round1_program, KEY, PT, engine="reference"),
+        rounds=3, iterations=1)
     assert run.cycles > 10_000
     # Throughput floor: the cycle-accurate loop should stay usable.
     cycles_per_second = run.cycles / benchmark.stats.stats.mean
     assert cycles_per_second > 10_000
+
+
+def test_simulate_fast_replay(benchmark, round1_program):
+    """Schedule-replay engine: same workload, warm schedule cache.
+
+    Asserts the tentpole's speedup floor in-process (fast vs reference on
+    this host), which is robust to absolute machine speed.
+    """
+    from repro.machine.fastpath import ensure_schedule
+
+    assert ensure_schedule(round1_program)
+
+    reference_s = min(
+        _timed(lambda: des_run(round1_program, KEY, PT, engine="reference"))
+        for _ in range(3))
+    run = benchmark.pedantic(
+        lambda: des_run(round1_program, KEY, PT, engine="fast"),
+        rounds=3, iterations=1)
+    fast_s = benchmark.stats.stats.min
+    assert run.engine == "fast"
+    assert run.cycles > 10_000
+    speedup = reference_s / fast_s
+    print(f"\nschedule replay: reference {reference_s:.3f}s, "
+          f"fast {fast_s:.3f}s, speedup {speedup:.2f}x")
+    assert speedup >= 3.0
+
+
+def _timed(function):
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
 
 
 def test_simulate_without_energy(benchmark, round1_program, des_inputs):

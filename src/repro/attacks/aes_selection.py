@@ -38,7 +38,7 @@ def predicted_hamming_weights(plaintexts: list[int], guess: int,
                               byte_index: int) -> np.ndarray:
     """Hamming weight of the predicted SubBytes output, per trace."""
     return np.fromiter(
-        (bin(predict_sbox_output(pt, guess, byte_index)).count("1")
+        (predict_sbox_output(pt, guess, byte_index).bit_count()
          for pt in plaintexts),
         dtype=np.float64, count=len(plaintexts))
 

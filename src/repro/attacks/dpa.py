@@ -86,7 +86,8 @@ def collect_traces(program: Program, key: int, plaintexts: list[int],
                    progress: Optional[Callable[[int, int], None]] = None,
                    noise_sigma: float = 0.0, jobs: int = 1,
                    retries: int = 0, job_timeout: Optional[float] = None,
-                   checkpoint: Optional[str] = None) -> TraceSet:
+                   checkpoint: Optional[str] = None,
+                   engine: Optional[str] = None) -> TraceSet:
     """Run the device once per plaintext and stack the energy traces.
 
     ``window`` restricts the stored cycles (an attacker applies SPA first to
@@ -104,15 +105,26 @@ def collect_traces(program: Program, key: int, plaintexts: list[int],
     so an interrupted collection resumes where it stopped.  DPA needs
     every trace, so a job that still fails after its retry budget raises
     :class:`~repro.harness.resilience.BatchError`.
+
+    ``engine`` picks the execution engine per acquisition (default: the
+    ambient ``$REPRO_ENGINE``, else the schedule-replay fast path, which
+    is bit-identical).  Under the fast engine the program's cycle schedule
+    is recorded **once in the parent** before the batch is dispatched, so
+    pool workers inherit it (fork) or load it from the shared disk cache
+    instead of each re-recording it.
     """
     # Imported here to avoid a package-level cycle (harness.experiments
     # imports this module).
     from ..harness.engine import SimJob, run_jobs
     from ..harness.resilience import require_results
+    from ..machine import fastpath
 
+    if fastpath.resolve_engine(engine) == "fast":
+        fastpath.ensure_schedule(program)
     batch = [SimJob(program=program, des_pair=(key, plaintext),
                     params=params, noise_sigma=noise_sigma,
-                    noise_seed=index + 1, label=f"trace[{index}]")
+                    noise_seed=index + 1, label=f"trace[{index}]",
+                    engine=engine)
              for index, plaintext in enumerate(plaintexts)]
     results = run_jobs(batch, jobs=jobs, progress=progress,
                        failure_policy="retry" if retries else "raise",

@@ -105,7 +105,7 @@ def cmd_run(arguments: argparse.Namespace) -> int:
     try:
         result = run_with_trace(program, inputs=inputs,
                                 max_cycles=arguments.max_cycles,
-                                stream=stream)
+                                stream=stream, engine=arguments.engine)
         if stream is not None:
             stream.write_markers(result.trace.markers)
     finally:
@@ -114,6 +114,7 @@ def cmd_run(arguments: argparse.Namespace) -> int:
     if stream is not None:
         print(f"streamed {stream.cycles_written} cycles "
               f"to {arguments.trace_out} ({stream.fmt})")
+    print(f"engine:            {result.engine}")
     print(f"cycles:            {result.cycles}")
     print(f"total energy:      {result.total_uj:.3f} uJ")
     print(f"average power:     {result.average_pj:.1f} pJ/cycle")
@@ -133,9 +134,16 @@ def cmd_run(arguments: argparse.Namespace) -> int:
 
 def cmd_experiment(arguments: argparse.Namespace) -> int:
     import inspect
+    import os
 
     from .harness.experiments import EXPERIMENTS, run_experiment
+    from .machine.fastpath import resolve_engine
 
+    # Resolve once and export: the experiment's own runs and any pool
+    # workers it forks/spawns all read $REPRO_ENGINE.
+    engine_effective = resolve_engine(arguments.engine)
+    os.environ["REPRO_ENGINE"] = engine_effective
+    arguments.engine_effective = engine_effective
     observing = bool(arguments.manifest or arguments.metrics_out
                      or arguments.report_html)
     kwargs = {}
@@ -217,6 +225,9 @@ def _write_observability(arguments: argparse.Namespace, result,
         "retries": arguments.retries,
         "job_timeout": arguments.job_timeout,
         "checkpoint": arguments.checkpoint,
+        #: Effective execution engine ("fast" or "reference") after
+        #: resolving --engine against $REPRO_ENGINE and the default.
+        "engine": getattr(arguments, "engine_effective", "reference"),
         "energy_params": asdict(DEFAULT_PARAMS),
     }
     if signature is not None:
@@ -368,6 +379,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream the per-cycle trace to PATH while "
                             "running (.csv -> CSV, else NDJSON; memory "
                             "use stays bounded regardless of length)")
+    p_run.add_argument("--engine", default=None,
+                       choices=["reference", "fast"],
+                       help="execution engine: 'fast' replays the "
+                            "recorded cycle schedule (bit-identical, "
+                            "~3x faster), 'reference' steps the pipeline "
+                            "cycle by cycle (default: $REPRO_ENGINE, "
+                            "else fast)")
     p_run.set_defaults(func=cmd_run)
 
     p_exp = subparsers.add_parser("experiment",
@@ -388,6 +406,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="journal completed batch jobs to PATH so an "
                             "interrupted experiment resumes by recomputing "
                             "only unfinished jobs")
+    p_exp.add_argument("--engine", default=None,
+                       choices=["reference", "fast"],
+                       help="execution engine for every simulation in the "
+                            "experiment (exported as $REPRO_ENGINE so "
+                            "worker processes inherit it; default: "
+                            "ambient $REPRO_ENGINE, else fast)")
     p_exp.add_argument("--json", help="save the full result as JSON")
     p_exp.add_argument("--no-series", action="store_true",
                        help="omit per-cycle series from the JSON")

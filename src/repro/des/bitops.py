@@ -58,6 +58,6 @@ def parity_adjust_key(key56: int) -> int:
     key64 = 0
     for byte_index in range(8):
         seven = (key56 >> (49 - 7 * byte_index)) & 0x7F
-        parity = 1 ^ (bin(seven).count("1") & 1)
+        parity = 1 ^ (seven.bit_count() & 1)
         key64 = (key64 << 8) | (seven << 1) | parity
     return key64

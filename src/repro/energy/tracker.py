@@ -241,12 +241,7 @@ class EnergyTracker:
             total += value
             self.totals[name] += value
         if self._noise_buffer is not None:
-            if self._noise_index >= self._noise_buffer.shape[0]:
-                self._noise_buffer = self._noise_rng.normal(
-                    0.0, self.noise_sigma, size=4096)
-                self._noise_index = 0
-            noise = float(self._noise_buffer[self._noise_index])
-            self._noise_index += 1
+            noise = self._next_noise()
             total += noise
             self.totals["noise"] += noise
             self.counts["noise"] += 1
@@ -264,6 +259,44 @@ class EnergyTracker:
                 index, total,
                 self.component_energy[-1] if self.collect_components
                 else None)
+
+    def _next_noise(self) -> float:
+        """Next Gaussian noise draw; the buffered stream depends only on
+        ``noise_seed`` and draw order, never on who consumes it."""
+        buffer = self._noise_buffer
+        if self._noise_index >= buffer.shape[0]:
+            buffer = self._noise_rng.normal(0.0, self.noise_sigma,
+                                            size=4096)
+            self._noise_buffer = buffer
+            self._noise_index = 0
+        noise = float(buffer[self._noise_index])
+        self._noise_index += 1
+        return noise
+
+    # -- schedule-replay fast path ----------------------------------------
+
+    def commit_fastpath(self, cycle_energy: list[float],
+                        component_energy: list[tuple[float, ...]],
+                        totals: dict[str, float], counts: dict[str, int],
+                        cycles: int) -> None:
+        """Adopt the results of a schedule-replay run in one shot.
+
+        The replay loop (:mod:`repro.machine.fastpath`) performs the same
+        floating-point accumulations as the per-cycle hooks, in the same
+        order, against this tracker's own component models — this method
+        only installs the finished vectors and running sums.  Attribution
+        and streaming runs never come through here; they replay through
+        the standard hook sequence instead.
+        """
+        if self.keep_trace:
+            self.cycle_energy = cycle_energy
+        if self.collect_components:
+            self.component_energy = component_energy
+        for name, value in totals.items():
+            self.totals[name] += value
+        for name, value in counts.items():
+            self.counts[name] += value
+        self._cycle_count += cycles
 
     # -- results ----------------------------------------------------------
 

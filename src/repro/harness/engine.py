@@ -175,7 +175,7 @@ class CompileCache:
                 directory = Path(tempfile.gettempdir()) \
                     / "repro-compile-cache"
         self.directory = Path(directory) if directory is not None else None
-        self.memory: dict[str, Program] = {}
+        self.memory: dict[str, object] = {}
         self.stats = CacheStats()
         self._sweep_stale_tmp()
 
@@ -212,7 +212,26 @@ class CompileCache:
         self.memory[key] = program
         return program
 
-    def _load(self, key: str) -> Optional[Program]:
+    def artifact(self, key: str) -> Optional[object]:
+        """Look up a non-compile artifact (e.g. a recorded cycle schedule)
+        by its full cache key; memory first, then the disk layer.  Misses
+        return ``None`` and are not counted in :attr:`stats` — artifact
+        producers handle their own build-on-miss.
+        """
+        artifact = self.memory.get(key)
+        if artifact is not None:
+            return artifact
+        artifact = self._load(key)
+        if artifact is not None:
+            self.memory[key] = artifact
+        return artifact
+
+    def store_artifact(self, key: str, artifact: object) -> None:
+        """Store a non-compile artifact under ``key`` (memory + disk)."""
+        self.memory[key] = artifact
+        self._store(key, artifact)
+
+    def _load(self, key: str) -> Optional[object]:
         if self.directory is None:
             return None
         path = self.directory / f"{key}.pkl"
@@ -241,7 +260,7 @@ class CompileCache:
         except OSError:
             pass
 
-    def _store(self, key: str, program: Program) -> None:
+    def _store(self, key: str, artifact: object) -> None:
         if self.directory is None:
             return
         try:
@@ -249,7 +268,7 @@ class CompileCache:
             handle, temp_name = tempfile.mkstemp(dir=self.directory,
                                                  suffix=".tmp")
             with os.fdopen(handle, "wb") as stream:
-                pickle.dump(program, stream)
+                pickle.dump(artifact, stream)
             os.replace(temp_name, self.directory / f"{key}.pkl")
         except OSError:
             pass  # caching is best-effort; the compile already succeeded
@@ -288,6 +307,10 @@ class SimJob:
     collect_components: bool = False
     operand_isolation: bool = True
     max_cycles: int = 50_000_000
+    #: Execution engine: ``"fast"`` (schedule replay with automatic
+    #: reference fallback), ``"reference"``, or ``None`` for the ambient
+    #: default (``$REPRO_ENGINE``, else ``"fast"``).
+    engine: Optional[str] = None
 
 
 @dataclass
@@ -322,6 +345,10 @@ class JobResult:
     counts: dict[str, int] = field(default_factory=dict)
     #: Scoped per-job attribution snapshot (attribution enabled only).
     attribution: Optional[dict] = None
+    #: Engine that actually produced the trace: ``"fast"``,
+    #: ``"fast-fallback"`` (schedule diverged, reference re-run), or
+    #: ``"reference"``.
+    engine: str = "reference"
 
     @property
     def total_pj(self) -> float:
@@ -396,21 +423,24 @@ def _execute_job_inner(job: SimJob) -> JobResult:
                          label=job.label, max_cycles=job.max_cycles,
                          noise_sigma=job.noise_sigma,
                          noise_seed=job.noise_seed,
-                         operand_isolation=job.operand_isolation)
+                         operand_isolation=job.operand_isolation,
+                         engine=job.engine)
     return JobResult(label=job.label, cycles=run.cycles,
                      energy=run.trace.energy, markers=run.trace.markers,
                      totals=dict(run.tracker.totals),
                      components=run.trace.components,
                      wall_time_s=time.perf_counter() - start,
                      cache_hit=cache_hit,
-                     counts=dict(run.tracker.counts))
+                     counts=dict(run.tracker.counts),
+                     engine=run.engine)
 
 
 def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
              progress: Optional[Callable[[int, int], None]] = None, *,
              failure_policy: str = "raise", retries: int = 2,
              job_timeout: Optional[float] = None,
-             checkpoint: Optional[Union[str, Path]] = None) -> list:
+             checkpoint: Optional[Union[str, Path]] = None,
+             engine: Optional[str] = None) -> list:
     """Execute a batch of independent jobs, preserving submission order.
 
     ``jobs=1`` (the default) runs serially in-process — identical to
@@ -437,9 +467,20 @@ def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
     A broken pool is rebuilt and only unfinished jobs are resubmitted;
     if the pool cannot be created at all the batch degrades to serial
     execution with a logged warning.
+
+    ``engine`` (``"fast"``/``"reference"``) overrides the execution
+    engine of every job in the batch; ``None`` leaves each job's own
+    setting (and the ambient ``$REPRO_ENGINE`` default) in effect.
     """
     from .resilience import execute_batch
 
+    batch = list(batch)
+    if engine is not None:
+        from ..machine.fastpath import resolve_engine
+
+        resolved = resolve_engine(engine)
+        for job in batch:
+            job.engine = resolved
     results = execute_batch(list(batch), jobs=jobs, progress=progress,
                             failure_policy=failure_policy, retries=retries,
                             job_timeout=job_timeout, checkpoint=checkpoint)

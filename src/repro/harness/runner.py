@@ -9,6 +9,7 @@ from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.trace import EnergyTrace
 from ..energy.tracker import EnergyTracker
 from ..isa.program import Program
+from ..machine import fastpath
 from ..machine.cpu import CPU
 from ..machine.exceptions import CycleLimitExceeded
 from ..programs.workloads import key_words, plaintext_words
@@ -17,9 +18,14 @@ from ..programs.workloads import key_words, plaintext_words
 class RunResult:
     """A finished simulation: CPU state plus its energy trace."""
 
-    def __init__(self, cpu: CPU, tracker: EnergyTracker, label: str = ""):
+    def __init__(self, cpu: CPU, tracker: EnergyTracker, label: str = "",
+                 engine: str = "reference"):
         self.cpu = cpu
         self.tracker = tracker
+        #: Engine that produced the trace: ``"fast"``, ``"fast-fallback"``
+        #: (the recorded schedule diverged and the trace was re-run on the
+        #: reference engine), or ``"reference"``.
+        self.engine = engine
         #: Per-run attribution sink (None unless attribution was enabled).
         self.attribution = tracker.attribution
         self.trace = EnergyTrace.from_tracker(tracker,
@@ -48,8 +54,20 @@ def run_with_trace(program: Program,
                    noise_sigma: float = 0.0,
                    noise_seed: int = 0,
                    operand_isolation: bool = True,
-                   stream=None, keep_trace: bool = True) -> RunResult:
+                   stream=None, keep_trace: bool = True,
+                   engine: Optional[str] = None) -> RunResult:
     """Assembled program + symbol inputs -> executed RunResult with trace.
+
+    ``engine`` selects the execution engine: ``"fast"`` replays the
+    program's recorded cycle schedule (bit-identical output; see
+    :mod:`repro.machine.fastpath`), ``"reference"`` steps the five-stage
+    pipeline cycle by cycle.  ``None`` resolves ``$REPRO_ENGINE`` and
+    defaults to ``"fast"``.  A fast run whose recorded control path
+    diverges (input-dependent branching) is transparently re-run on the
+    reference engine with fresh state — nothing from the abandoned
+    attempt leaks into the result.  Streaming runs (``stream`` set) always
+    use the reference engine so a mid-run divergence can never leave a
+    partially written trace behind.
 
     When the observability sink is enabled (:func:`repro.obs.enabled`),
     the run executes under an ``execute`` span, collects the dynamic
@@ -68,6 +86,38 @@ def run_with_trace(program: Program,
     ``keep_trace=False`` alongside it to drop the in-memory trace
     entirely (the returned result then has an empty energy vector).
     """
+    resolved = fastpath.resolve_engine(engine)
+    if resolved == "fast" and stream is None:
+        try:
+            return _run_with_trace_once(
+                program, inputs, params, collect_components, label,
+                max_cycles, noise_sigma, noise_seed, operand_isolation,
+                stream, keep_trace, engine="fast")
+        except fastpath.ScheduleFallback:
+            if obs.enabled():
+                obs.counter("engine_fallbacks",
+                            "fast-engine runs served by the reference "
+                            "engine instead").inc()
+            resolved = "fast-fallback"
+    else:
+        resolved = "reference"
+    return _run_with_trace_once(
+        program, inputs, params, collect_components, label, max_cycles,
+        noise_sigma, noise_seed, operand_isolation, stream, keep_trace,
+        engine=resolved)
+
+
+def _run_with_trace_once(program, inputs, params, collect_components,
+                         label, max_cycles, noise_sigma, noise_seed,
+                         operand_isolation, stream, keep_trace, *,
+                         engine: str) -> RunResult:
+    """One execution attempt on one engine, with fresh tracker/CPU state.
+
+    ``engine="fast"`` may raise :class:`~repro.machine.fastpath
+    .ScheduleFallback` at any point before completion; the abandoned
+    tracker, memory, and attribution sink are discarded unmerged, so the
+    caller's retry starts from scratch.
+    """
     observing = obs.enabled()
     attribution = obs.AttributionSink() if obs.attribution_enabled() \
         else None
@@ -75,12 +125,20 @@ def run_with_trace(program: Program,
                             noise_sigma=noise_sigma, noise_seed=noise_seed,
                             attribution=attribution, stream=stream,
                             keep_trace=keep_trace)
-    cpu = CPU(program, tracker=tracker,
-              operand_isolation=operand_isolation, collect_mix=observing)
+    if engine == "fast":
+        bound = fastpath.bound_schedule_for(
+            program, operand_isolation=operand_isolation,
+            max_cycles=max_cycles)
+        cpu = fastpath.ReplayCPU(program, bound, tracker=tracker,
+                                 operand_isolation=operand_isolation,
+                                 collect_mix=observing)
+    else:
+        cpu = CPU(program, tracker=tracker,
+                  operand_isolation=operand_isolation, collect_mix=observing)
     if inputs:
         for symbol, words in inputs.items():
             cpu.write_symbol_words(symbol, words)
-    with obs.span("execute", label=label):
+    with obs.span("execute", label=label, engine=engine):
         try:
             cpu.run(max_cycles=max_cycles)
         except CycleLimitExceeded as overrun:
@@ -93,7 +151,7 @@ def run_with_trace(program: Program,
     if attribution is not None:
         attribution.annotate(program)
         obs.attribution().merge(attribution)
-    return RunResult(cpu, tracker, label=label)
+    return RunResult(cpu, tracker, label=label, engine=engine)
 
 
 def _publish_run_metrics(cpu: CPU, tracker: EnergyTracker) -> None:
@@ -127,11 +185,12 @@ def des_run(program: Program, key64: int, plaintext64: int,
             params: EnergyParams = DEFAULT_PARAMS,
             collect_components: bool = False,
             label: str = "", noise_sigma: float = 0.0,
-            noise_seed: int = 0) -> RunResult:
+            noise_seed: int = 0, engine: Optional[str] = None) -> RunResult:
     """Run a DES program image on one (key, plaintext) pair with tracing."""
     inputs = {"key": key_words(key64)}
     if "plaintext" in program.symbols:
         inputs["plaintext"] = plaintext_words(plaintext64)
     return run_with_trace(program, inputs, params=params,
                           collect_components=collect_components, label=label,
-                          noise_sigma=noise_sigma, noise_seed=noise_seed)
+                          noise_sigma=noise_sigma, noise_seed=noise_seed,
+                          engine=engine)

@@ -1,0 +1,362 @@
+"""Schedule-replay fast path: bit-identity against the reference engine.
+
+The fast engine's contract is absolute: for every program whose control
+path is data-independent, replaying the recorded cycle schedule must
+reproduce the reference pipeline's output *bit for bit* — per-cycle
+energies (same floats, same order of accumulation), component matrices,
+totals/counts, final architectural state, markers, performance counters,
+and attribution cells.  These tests enforce that contract over the full
+set of experiment programs (DES in every masking variant and policy,
+AES, operand isolation on and off, with and without noise) plus the
+divergence / budget / caching edge cases.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.aes.reference import int_to_state
+from repro.harness.engine import SimJob, run_jobs
+from repro.harness.runner import des_run, run_with_trace
+from repro.isa.assembler import assemble
+from repro.machine import fastpath
+from repro.machine.exceptions import CycleLimitExceeded
+from repro.masking.policy import MaskingPolicy, apply_policy
+from repro.programs.des_source import DesProgramSpec
+from repro.programs.workloads import compile_des, key_words, plaintext_words
+
+KEY = 0x133457799BBCDFF1
+PLAINTEXT = 0x0123456789ABCDEF
+AES_KEY = 0x000102030405060708090A0B0C0D0E0F
+AES_PLAINTEXT = 0x00112233445566778899AABBCCDDEEFF
+
+#: sha256 of ``run.trace.energy.tobytes()`` for the round-1 DES workload
+#: on the seed (reference) simulator.  The fast path must hit these
+#: exactly — same digests the attribution layer is pinned to.
+GOLDEN_DIGESTS = {
+    "none":
+        "a63e8b8e0cd6cd22c0cbbc20008443d4ca47533378988a03106778e3b071d8b4",
+    "selective":
+        "5d1a41d858d421defc6f4dc3650af5951f026157ea5baca802c971d1c83ce954",
+}
+
+
+def _digest(run):
+    return hashlib.sha256(run.trace.energy.tobytes()).hexdigest()
+
+
+def _des_inputs(program):
+    inputs = {"key": key_words(KEY)}
+    if "plaintext" in program.symbols:
+        inputs["plaintext"] = plaintext_words(PLAINTEXT)
+    return inputs
+
+
+def _assert_identical(reference, fast):
+    """Every observable of the two runs must match exactly."""
+    assert _digest(reference) == _digest(fast)
+    assert reference.cycles == fast.cycles
+    assert reference.cpu.pipeline.regs.dump() == \
+        fast.cpu.pipeline.regs.dump()
+    assert reference.cpu.memory._words == fast.cpu.memory._words
+    assert reference.cpu.pipeline.markers == fast.cpu.pipeline.markers
+    assert reference.cpu.pipeline.stats == fast.cpu.pipeline.stats
+    assert reference.tracker.totals == fast.tracker.totals
+    assert reference.tracker.counts == fast.tracker.counts
+    if reference.tracker.component_energy:
+        assert np.array_equal(
+            np.asarray(reference.tracker.component_energy),
+            np.asarray(fast.tracker.component_energy))
+
+
+def _differential(program, operand_isolation=True, inputs=None,
+                  **run_kwargs):
+    if inputs is None:
+        inputs = _des_inputs(program)
+    reference = run_with_trace(program, inputs=inputs, engine="reference",
+                               operand_isolation=operand_isolation,
+                               collect_components=True, **run_kwargs)
+    fast = run_with_trace(program, inputs=inputs, engine="fast",
+                          operand_isolation=operand_isolation,
+                          collect_components=True, **run_kwargs)
+    assert fast.engine == "fast"
+    assert reference.engine == "reference"
+    _assert_identical(reference, fast)
+    return reference, fast
+
+
+# -- golden digests -----------------------------------------------------
+
+@pytest.mark.parametrize("masking", ["none", "selective"])
+def test_round1_fast_hits_golden_digest(masking):
+    program = compile_des(DesProgramSpec(rounds=1), masking=masking).program
+    run = des_run(program, KEY, PLAINTEXT, engine="fast")
+    assert run.engine == "fast"
+    assert run.cycles == 18432
+    assert _digest(run) == GOLDEN_DIGESTS[masking]
+
+
+# -- differential bit-identity over the experiment programs -------------
+
+@pytest.mark.parametrize("masking", ["none", "selective"])
+def test_full_des_bit_identical(masking):
+    """fig6/fig7-11 workload: the complete 16-round cipher."""
+    program = compile_des(DesProgramSpec(rounds=16), masking=masking).program
+    _differential(program)
+
+
+@pytest.mark.parametrize("masking", ["none", "selective", "annotate-only"])
+def test_round1_bit_identical(masking):
+    program = compile_des(DesProgramSpec(rounds=1), masking=masking).program
+    _differential(program)
+
+
+def test_keyschedule_only_bit_identical():
+    """fig12 workload: rounds=0, the masked key permutation."""
+    spec = DesProgramSpec(rounds=0, include_keyschedule=True)
+    program = compile_des(spec, masking="selective").program
+    _differential(program)
+
+
+@pytest.mark.parametrize("policy", [MaskingPolicy.ALL_LOADS_STORES,
+                                    MaskingPolicy.ALL])
+def test_whole_program_policies_bit_identical(policy):
+    """tab1 workloads: assembly-level rewrites of the unmasked program."""
+    base = compile_des(DesProgramSpec(rounds=2), masking="none").program
+    _differential(apply_policy(base, policy))
+
+
+def test_no_operand_isolation_bit_identical():
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="selective").program
+    _differential(program, operand_isolation=False)
+
+
+@pytest.mark.parametrize("masking", ["none", "selective"])
+def test_aes_bit_identical(masking):
+    """Extension workload: AES-128 under both maskings."""
+    from repro.programs.workloads import compile_aes
+
+    program = compile_aes(masking=masking).program
+    _differential(program, inputs={"key": int_to_state(AES_KEY),
+                                   "plaintext": int_to_state(AES_PLAINTEXT)})
+
+
+def test_noise_bit_identical():
+    """Same noise seed -> same post-pass draws -> identical noisy trace."""
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="selective").program
+    _differential(program, noise_sigma=0.1, noise_seed=7)
+
+
+def test_attribution_bit_identical():
+    """The hooked replay books the same cells as the reference engine."""
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="selective").program
+
+    def attributed(engine):
+        was_enabled = obs.enabled()
+        with obs.scope():
+            obs.enable_attribution()
+            try:
+                return des_run(program, KEY, PLAINTEXT, engine=engine)
+            finally:
+                obs.disable_attribution()
+                if not was_enabled:
+                    obs.disable()
+
+    reference, fast = attributed("reference"), attributed("fast")
+    assert fast.engine == "fast"
+    _assert_identical(reference, fast)
+    assert reference.attribution.cells == fast.attribution.cells
+    assert reference.attribution.pc_info == fast.attribution.pc_info
+
+
+def test_opcode_mix_identical():
+    """The replay installs the recorded dynamic instruction mix."""
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="selective").program
+
+    def observed(engine):
+        was_enabled = obs.enabled()
+        with obs.scope():
+            obs.enable()
+            try:
+                return des_run(program, KEY, PLAINTEXT, engine=engine)
+            finally:
+                if not was_enabled:
+                    obs.disable()
+
+    reference, fast = observed("reference"), observed("fast")
+    assert fast.engine == "fast"
+    assert reference.cpu.pipeline.opcode_mix
+    assert reference.cpu.pipeline.opcode_mix == fast.cpu.pipeline.opcode_mix
+
+
+# -- divergence and fallback --------------------------------------------
+
+DIVERGENT_SOURCE = """
+.data
+inval: .word 0
+.text
+main:
+    la $t0, inval
+    lw $t1, 0($t0)
+    beq $t1, $zero, skip
+    addi $t2, $zero, 99
+skip:
+    addi $t3, $zero, 7
+    halt
+"""
+
+
+def test_divergence_falls_back_bit_identically():
+    """An input that flips a recorded branch must transparently re-run on
+    the reference engine with completely fresh state."""
+    program = assemble(DIVERGENT_SOURCE)
+    fastpath._clear_caches()
+    reference = run_with_trace(program, inputs={"inval": [1]},
+                               engine="reference", collect_components=True)
+    fast = run_with_trace(program, inputs={"inval": [1]}, engine="fast",
+                          collect_components=True)
+    assert fast.engine == "fast-fallback"
+    _assert_identical(reference, fast)
+
+
+def test_divergent_program_goes_straight_to_reference_afterwards():
+    program = assemble(DIVERGENT_SOURCE)
+    fastpath._clear_caches()
+    run_with_trace(program, inputs={"inval": [1]}, engine="fast")
+    key = (fastpath.program_digest(program), True)
+    assert key in fastpath._DIVERGENT
+    # Even a run whose input matches the recorded path no longer replays:
+    # the program has proven input-dependent, so replaying is unsound.
+    again = run_with_trace(program, inputs={"inval": [0]}, engine="fast")
+    assert again.engine == "fast-fallback"
+
+
+def test_matching_input_replays_before_any_divergence():
+    program = assemble(DIVERGENT_SOURCE)
+    fastpath._clear_caches()
+    reference = run_with_trace(program, inputs={"inval": [0]},
+                               engine="reference")
+    fast = run_with_trace(program, inputs={"inval": [0]}, engine="fast")
+    assert fast.engine == "fast"
+    _assert_identical(reference, fast)
+
+
+def test_cycle_limit_parity():
+    """Budgets smaller than the schedule behave exactly like the
+    reference engine: CycleLimitExceeded at the same cycle and pc."""
+    program = assemble("""
+.text
+main:
+    j main
+""")
+    fastpath._clear_caches()
+    with pytest.raises(CycleLimitExceeded) as reference:
+        run_with_trace(program, engine="reference", max_cycles=500)
+    with pytest.raises(CycleLimitExceeded) as fast:
+        run_with_trace(program, engine="fast", max_cycles=500)
+    assert fast.value.cycles == reference.value.cycles == 500
+    assert fast.value.pc == reference.value.pc
+
+
+def test_streaming_always_uses_reference_engine(tmp_path):
+    """A divergence mid-stream could leave a torn file behind, so
+    streaming runs never take the fast path."""
+    from repro.harness.io import StreamingTraceWriter
+
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="none").program
+    stream = StreamingTraceWriter(tmp_path / "trace.csv")
+    try:
+        run = run_with_trace(program, inputs=_des_inputs(program),
+                             stream=stream, engine="fast")
+    finally:
+        stream.close()
+    assert run.engine == "reference"
+
+
+# -- engine resolution and plumbing -------------------------------------
+
+def test_resolve_engine(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert fastpath.resolve_engine(None) == "fast"
+    assert fastpath.resolve_engine("reference") == "reference"
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    assert fastpath.resolve_engine(None) == "reference"
+    assert fastpath.resolve_engine("fast") == "fast"
+    monkeypatch.setenv("REPRO_ENGINE", "warp")
+    with pytest.raises(ValueError):
+        fastpath.resolve_engine(None)
+    with pytest.raises(ValueError):
+        fastpath.resolve_engine("warp")
+
+
+def test_schedule_recorded_once(monkeypatch):
+    """Repeated fast runs reuse the bound schedule (memo + disk cache)."""
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="none").program
+    fastpath._clear_caches()
+    calls = []
+    recorded = fastpath.record_schedule
+
+    def counting(prog, **kwargs):
+        calls.append(1)
+        return recorded(prog, **kwargs)
+
+    monkeypatch.setattr(fastpath, "record_schedule", counting)
+    # Force a real recording by ignoring any disk-cached schedule.
+    monkeypatch.setattr(fastpath, "_schedule_cache_key",
+                        lambda digest, iso: "sched-test-" + digest[:8]
+                        + ("-iso" if iso else ""))
+    des_run(program, KEY, PLAINTEXT, engine="fast")
+    des_run(program, KEY, PLAINTEXT ^ 1, engine="fast")
+    des_run(program, KEY ^ (1 << 60), PLAINTEXT, engine="fast")
+    assert len(calls) <= 1
+
+
+def test_run_jobs_engine_plumb():
+    """Batch jobs honor the engine and record it in the result."""
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="none").program
+    batch = lambda: [SimJob(program=program, des_pair=(KEY, PLAINTEXT ^ i),
+                            label=f"job[{i}]") for i in range(2)]
+    reference = run_jobs(batch(), engine="reference")
+    fast = run_jobs(batch(), engine="fast")
+    for ref_result, fast_result in zip(reference, fast):
+        assert ref_result.engine == "reference"
+        assert fast_result.engine == "fast"
+        assert np.array_equal(ref_result.energy, fast_result.energy)
+        assert ref_result.markers == fast_result.markers
+        assert ref_result.totals == fast_result.totals
+
+
+def test_collect_traces_engine_parallel():
+    """DPA collection is bit-identical across engine and worker count."""
+    from repro.attacks.dpa import collect_traces, random_plaintexts
+
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="none").program
+    plaintexts = random_plaintexts(4)
+    reference = collect_traces(program, KEY, plaintexts,
+                               engine="reference")
+    fast_parallel = collect_traces(program, KEY, plaintexts,
+                                   engine="fast", jobs=2)
+    assert np.array_equal(reference.traces, fast_parallel.traces)
+
+
+def test_final_state_is_input_dependent():
+    """Replay applies *this run's* data flow, not the recorded run's:
+    different plaintexts must produce different ciphertext memory."""
+    program = compile_des(DesProgramSpec(rounds=1),
+                          masking="none").program
+    first = des_run(program, KEY, PLAINTEXT, engine="fast")
+    second = des_run(program, KEY, PLAINTEXT ^ 0xFF, engine="fast")
+    assert first.engine == second.engine == "fast"
+    assert first.cpu.read_symbol_words("ciphertext", 64) != \
+        second.cpu.read_symbol_words("ciphertext", 64)
+    assert _digest(first) != _digest(second)

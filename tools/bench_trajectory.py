@@ -39,6 +39,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro import obs  # noqa: E402
 from repro.attacks.dpa import collect_traces, random_plaintexts  # noqa: E402
 from repro.harness.runner import des_run  # noqa: E402
+from repro.machine.fastpath import ensure_schedule  # noqa: E402
 from repro.isa.assembler import assemble  # noqa: E402
 from repro.lang.compiler import compile_source  # noqa: E402
 from repro.machine.interpreter import run_functional  # noqa: E402
@@ -49,8 +50,11 @@ from repro.programs.workloads import (compile_des, key_words,  # noqa: E402
 KEY = 0x133457799BBCDFF1
 PT = 0x0123456789ABCDEF
 
-BASELINE_SCHEMA = "repro.bench.baseline/v1"
+BASELINE_SCHEMA = "repro.bench.baseline/v2"
 CALIBRATION_CLAMP = (0.5, 3.0)
+#: Cycles in the round-1 DES workload; turns simulate walls into
+#: simulated-cycles-per-second for the engine throughput gate.
+ROUND1_CYCLES = 18_432
 
 
 def _spin() -> float:
@@ -83,11 +87,15 @@ def run_benches(rounds: int) -> dict[str, float]:
     inputs = {"key": key_words(KEY), "plaintext": plaintext_words(PT)}
     plaintexts = random_plaintexts(16)
     jobs = 4 if _usable_cores() >= 4 else 2
+    ensure_schedule(program)  # record once so the replay bench is warm
     benches = {
         "compile_des_round1":
             lambda: compile_source(source, masking="selective"),
         "assemble_des_round1": lambda: assemble(assembly),
-        "simulate_with_energy": lambda: des_run(program, KEY, PT),
+        "simulate_with_energy":
+            lambda: des_run(program, KEY, PT, engine="reference"),
+        "simulate_fast_replay":
+            lambda: des_run(program, KEY, PT, engine="fast"),
         "functional_interpreter":
             lambda: run_functional(program, inputs=inputs),
     }
@@ -95,6 +103,14 @@ def run_benches(rounds: int) -> dict[str, float]:
     results["parallel_traces_16"] = _timed(
         lambda: collect_traces(program, KEY, plaintexts, jobs=jobs))
     return results
+
+
+def cycles_per_second(measured: dict[str, float]) -> dict[str, float]:
+    """Simulated-cycles-per-second per engine, from the simulate benches."""
+    return {
+        "reference": ROUND1_CYCLES / measured["simulate_with_energy"],
+        "fast": ROUND1_CYCLES / measured["simulate_fast_replay"],
+    }
 
 
 def _usable_cores() -> int:
@@ -139,6 +155,24 @@ def compare(measured: dict[str, float], baseline: dict,
                     f"{wall * factor:.3f}s) vs baseline {reference:.3f}s "
                     f"= {delta:+.1%} (budget {max_regress:+.0%})")
         record[name] = entry
+    # Engine throughput gate: calibrated simulated-cycles-per-second may
+    # not drop more than the budget below the pinned baseline.
+    for engine, cps in sorted(cycles_per_second(measured).items()):
+        pinned = baseline.get("cycles_per_s", {}).get(engine)
+        calibrated = cps / factor
+        entry = {"cycles_per_s": round(cps, 1),
+                 "calibrated_cycles_per_s": round(calibrated, 1)}
+        if pinned is not None:
+            delta = 1.0 - calibrated / pinned
+            entry["baseline_cycles_per_s"] = pinned
+            entry["regress"] = round(delta, 4)
+            entry["passed"] = delta <= max_regress
+            if not entry["passed"]:
+                failures.append(
+                    f"  cycles_per_s[{engine}]: {cps:,.0f} (calibrated "
+                    f"{calibrated:,.0f}) vs baseline {pinned:,.0f} "
+                    f"= {-delta:+.1%} (budget -{max_regress:.0%})")
+        record[f"_cycles_per_s.{engine}"] = entry
     record["_calibration"] = {"spin_s": round(spin, 4),
                               "baseline_spin_s": baseline["calibration_s"],
                               "factor": round(factor, 4)}
@@ -165,6 +199,10 @@ def main() -> int:
     measured = run_benches(arguments.rounds)
     for name, wall in sorted(measured.items()):
         print(f"{name:28s} {wall:8.3f}s")
+    throughput = cycles_per_second(measured)
+    for engine, cps in sorted(throughput.items()):
+        print(f"cycles_per_s[{engine}]{'':>{max(0, 9 - len(engine))}s} "
+              f"{cps:>12,.0f}")
 
     if arguments.update_baseline:
         spin = statistics.median(_spin() for _ in range(3))
@@ -172,7 +210,9 @@ def main() -> int:
             {"schema": BASELINE_SCHEMA, "calibration_s": round(spin, 4),
              "max_regress": arguments.max_regress,
              "benches": {k: round(v, 4) for k, v in sorted(
-                 measured.items())}},
+                 measured.items())},
+             "cycles_per_s": {k: round(v, 1) for k, v in sorted(
+                 throughput.items())}},
             indent=2) + "\n")
         print(f"baseline pinned -> {arguments.baseline}")
         return 0
