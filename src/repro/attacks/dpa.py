@@ -119,7 +119,7 @@ def collect_traces(program: Program, key: int, plaintexts: list[int],
     from ..harness.resilience import require_results
     from ..machine import fastpath
 
-    if fastpath.resolve_engine(engine) == "fast":
+    if fastpath.resolve_engine(engine) in ("fast", "vector"):
         fastpath.ensure_schedule(program)
     batch = [SimJob(program=program, des_pair=(key, plaintext),
                     params=params, noise_sigma=noise_sigma,

@@ -61,7 +61,14 @@ def welch_t_statistic(traces: np.ndarray,
 
 
 def signal_to_noise(traces: np.ndarray, labels: np.ndarray) -> np.ndarray:
-    """Per-cycle SNR: Var_over_classes(mean) / mean_over_classes(var)."""
+    """Per-cycle SNR: Var_over_classes(mean) / mean_over_classes(var).
+
+    The noise floor is the mean *sample* variance (``ddof=1``, matching
+    :func:`welch_t_statistic`) over classes with at least two traces;
+    singleton classes have no within-class variance estimate at all, so
+    counting them as zero-variance would deflate the denominator and
+    inflate the SNR.  Their means still contribute to the signal term.
+    """
     traces = np.asarray(traces, dtype=np.float64)
     labels = np.asarray(labels)
     if labels.shape[0] != traces.shape[0]:
@@ -70,17 +77,30 @@ def signal_to_noise(traces: np.ndarray, labels: np.ndarray) -> np.ndarray:
     if classes.size < 2:
         return np.zeros(traces.shape[1])
     means = np.stack([traces[labels == c].mean(axis=0) for c in classes])
-    variances = np.stack([traces[labels == c].var(axis=0) for c in classes])
-    noise = variances.mean(axis=0)
+    variances = [traces[labels == c].var(axis=0, ddof=1)
+                 for c in classes if (labels == c).sum() >= 2]
+    if not variances:
+        return np.zeros(traces.shape[1])
+    noise = np.stack(variances).mean(axis=0)
     with np.errstate(divide="ignore", invalid="ignore"):
         snr = np.where(noise > 0, means.var(axis=0) / noise, 0.0)
     return snr
 
 
 def moving_average(signal: np.ndarray, window: int) -> np.ndarray:
-    """Simple boxcar smoothing (used by SPA round detection)."""
-    if window <= 1:
-        return np.asarray(signal, dtype=np.float64)
-    kernel = np.ones(window) / window
-    return np.convolve(np.asarray(signal, dtype=np.float64), kernel,
-                       mode="same")
+    """Boxcar smoothing (used by SPA round detection).
+
+    Each output sample is the mean of the input samples actually inside
+    the window, so the first/last half-window average over fewer samples
+    instead of being dragged toward zero by implicit zero padding (which
+    skewed round-boundary detection at the trace edges).  ``window`` is
+    clamped to the signal length, so oversized windows are well defined.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if window <= 1 or signal.size == 0:
+        return signal
+    window = min(window, signal.size)
+    kernel = np.ones(window)
+    sums = np.convolve(signal, kernel, mode="same")
+    counts = np.convolve(np.ones(signal.size), kernel, mode="same")
+    return sums / counts

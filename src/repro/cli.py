@@ -133,16 +133,32 @@ def cmd_run(arguments: argparse.Namespace) -> int:
 
 
 def cmd_experiment(arguments: argparse.Namespace) -> int:
+    import contextlib
     import inspect
     import os
 
     from .harness.experiments import EXPERIMENTS, run_experiment
-    from .machine.fastpath import resolve_engine
+    from .machine.engines import resolve as resolve_engine
 
-    # Resolve once and export: the experiment's own runs and any pool
-    # workers it forks/spawns all read $REPRO_ENGINE.
+    @contextlib.contextmanager
+    def engine_scope(engine: str):
+        """Export $REPRO_ENGINE for the duration of the command only.
+
+        The experiment's own runs and any pool workers it forks/spawns
+        read the variable, but the mutation must not leak into later
+        library calls in the same process (tests, REPLs, embedding apps).
+        """
+        previous = os.environ.get("REPRO_ENGINE")
+        os.environ["REPRO_ENGINE"] = engine
+        try:
+            yield
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_ENGINE", None)
+            else:
+                os.environ["REPRO_ENGINE"] = previous
+
     engine_effective = resolve_engine(arguments.engine)
-    os.environ["REPRO_ENGINE"] = engine_effective
     arguments.engine_effective = engine_effective
     observing = bool(arguments.manifest or arguments.metrics_out
                      or arguments.report_html)
@@ -176,7 +192,8 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         from . import obs
 
         obs.enable_attribution()
-    result = run_experiment(arguments.id, **kwargs)
+    with engine_scope(engine_effective):
+        result = run_experiment(arguments.id, **kwargs)
     print(f"[{result.experiment_id}] {result.title}")
     for key, value in result.summary.items():
         formatted = f"{value:,.3f}" if isinstance(value, float) else value
@@ -225,8 +242,8 @@ def _write_observability(arguments: argparse.Namespace, result,
         "retries": arguments.retries,
         "job_timeout": arguments.job_timeout,
         "checkpoint": arguments.checkpoint,
-        #: Effective execution engine ("fast" or "reference") after
-        #: resolving --engine against $REPRO_ENGINE and the default.
+        #: Effective execution engine ("fast", "vector" or "reference")
+        #: after resolving --engine against $REPRO_ENGINE and the default.
         "engine": getattr(arguments, "engine_effective", "reference"),
         "energy_params": asdict(DEFAULT_PARAMS),
     }
@@ -380,12 +397,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "running (.csv -> CSV, else NDJSON; memory "
                             "use stays bounded regardless of length)")
     p_run.add_argument("--engine", default=None,
-                       choices=["reference", "fast"],
+                       choices=["reference", "fast", "vector"],
                        help="execution engine: 'fast' replays the "
                             "recorded cycle schedule (bit-identical, "
-                            "~3x faster), 'reference' steps the pipeline "
-                            "cycle by cycle (default: $REPRO_ENGINE, "
-                            "else fast)")
+                            "~3x faster), 'vector' replays it with "
+                            "NumPy batch arithmetic (bit-identical, "
+                            "fastest on trace batches), 'reference' "
+                            "steps the pipeline cycle by cycle "
+                            "(default: $REPRO_ENGINE, else fast)")
     p_run.set_defaults(func=cmd_run)
 
     p_exp = subparsers.add_parser("experiment",
@@ -407,11 +426,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "interrupted experiment resumes by recomputing "
                             "only unfinished jobs")
     p_exp.add_argument("--engine", default=None,
-                       choices=["reference", "fast"],
+                       choices=["reference", "fast", "vector"],
                        help="execution engine for every simulation in the "
-                            "experiment (exported as $REPRO_ENGINE so "
-                            "worker processes inherit it; default: "
-                            "ambient $REPRO_ENGINE, else fast)")
+                            "experiment (exported as $REPRO_ENGINE for "
+                            "the duration of the command so worker "
+                            "processes inherit it; default: ambient "
+                            "$REPRO_ENGINE, else fast)")
     p_exp.add_argument("--json", help="save the full result as JSON")
     p_exp.add_argument("--no-series", action="store_true",
                        help="omit per-cycle series from the JSON")

@@ -307,9 +307,11 @@ class SimJob:
     collect_components: bool = False
     operand_isolation: bool = True
     max_cycles: int = 50_000_000
-    #: Execution engine: ``"fast"`` (schedule replay with automatic
-    #: reference fallback), ``"reference"``, or ``None`` for the ambient
-    #: default (``$REPRO_ENGINE``, else ``"fast"``).
+    #: Execution engine: a :mod:`repro.machine.engines` registry name
+    #: (``"fast"`` — schedule replay with automatic reference fallback,
+    #: ``"vector"`` — batch-native NumPy replay, ``"reference"``), or
+    #: ``None`` for the ambient default (``$REPRO_ENGINE``, else
+    #: ``"fast"``).
     engine: Optional[str] = None
 
 
@@ -345,9 +347,10 @@ class JobResult:
     counts: dict[str, int] = field(default_factory=dict)
     #: Scoped per-job attribution snapshot (attribution enabled only).
     attribution: Optional[dict] = None
-    #: Engine that actually produced the trace: ``"fast"``,
-    #: ``"fast-fallback"`` (schedule diverged, reference re-run), or
-    #: ``"reference"``.
+    #: Engine that actually produced the trace: a registry name
+    #: (``"fast"``, ``"vector"``, ``"reference"``) or
+    #: ``"<requested>-fallback"`` when the requested engine declined the
+    #: run and it was re-run down the fallback chain.
     engine: str = "reference"
 
     @property
@@ -468,23 +471,100 @@ def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
     if the pool cannot be created at all the batch degrades to serial
     execution with a logged warning.
 
-    ``engine`` (``"fast"``/``"reference"``) overrides the execution
-    engine of every job in the batch; ``None`` leaves each job's own
-    setting (and the ambient ``$REPRO_ENGINE`` default) in effect.
-    """
-    from .resilience import execute_batch
+    ``engine`` (a :mod:`repro.machine.engines` registry name) overrides
+    the execution engine of every job in the batch; ``None`` leaves each
+    job's own setting (and the ambient ``$REPRO_ENGINE`` default) in
+    effect.
 
+    When every job in the batch resolves to the same engine and that
+    engine declares a whole-batch entry point (``vector``), the batch is
+    handed to it in one call instead of per-job dispatch — results stay
+    bit-identical and in submission order.  The engine may decline
+    (heterogeneous jobs, unsupported program, divergence), in which case
+    the batch silently takes the per-job path below.
+    """
+    from .resilience import execute_batch, validate_batch_options
+
+    validate_batch_options(failure_policy, retries)
     batch = list(batch)
     if engine is not None:
-        from ..machine.fastpath import resolve_engine
+        from ..machine.engines import resolve
 
-        resolved = resolve_engine(engine)
+        resolved = resolve(engine)
         for job in batch:
             job.engine = resolved
+    if checkpoint is None and job_timeout is None:
+        native = _try_batch_native(batch, progress)
+        if native is not None:
+            return native
     results = execute_batch(list(batch), jobs=jobs, progress=progress,
                             failure_policy=failure_policy, retries=retries,
                             job_timeout=job_timeout, checkpoint=checkpoint)
     _merge_observability(results)
+    return results
+
+
+def _try_batch_native(batch: Sequence[SimJob],
+                      progress: Optional[Callable[[int, int], None]],
+                      ) -> Optional[list]:
+    """Hand the whole batch to a batch-native engine, if one can take it.
+
+    Returns submission-ordered :class:`JobResult` lists, or ``None`` when
+    the batch must go through the per-job path: fewer than two jobs,
+    observability/attribution enabled (those need per-job scopes and
+    spans), mixed engines, an engine with no ``batch`` hook, jobs that
+    disagree on the energy model or run limits, distinct program images,
+    or the engine itself declining (divergence, unsupported program).
+    Per-trace seeds, labels, and input pairs may vary freely — that is
+    the batch shape DPA produces.
+    """
+    from ..machine import engines as engine_registry
+    from .resilience import FAULT_PLAN_ENV
+
+    if len(batch) < 2:
+        return None
+    if obs.enabled() or obs.attribution_enabled():
+        return None
+    if os.environ.get(FAULT_PLAN_ENV):
+        # Deterministic fault injection targets per-job execution; keep
+        # the resilience machinery in the loop when a plan is active.
+        return None
+    try:
+        resolved = {engine_registry.resolve(job.engine) for job in batch}
+    except ValueError:
+        return None  # per-job path raises the canonical error
+    if len(resolved) != 1:
+        return None
+    spec = engine_registry.get(resolved.pop())
+    if spec.batch is None:
+        return None
+    job0 = batch[0]
+    for job in batch[1:]:
+        if (job.params != job0.params
+                or job.noise_sigma != job0.noise_sigma
+                or job.operand_isolation != job0.operand_isolation
+                or job.collect_components != job0.collect_components
+                or job.max_cycles != job0.max_cycles):
+            return None
+    cache_hit = None
+    programs = []
+    for job in batch:
+        if isinstance(job.program, CompileRequest):
+            cache = default_cache()
+            hits_before = cache.stats.hits
+            programs.append(cache.program_for(job.program))
+            if cache_hit is None:
+                cache_hit = cache.stats.hits > hits_before
+        else:
+            programs.append(job.program)
+    program = programs[0]
+    if any(other is not program for other in programs[1:]):
+        return None
+    results = spec.batch(batch, program, cache_hit)
+    if results is not None and progress is not None:
+        total = len(batch)
+        for done in range(total):
+            progress(done + 1, total)
     return results
 
 

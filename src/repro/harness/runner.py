@@ -9,7 +9,7 @@ from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.trace import EnergyTrace
 from ..energy.tracker import EnergyTracker
 from ..isa.program import Program
-from ..machine import fastpath
+from ..machine import engines, fastpath
 from ..machine.cpu import CPU
 from ..machine.exceptions import CycleLimitExceeded
 from ..programs.workloads import key_words, plaintext_words
@@ -22,9 +22,11 @@ class RunResult:
                  engine: str = "reference"):
         self.cpu = cpu
         self.tracker = tracker
-        #: Engine that produced the trace: ``"fast"``, ``"fast-fallback"``
-        #: (the recorded schedule diverged and the trace was re-run on the
-        #: reference engine), or ``"reference"``.
+        #: Engine that produced the trace: a registry name (``"fast"``,
+        #: ``"vector"``, ``"reference"``) or ``"<name>-fallback"`` when the
+        #: requested engine declined the run (recorded schedule diverged or
+        #: the program fell outside the engine's model) and the trace was
+        #: re-run down the registry's fallback chain.
         self.engine = engine
         #: Per-run attribution sink (None unless attribution was enabled).
         self.attribution = tracker.attribution
@@ -58,16 +60,24 @@ def run_with_trace(program: Program,
                    engine: Optional[str] = None) -> RunResult:
     """Assembled program + symbol inputs -> executed RunResult with trace.
 
-    ``engine`` selects the execution engine: ``"fast"`` replays the
-    program's recorded cycle schedule (bit-identical output; see
-    :mod:`repro.machine.fastpath`), ``"reference"`` steps the five-stage
+    ``engine`` selects the execution engine from the registry
+    (:mod:`repro.machine.engines`): ``"fast"`` replays the program's
+    recorded cycle schedule (bit-identical output; see
+    :mod:`repro.machine.fastpath`), ``"vector"`` replays it through the
+    batch-native NumPy engine (also bit-identical; see
+    :mod:`repro.machine.vector`), ``"reference"`` steps the five-stage
     pipeline cycle by cycle.  ``None`` resolves ``$REPRO_ENGINE`` and
-    defaults to ``"fast"``.  A fast run whose recorded control path
-    diverges (input-dependent branching) is transparently re-run on the
-    reference engine with fresh state — nothing from the abandoned
-    attempt leaks into the result.  Streaming runs (``stream`` set) always
+    defaults to ``"fast"``.  A run whose engine declines it — the recorded
+    control path diverges (input-dependent branching) or the program falls
+    outside the engine's model — is transparently re-run with fresh state
+    down the registry's fallback chain (``vector`` -> ``fast`` ->
+    ``reference``); nothing from an abandoned attempt leaks into the
+    result, and the final :attr:`RunResult.engine` is labeled
+    ``"<requested>-fallback"``.  Streaming runs (``stream`` set) always
     use the reference engine so a mid-run divergence can never leave a
-    partially written trace behind.
+    partially written trace behind; attribution runs substitute each
+    engine's declared ``hooked`` engine, since replaying per-cycle hooks
+    is what attribution needs.
 
     When the observability sink is enabled (:func:`repro.obs.enabled`),
     the run executes under an ``execute`` span, collects the dynamic
@@ -86,37 +96,47 @@ def run_with_trace(program: Program,
     ``keep_trace=False`` alongside it to drop the in-memory trace
     entirely (the returned result then has an empty energy vector).
     """
-    resolved = fastpath.resolve_engine(engine)
-    if resolved == "fast" and stream is None:
+    resolved = engines.resolve(engine)
+    if stream is not None:
+        resolved = "reference"
+    elif obs.attribution_enabled():
+        hooked = engines.get(resolved).hooked
+        if hooked is not None:
+            resolved = hooked
+    requested = resolved
+    engine_label = None
+    while True:
         try:
             return _run_with_trace_once(
                 program, inputs, params, collect_components, label,
                 max_cycles, noise_sigma, noise_seed, operand_isolation,
-                stream, keep_trace, engine="fast")
+                stream, keep_trace, engine=resolved,
+                engine_label=engine_label)
         except fastpath.ScheduleFallback:
+            fallback = engines.get(resolved).fallback
+            if fallback is None:
+                raise
             if obs.enabled():
                 obs.counter("engine_fallbacks",
-                            "fast-engine runs served by the reference "
-                            "engine instead").inc()
-            resolved = "fast-fallback"
-    else:
-        resolved = "reference"
-    return _run_with_trace_once(
-        program, inputs, params, collect_components, label, max_cycles,
-        noise_sigma, noise_seed, operand_isolation, stream, keep_trace,
-        engine=resolved)
+                            "runs served by a fallback engine instead of "
+                            "the requested one").inc()
+            resolved = fallback
+            engine_label = f"{requested}-fallback"
 
 
 def _run_with_trace_once(program, inputs, params, collect_components,
                          label, max_cycles, noise_sigma, noise_seed,
                          operand_isolation, stream, keep_trace, *,
-                         engine: str) -> RunResult:
+                         engine: str,
+                         engine_label: Optional[str] = None) -> RunResult:
     """One execution attempt on one engine, with fresh tracker/CPU state.
 
-    ``engine="fast"`` may raise :class:`~repro.machine.fastpath
-    .ScheduleFallback` at any point before completion; the abandoned
-    tracker, memory, and attribution sink are discarded unmerged, so the
-    caller's retry starts from scratch.
+    The engine's factory or ``run`` may raise :class:`~repro.machine
+    .fastpath.ScheduleFallback` at any point before completion; the
+    abandoned tracker, memory, and attribution sink are discarded
+    unmerged, so the caller's retry starts from scratch.  ``engine_label``
+    overrides the engine name recorded on the result and the execute span
+    (used to tag fallback re-runs with the originally requested engine).
     """
     observing = obs.enabled()
     attribution = obs.AttributionSink() if obs.attribution_enabled() \
@@ -125,20 +145,15 @@ def _run_with_trace_once(program, inputs, params, collect_components,
                             noise_sigma=noise_sigma, noise_seed=noise_seed,
                             attribution=attribution, stream=stream,
                             keep_trace=keep_trace)
-    if engine == "fast":
-        bound = fastpath.bound_schedule_for(
-            program, operand_isolation=operand_isolation,
-            max_cycles=max_cycles)
-        cpu = fastpath.ReplayCPU(program, bound, tracker=tracker,
-                                 operand_isolation=operand_isolation,
-                                 collect_mix=observing)
-    else:
-        cpu = CPU(program, tracker=tracker,
-                  operand_isolation=operand_isolation, collect_mix=observing)
+    cpu = engines.get(engine).factory(program, tracker,
+                                      operand_isolation=operand_isolation,
+                                      collect_mix=observing,
+                                      max_cycles=max_cycles)
     if inputs:
         for symbol, words in inputs.items():
             cpu.write_symbol_words(symbol, words)
-    with obs.span("execute", label=label, engine=engine):
+    reported = engine_label if engine_label is not None else engine
+    with obs.span("execute", label=label, engine=reported):
         try:
             cpu.run(max_cycles=max_cycles)
         except CycleLimitExceeded as overrun:
@@ -151,7 +166,7 @@ def _run_with_trace_once(program, inputs, params, collect_components,
     if attribution is not None:
         attribution.annotate(program)
         obs.attribution().merge(attribution)
-    return RunResult(cpu, tracker, label=label, engine=engine)
+    return RunResult(cpu, tracker, label=label, engine=reported)
 
 
 def _publish_run_metrics(cpu: CPU, tracker: EnergyTracker) -> None:

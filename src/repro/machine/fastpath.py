@@ -61,8 +61,9 @@ _WORD_MASK = 0xFFFF_FFFF
 #: on-disk cache key, so stale schedules can only miss, never replay wrong.
 SCHEDULE_VERSION = 1
 
-#: Engine names accepted by ``--engine`` / ``REPRO_ENGINE``.
-ENGINES = ("fast", "reference")
+#: Engine names accepted by ``--engine`` / ``REPRO_ENGINE``.  Re-exported
+#: from the engine registry for backwards compatibility.
+from .engines import ENGINES  # noqa: E402  (historical import site)
 
 #: Cycle budget for the one-time recording run when the caller does not
 #: bound it tighter.
@@ -92,19 +93,14 @@ class ScheduleDivergence(ScheduleFallback):
 
 def resolve_engine(engine: Optional[str] = None) -> str:
     """Effective engine name: explicit argument, else ``$REPRO_ENGINE``,
-    else ``"fast"``.  Unknown names raise :class:`ValueError`."""
-    if engine:
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r} "
-                             f"(expected one of {ENGINES})")
-        return engine
-    configured = os.environ.get("REPRO_ENGINE", "").strip().lower()
-    if configured:
-        if configured not in ENGINES:
-            raise ValueError(f"unknown REPRO_ENGINE={configured!r} "
-                             f"(expected one of {ENGINES})")
-        return configured
-    return "fast"
+    else ``"fast"``.  Unknown names raise :class:`ValueError`.
+
+    Thin shim over :func:`repro.machine.engines.resolve`, kept so existing
+    callers (and pickled references) keep working.
+    """
+    from . import engines
+
+    return engines.resolve(engine)
 
 
 # ---------------------------------------------------------------------------

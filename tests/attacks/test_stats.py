@@ -92,6 +92,78 @@ def test_moving_average_smooths():
     assert smooth.var() < signal.var()
 
 
+# -- regressions against brute-force references -------------------------
+
+def test_signal_to_noise_matches_brute_force_sample_variance():
+    """The noise floor is the mean *sample* variance (ddof=1), matching
+    welch_t_statistic — not the population variance (ddof=0) the first
+    implementation used, which biased the SNR upward."""
+    rng = np.random.default_rng(3)
+    traces = rng.normal(0.0, 1.0, size=(30, 5))
+    labels = np.array([0, 1, 2] * 10)
+    snr = signal_to_noise(traces, labels)
+    classes = np.unique(labels)
+    means = np.stack([traces[labels == c].mean(axis=0) for c in classes])
+    noise = np.stack([traces[labels == c].var(axis=0, ddof=1)
+                      for c in classes]).mean(axis=0)
+    expected = means.var(axis=0) / noise
+    assert np.allclose(snr, expected)
+    # ddof=0 would deflate the noise floor by (n-1)/n per class: make sure
+    # the fix is actually observable on this data.
+    noise0 = np.stack([traces[labels == c].var(axis=0, ddof=0)
+                       for c in classes]).mean(axis=0)
+    assert not np.allclose(expected, means.var(axis=0) / noise0)
+
+
+def test_signal_to_noise_excludes_singleton_classes_from_noise():
+    """A class with one trace has no variance estimate; counting it as
+    zero-variance deflated the denominator and inflated the SNR."""
+    traces = np.array([[1.0], [3.0], [1.0], [3.0], [100.0]])
+    labels = np.array([0, 0, 1, 1, 2])
+    snr = signal_to_noise(traces, labels)
+    means = np.array([2.0, 2.0, 100.0])
+    noise = 2.0  # mean of the two ddof=1 class variances; class 2 excluded
+    assert np.allclose(snr, means.var() / noise)
+
+
+def test_signal_to_noise_all_singletons_returns_zeros():
+    traces = np.arange(6.0).reshape(3, 2)
+    snr = signal_to_noise(traces, np.array([0, 1, 2]))
+    assert list(snr) == [0.0, 0.0]
+
+
+def test_moving_average_matches_brute_force_window_means():
+    """Each output sample averages the samples actually inside the
+    window — no implicit zero padding dragging the edges toward zero."""
+    signal = np.array([4.0, 8.0, 6.0, 2.0, 10.0])
+    for window in (2, 3, 4, 5):
+        smooth = moving_average(signal, window)
+        for i in range(signal.size):
+            # The window 'same'-mode convolution places around sample i.
+            lo = max(0, i - window // 2)
+            hi = min(signal.size, i + (window - 1) // 2 + 1)
+            assert smooth[i] == pytest.approx(signal[lo:hi].mean()), \
+                (window, i)
+
+
+def test_moving_average_edges_not_dragged_to_zero():
+    signal = np.full(8, 5.0)
+    smooth = moving_average(signal, 4)
+    assert np.allclose(smooth, 5.0)  # zero padding would dip the edges
+
+
+def test_moving_average_window_larger_than_signal_is_clamped():
+    signal = np.array([2.0, 4.0, 6.0])
+    smooth = moving_average(signal, 10)
+    assert smooth.shape == signal.shape
+    assert np.isfinite(smooth).all()
+    assert smooth[1] == pytest.approx(4.0)
+
+
+def test_moving_average_empty_signal():
+    assert moving_average(np.array([]), 5).size == 0
+
+
 @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=4,
                 max_size=32))
 def test_difference_of_means_antisymmetric(values):

@@ -93,6 +93,37 @@ def test_experiment_runs_fast_one(capsys):
     assert "normal_mean_pj" in out
 
 
+def test_experiment_engine_env_restored(capsys, monkeypatch):
+    """--engine scopes REPRO_ENGINE to the experiment run: a previous
+    value is restored afterwards, and an unset variable stays unset
+    instead of leaking the last --engine into the rest of the process."""
+    import os
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert main(["experiment", "xor-op", "--engine", "reference"]) == 0
+    assert "REPRO_ENGINE" not in os.environ
+    monkeypatch.setenv("REPRO_ENGINE", "fast")
+    assert main(["experiment", "xor-op", "--engine", "reference"]) == 0
+    assert os.environ["REPRO_ENGINE"] == "fast"
+    capsys.readouterr()
+
+
+def test_experiment_engine_env_restored_on_failure(monkeypatch):
+    """The scope restores the variable even when the experiment raises."""
+    import os
+
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    with pytest.raises(KeyError):
+        main(["experiment", "no-such-experiment", "--engine", "reference"])
+    assert "REPRO_ENGINE" not in os.environ
+
+
+def test_run_accepts_vector_engine(asm_file, capsys):
+    assert main(["run", asm_file, "--engine", "vector", "--dump",
+                 "out"]) == 0
+    assert "out = [7]" in capsys.readouterr().out
+
+
 def test_experiment_jobs_flag_parses():
     from repro.cli import build_parser
 

@@ -50,11 +50,17 @@ from repro.programs.workloads import (compile_des, key_words,  # noqa: E402
 KEY = 0x133457799BBCDFF1
 PT = 0x0123456789ABCDEF
 
-BASELINE_SCHEMA = "repro.bench.baseline/v2"
+BASELINE_SCHEMA = "repro.bench.baseline/v3"
 CALIBRATION_CLAMP = (0.5, 3.0)
 #: Cycles in the round-1 DES workload; turns simulate walls into
 #: simulated-cycles-per-second for the engine throughput gate.
 ROUND1_CYCLES = 18_432
+#: Traces in the DPA batch benches (the vector engine's headline shape).
+BATCH_TRACES = 16
+#: The vector engine must collect a 16-trace DPA batch at least this many
+#: times faster than serial fast-replay collection.  Calibration-free:
+#: both sides of the ratio run on the same host in the same process.
+VECTOR_SPEEDUP_MIN = 5.0
 
 
 def _spin() -> float:
@@ -96,12 +102,23 @@ def run_benches(rounds: int) -> dict[str, float]:
             lambda: des_run(program, KEY, PT, engine="reference"),
         "simulate_fast_replay":
             lambda: des_run(program, KEY, PT, engine="fast"),
+        "simulate_vector_replay":
+            lambda: des_run(program, KEY, PT, engine="vector"),
         "functional_interpreter":
             lambda: run_functional(program, inputs=inputs),
     }
     results = {name: _best_of(fn, rounds) for name, fn in benches.items()}
     results["parallel_traces_16"] = _timed(
         lambda: collect_traces(program, KEY, plaintexts, jobs=jobs))
+    # Batch collection, serial fast replay vs one vector pass — the pair
+    # behind the vector_speedup gate (both warm: schedule recorded above,
+    # vector plan compiled by the simulate_vector_replay rounds).
+    results["batch16_fast_serial"] = _best_of(
+        lambda: collect_traces(program, KEY, plaintexts, engine="fast"),
+        rounds)
+    results["batch16_vector"] = _best_of(
+        lambda: collect_traces(program, KEY, plaintexts, engine="vector"),
+        rounds)
     return results
 
 
@@ -110,7 +127,13 @@ def cycles_per_second(measured: dict[str, float]) -> dict[str, float]:
     return {
         "reference": ROUND1_CYCLES / measured["simulate_with_energy"],
         "fast": ROUND1_CYCLES / measured["simulate_fast_replay"],
+        "vector": ROUND1_CYCLES / measured["simulate_vector_replay"],
     }
+
+
+def vector_speedup(measured: dict[str, float]) -> float:
+    """Traces-per-second ratio of the vector batch over serial fast."""
+    return measured["batch16_fast_serial"] / measured["batch16_vector"]
 
 
 def _usable_cores() -> int:
@@ -173,6 +196,17 @@ def compare(measured: dict[str, float], baseline: dict,
                     f"{calibrated:,.0f}) vs baseline {pinned:,.0f} "
                     f"= {-delta:+.1%} (budget -{max_regress:.0%})")
         record[f"_cycles_per_s.{engine}"] = entry
+    # Vector batch-throughput gate: the ratio is host-independent, so no
+    # calibration is applied and no regression budget softens it.
+    speedup = vector_speedup(measured)
+    floor = baseline.get("vector_speedup_min", VECTOR_SPEEDUP_MIN)
+    entry = {"speedup": round(speedup, 2), "min": floor,
+             "passed": speedup >= floor}
+    if not entry["passed"]:
+        failures.append(
+            f"  vector_speedup: {speedup:.2f}x over serial fast replay "
+            f"on a {BATCH_TRACES}-trace batch (floor {floor:.1f}x)")
+    record["_vector_speedup"] = entry
     record["_calibration"] = {"spin_s": round(spin, 4),
                               "baseline_spin_s": baseline["calibration_s"],
                               "factor": round(factor, 4)}
@@ -203,6 +237,8 @@ def main() -> int:
     for engine, cps in sorted(throughput.items()):
         print(f"cycles_per_s[{engine}]{'':>{max(0, 9 - len(engine))}s} "
               f"{cps:>12,.0f}")
+    print(f"vector_speedup {vector_speedup(measured):17.2f}x "
+          f"(floor {VECTOR_SPEEDUP_MIN:.1f}x)")
 
     if arguments.update_baseline:
         spin = statistics.median(_spin() for _ in range(3))
@@ -212,7 +248,9 @@ def main() -> int:
              "benches": {k: round(v, 4) for k, v in sorted(
                  measured.items())},
              "cycles_per_s": {k: round(v, 1) for k, v in sorted(
-                 throughput.items())}},
+                 throughput.items())},
+             "vector_speedup": round(vector_speedup(measured), 2),
+             "vector_speedup_min": VECTOR_SPEEDUP_MIN},
             indent=2) + "\n")
         print(f"baseline pinned -> {arguments.baseline}")
         return 0
