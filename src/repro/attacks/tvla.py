@@ -25,6 +25,7 @@ import numpy as np
 
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..isa.program import Program
+from ..obs.streaming import DisclosureCurve, WelchTAccumulator
 from .stats import welch_t_statistic
 
 #: Conventional TVLA pass/fail threshold.
@@ -105,3 +106,154 @@ def assess_des_program(program: Program, key: int, fixed_plaintext: int,
     randoms = np.vstack([acquire(plaintext, seed=2000 + i)
                          for i, plaintext in enumerate(random_plaintexts)])
     return fixed_vs_random(fixed, randoms)
+
+
+@dataclass
+class StreamingTvlaResult:
+    """Outcome of a streaming fixed-vs-random campaign.
+
+    Same verdict surface as :class:`TvlaResult` (available as
+    :attr:`result`), plus the campaign-scale observables: the
+    traces-to-disclosure curve and how many traces were consumed.
+    """
+
+    result: TvlaResult
+    curve: DisclosureCurve
+    traces_consumed: int
+
+    @property
+    def disclosure_traces(self) -> Optional[int]:
+        """Total traces (both groups) at sustained |t| ≥ threshold, or
+        ``None`` when the device never disclosed within the budget."""
+        return self.curve.disclosure_traces
+
+
+def _streaming_welch_campaign(batch: list, groups: list[int],
+                              window: Optional[tuple[int, int]],
+                              jobs: int, chunk_size: int,
+                              checkpoint_every: int, threshold: float
+                              ) -> StreamingTvlaResult:
+    """Drive an interleaved two-group batch through
+    :func:`repro.harness.engine.run_stream` into a Welch-t accumulator.
+
+    ``batch``/``groups`` must alternate group 0 / group 1 jobs so every
+    prefix stays balanced.  A disclosure-curve point (max |t| vs total
+    traces) is recorded every ``checkpoint_every`` trace pairs, and the
+    ambient progress reporter — when one is active — gets a ``max_abs_t``
+    watermark at the same cadence, so heartbeats show the verdict
+    mid-flight.
+    """
+    from ..harness.engine import run_stream
+    from ..obs import progress as obs_progress
+
+    accumulator = WelchTAccumulator()
+    curve = DisclosureCurve(threshold=threshold, mode="t")
+
+    def consume(index: int, result) -> None:
+        energy = result.energy
+        if window is not None:
+            energy = energy[window[0]:window[1]]
+        accumulator.update(energy, groups[index])
+        pairs_done, odd = divmod(index + 1, 2)
+        at_checkpoint = odd == 0 and pairs_done % checkpoint_every == 0
+        if at_checkpoint or index + 1 == len(batch):
+            watermark = accumulator.max_abs_t()
+            if at_checkpoint:
+                curve.record(index + 1, watermark)
+            reporter = obs_progress.current()
+            if reporter is not None:
+                reporter.set_watermark("max_abs_t", watermark)
+
+    consumed = run_stream(batch, consume, jobs=jobs, chunk_size=chunk_size)
+    t = accumulator.t_statistic(definite_leaks=True)
+    return StreamingTvlaResult(
+        result=TvlaResult(t_statistic=t, threshold=threshold),
+        curve=curve, traces_consumed=consumed)
+
+
+def streaming_assess_des_program(
+        program: Program, key: int, fixed_plaintext: int,
+        random_plaintexts: list[int],
+        params: EnergyParams = DEFAULT_PARAMS,
+        window: Optional[tuple[int, int]] = None,
+        noise_sigma: float = 0.0, jobs: int = 1, chunk_size: int = 16,
+        checkpoint_every: Optional[int] = None,
+        threshold: float = T_THRESHOLD) -> StreamingTvlaResult:
+    """Fixed-vs-random assessment in O(1) trace memory.
+
+    The campaign-scale twin of :func:`assess_des_program`: the same
+    acquisitions (identical noise seeds — fixed trace *i* uses
+    ``1000 + i``, random trace *i* uses ``2000 + i``) are executed in
+    chunks through :func:`repro.harness.engine.run_stream` and folded
+    into a :class:`~repro.obs.streaming.WelchTAccumulator` one trace at a
+    time, so peak memory is independent of the trace budget.  Jobs are
+    interleaved fixed/random so the two groups stay balanced at every
+    prefix, and a :class:`~repro.obs.streaming.DisclosureCurve` samples
+    max |t| every ``checkpoint_every`` trace *pairs* (default: once per
+    chunk) — its x-axis is **total traces consumed** (both groups).
+
+    The t-statistic matches :func:`fixed_vs_random` on the same traces,
+    including the zero-variance ±inf definite-leak rule.
+    """
+    from ..harness.engine import SimJob
+    from ..machine import fastpath
+
+    if fastpath.resolve_engine(None) in ("fast", "vector"):
+        fastpath.ensure_schedule(program)
+    if checkpoint_every is None:
+        checkpoint_every = max(chunk_size // 2, 1)
+    batch = []
+    groups = []
+    for index, plaintext in enumerate(random_plaintexts):
+        batch.append(SimJob(program=program, des_pair=(key, fixed_plaintext),
+                            params=params, noise_sigma=noise_sigma,
+                            noise_seed=1000 + index,
+                            label=f"fixed[{index}]"))
+        groups.append(0)
+        batch.append(SimJob(program=program, des_pair=(key, plaintext),
+                            params=params, noise_sigma=noise_sigma,
+                            noise_seed=2000 + index,
+                            label=f"random[{index}]"))
+        groups.append(1)
+    return _streaming_welch_campaign(batch, groups, window, jobs,
+                                     chunk_size, checkpoint_every, threshold)
+
+
+def streaming_key_differential(
+        program: Program, key_a: int, key_b: int, plaintext: int,
+        n_traces: int, params: EnergyParams = DEFAULT_PARAMS,
+        window: Optional[tuple[int, int]] = None,
+        noise_sigma: float = 0.0, jobs: int = 1, chunk_size: int = 16,
+        checkpoint_every: Optional[int] = None,
+        threshold: float = T_THRESHOLD) -> StreamingTvlaResult:
+    """Key-differential Welch-t campaign: does key A vs key B disclose?
+
+    The streaming, noise-tolerant generalization of the paper's Fig. 8/9
+    differential traces: ``n_traces`` acquisitions per key (group A seeds
+    ``1000 + i``, group B seeds ``2000 + i``, same plaintext) are folded
+    into a Welch-t accumulator, and the disclosure curve answers *how
+    many traces* an attacker needs before |t| crosses the threshold — or
+    shows the masked device never disclosing within the budget.
+    """
+    from ..harness.engine import SimJob
+    from ..machine import fastpath
+
+    if fastpath.resolve_engine(None) in ("fast", "vector"):
+        fastpath.ensure_schedule(program)
+    if checkpoint_every is None:
+        checkpoint_every = max(chunk_size // 2, 1)
+    batch = []
+    groups = []
+    for index in range(n_traces):
+        batch.append(SimJob(program=program, des_pair=(key_a, plaintext),
+                            params=params, noise_sigma=noise_sigma,
+                            noise_seed=1000 + index,
+                            label=f"key_a[{index}]"))
+        groups.append(0)
+        batch.append(SimJob(program=program, des_pair=(key_b, plaintext),
+                            params=params, noise_sigma=noise_sigma,
+                            noise_seed=2000 + index,
+                            label=f"key_b[{index}]"))
+        groups.append(1)
+    return _streaming_welch_campaign(batch, groups, window, jobs,
+                                     chunk_size, checkpoint_every, threshold)

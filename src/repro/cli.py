@@ -15,6 +15,8 @@ Commands:
 * ``obs attribution``   — ASCII energy-attribution tables from a
   snapshot or manifest
 * ``obs report``        — HTML leakage report from a manifest
+* ``obs flamegraph``    — standalone interactive flamegraph HTML from a
+  manifest's span tree
 """
 
 from __future__ import annotations
@@ -141,22 +143,26 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
     from .machine.engines import resolve as resolve_engine
 
     @contextlib.contextmanager
-    def engine_scope(engine: str):
-        """Export $REPRO_ENGINE for the duration of the command only.
+    def env_scope(name: str, value):
+        """Export an env var for the duration of the command only.
 
         The experiment's own runs and any pool workers it forks/spawns
         read the variable, but the mutation must not leak into later
         library calls in the same process (tests, REPLs, embedding apps).
+        ``None`` leaves the environment untouched.
         """
-        previous = os.environ.get("REPRO_ENGINE")
-        os.environ["REPRO_ENGINE"] = engine
+        if value is None:
+            yield
+            return
+        previous = os.environ.get(name)
+        os.environ[name] = value
         try:
             yield
         finally:
             if previous is None:
-                os.environ.pop("REPRO_ENGINE", None)
+                os.environ.pop(name, None)
             else:
-                os.environ["REPRO_ENGINE"] = previous
+                os.environ[name] = previous
 
     engine_effective = resolve_engine(arguments.engine)
     arguments.engine_effective = engine_effective
@@ -173,10 +179,12 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         print(f"note: experiment {arguments.id!r} runs serially "
               f"(--jobs not applicable; requested {arguments.jobs}, "
               "effective jobs=1)", file=sys.stderr)
-    # Fault-tolerance trio: forwarded to experiments whose batches are
-    # engine-backed (see repro.harness.resilience); a no-op elsewhere.
+    # Fault-tolerance trio plus the streaming toggle: forwarded to
+    # experiments whose batches are engine-backed (see
+    # repro.harness.resilience / repro.harness.engine.run_stream); a
+    # no-op elsewhere.
     for option, default in (("retries", 0), ("job_timeout", None),
-                            ("checkpoint", None)):
+                            ("checkpoint", None), ("streaming", False)):
         value = getattr(arguments, option)
         if signature is not None and option in signature.parameters:
             kwargs[option] = value
@@ -192,7 +200,11 @@ def cmd_experiment(arguments: argparse.Namespace) -> int:
         from . import obs
 
         obs.enable_attribution()
-    with engine_scope(engine_effective):
+    with env_scope("REPRO_ENGINE", engine_effective), \
+            env_scope("REPRO_PROGRESS", arguments.progress), \
+            env_scope("REPRO_PROGRESS_INTERVAL",
+                      str(arguments.progress_interval)
+                      if arguments.progress_interval is not None else None):
         result = run_experiment(arguments.id, **kwargs)
     print(f"[{result.experiment_id}] {result.title}")
     for key, value in result.summary.items():
@@ -242,6 +254,8 @@ def _write_observability(arguments: argparse.Namespace, result,
         "retries": arguments.retries,
         "job_timeout": arguments.job_timeout,
         "checkpoint": arguments.checkpoint,
+        "streaming": arguments.streaming,
+        "progress": arguments.progress,
         #: Effective execution engine ("fast", "vector" or "reference")
         #: after resolving --engine against $REPRO_ENGINE and the default.
         "engine": getattr(arguments, "engine_effective", "reference"),
@@ -255,7 +269,7 @@ def _write_observability(arguments: argparse.Namespace, result,
             for name, parameter in signature.parameters.items()
             if parameter.default is not inspect.Parameter.empty
             and name not in ("params", "jobs", "retries", "job_timeout",
-                             "checkpoint")}
+                             "checkpoint", "streaming")}
     manifest = obs.build_manifest(
         experiment_id=result.experiment_id, config=config,
         summary=result.summary,
@@ -347,6 +361,28 @@ def cmd_obs_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_flamegraph(arguments: argparse.Namespace) -> int:
+    """Standalone interactive flamegraph HTML from a manifest's spans."""
+    from . import obs
+    from .obs.flamegraph import flamegraph_html
+
+    manifest = obs.load_manifest(arguments.manifest)
+    spans = manifest.get("spans") or []
+    if not spans:
+        print(f"note: {arguments.manifest} carries no spans (run the "
+              "experiment with --manifest so the tracer is enabled); "
+              "rendering an empty graph", file=sys.stderr)
+    meta = {"experiment": manifest.get("experiment_id", "?"),
+            "created": manifest.get("created", "?"),
+            "spans": len(spans)}
+    title = arguments.title or (
+        f"{manifest.get('experiment_id', 'run')} — span flamegraph")
+    Path(arguments.output).write_text(
+        flamegraph_html(spans, title=title, meta=meta))
+    print(f"saved flamegraph {arguments.output} ({len(spans)} root spans)")
+    return 0
+
+
 def cmd_experiments(arguments: argparse.Namespace) -> int:
     from .harness.experiments import EXPERIMENTS
 
@@ -432,6 +468,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "the duration of the command so worker "
                             "processes inherit it; default: ambient "
                             "$REPRO_ENGINE, else fast)")
+    p_exp.add_argument("--streaming", action="store_true",
+                       help="use the bounded-memory streaming campaign "
+                            "path where the experiment supports it "
+                            "(O(1) trace memory, adds traces-to-"
+                            "disclosure fields; statistics match the "
+                            "batch path)")
+    p_exp.add_argument("--progress", metavar="TARGET",
+                       help="emit JSON-lines progress heartbeats (jobs "
+                            "done/failed, traces/sec, ETA, stat "
+                            "watermarks) to TARGET: '-' or 'stderr' for "
+                            "stderr, else an append-mode file path "
+                            "(exported as $REPRO_PROGRESS for the "
+                            "duration of the command)")
+    p_exp.add_argument("--progress-interval", type=float, default=None,
+                       dest="progress_interval", metavar="SECONDS",
+                       help="minimum seconds between heartbeats "
+                            "(default 1.0)")
     p_exp.add_argument("--json", help="save the full result as JSON")
     p_exp.add_argument("--no-series", action="store_true",
                        help="omit per-cycle series from the JSON")
@@ -484,6 +537,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("-o", "--output", default="report.html",
                           help="output path (default report.html)")
     p_report.set_defaults(func=cmd_obs_report)
+    p_flame = obs_subparsers.add_parser(
+        "flamegraph",
+        help="write a standalone interactive flamegraph HTML from a "
+             "manifest's span tree")
+    p_flame.add_argument("manifest", metavar="MANIFEST.json")
+    p_flame.add_argument("-o", "--output", default="flamegraph.html",
+                         help="output path (default flamegraph.html)")
+    p_flame.add_argument("--title", help="page title (default: derived "
+                                         "from the experiment id)")
+    p_flame.set_defaults(func=cmd_obs_flamegraph)
     return parser
 
 

@@ -39,6 +39,7 @@ from typing import Callable, Optional, Sequence, Union
 import numpy as np
 
 from .. import obs
+from ..obs import progress as obs_progress
 from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.trace import EnergyTrace
 from ..isa.program import Program
@@ -493,14 +494,34 @@ def run_jobs(batch: Sequence[SimJob], jobs: int = 1,
         resolved = resolve(engine)
         for job in batch:
             job.engine = resolved
-    if checkpoint is None and job_timeout is None:
-        native = _try_batch_native(batch, progress)
-        if native is not None:
-            return native
-    results = execute_batch(list(batch), jobs=jobs, progress=progress,
-                            failure_policy=failure_policy, retries=retries,
-                            job_timeout=job_timeout, checkpoint=checkpoint)
+    # Opt-in live telemetry: $REPRO_PROGRESS turns the batch into a
+    # heartbeat source.  No reporter is built when the env is unset or an
+    # outer campaign already owns one (run_stream's chunks must not
+    # double-count), so the default path is untouched.
+    reporter = obs_progress.reporter_from_env(len(batch), label="run_jobs")
+    if reporter is not None:
+        user_progress = progress
+
+        def progress(done, total, _reporter=reporter,
+                     _chained=user_progress):
+            _reporter.job_done(done, total)
+            if _chained is not None:
+                _chained(done, total)
+
+    with obs_progress.active(reporter):
+        if checkpoint is None and job_timeout is None:
+            native = _try_batch_native(batch, progress)
+            if native is not None:
+                if reporter is not None:
+                    reporter.finish()
+                return native
+        results = execute_batch(list(batch), jobs=jobs, progress=progress,
+                                failure_policy=failure_policy,
+                                retries=retries, job_timeout=job_timeout,
+                                checkpoint=checkpoint)
     _merge_observability(results)
+    if reporter is not None:
+        reporter.finish()
     return results
 
 
@@ -566,6 +587,74 @@ def _try_batch_native(batch: Sequence[SimJob],
         for done in range(total):
             progress(done + 1, total)
     return results
+
+
+def run_stream(batch: Sequence[SimJob],
+               consume: Callable[[int, JobResult], None], jobs: int = 1, *,
+               chunk_size: int = 64,
+               progress: Optional[Callable[[int, int], None]] = None,
+               failure_policy: str = "raise", retries: int = 2,
+               job_timeout: Optional[float] = None,
+               engine: Optional[str] = None,
+               reporter: Optional[obs_progress.ProgressReporter] = None,
+               ) -> int:
+    """Execute a batch in bounded memory, streaming results to a consumer.
+
+    The campaign-scale twin of :func:`run_jobs`: the batch is executed in
+    chunks of ``chunk_size`` jobs, and each finished
+    :class:`JobResult` is handed to ``consume(index, result)`` — in
+    submission order, under any ``jobs`` count — then dropped.  Peak
+    memory is ``O(chunk_size)`` results instead of ``O(len(batch))``, so
+    a 10⁶-trace TVLA campaign folds into streaming accumulators
+    (:mod:`repro.obs.streaming`) without ever materializing the trace
+    matrix.  Because consumption order is fixed, accumulator state — and
+    therefore the campaign statistics — is bit-identical for ``jobs=1``
+    and ``jobs=N``.
+
+    ``reporter`` (or ``$REPRO_PROGRESS``) enables live heartbeats; a
+    forced heartbeat is emitted at every chunk boundary, so long
+    campaigns report at least once per ``chunk_size`` jobs even when the
+    rate-limit interval has not elapsed.  Under ``failure_policy
+    "collect"``/``"retry"``, failed slots reach the consumer as
+    :class:`~repro.harness.resilience.JobFailure` records — consumers
+    that only want clean traces should skip non-:class:`JobResult`
+    values.  Returns the number of slots consumed.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    batch = list(batch)
+    total = len(batch)
+    owns_reporter = False
+    if reporter is None:
+        reporter = obs_progress.reporter_from_env(total, label="run_stream")
+        owns_reporter = reporter is not None
+    if reporter is not None:
+        reporter.total = total
+    consumed = 0
+    with obs_progress.active(reporter):
+        for start in range(0, total, chunk_size):
+            chunk = batch[start:start + chunk_size]
+
+            def chunk_progress(done, _chunk_total, _base=start):
+                completed = _base + done
+                if reporter is not None:
+                    reporter.job_done(completed, total)
+                if progress is not None:
+                    progress(completed, total)
+
+            results = run_jobs(chunk, jobs=jobs, progress=chunk_progress,
+                               failure_policy=failure_policy,
+                               retries=retries, job_timeout=job_timeout,
+                               engine=engine)
+            for offset, result in enumerate(results):
+                consume(start + offset, result)
+            consumed += len(results)
+            if reporter is not None:
+                reporter.done = start + len(chunk)
+                reporter.heartbeat(force=True)
+    if owns_reporter:
+        reporter.finish()
+    return consumed
 
 
 def _merge_observability(results: Sequence) -> None:

@@ -58,6 +58,7 @@ from typing import Callable, Optional, Sequence, Union
 
 from .. import obs
 from ..machine.exceptions import CycleLimitExceeded
+from ..obs import progress as obs_progress
 
 logger = logging.getLogger("repro.harness.resilience")
 
@@ -504,6 +505,9 @@ class _BatchState:
                                "attempt budget, by error type")
         if counter is not None:
             counter.inc(error=record.error_type)
+        reporter = obs_progress.current()
+        if reporter is not None:
+            reporter.note_failure()
         if self.failure_policy == "raise":
             exception = getattr(failure, "exception", None) \
                 if isinstance(failure, _WorkerFailure) else None
@@ -526,6 +530,9 @@ class _BatchState:
                                "failed attempts that were retried")
         if counter is not None:
             counter.inc()
+        reporter = obs_progress.current()
+        if reporter is not None:
+            reporter.note_retry()
 
 
 def validate_batch_options(failure_policy: str, retries: int) -> None:

@@ -42,20 +42,30 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from .attribution import AttributionSink
+from .flamegraph import aggregate_spans, flamegraph_html, svg_flamegraph
 from .manifest import (aggregate_manifests, build_manifest, diff_totals,
                        load_manifest, summarize_manifest, write_manifest)
+from .progress import (ProgressReporter, ProgressSink, reporter_from_env,
+                       sink_from_env)
 from .registry import (CardinalityError, Counter, Gauge, Histogram,
-                       MetricsRegistry, snapshot_totals)
+                       MetricsRegistry, bucket_quantile, snapshot_totals)
 from .spans import SpanRecord, Tracer, render_tree
+from .streaming import (CorrelationAccumulator, DisclosureCurve,
+                        MeanAccumulator, WelchTAccumulator,
+                        WelfordAccumulator, merged)
 
 __all__ = [
-    "AttributionSink", "CardinalityError", "Counter", "Gauge", "Histogram",
-    "MetricsRegistry", "ObsContext", "SpanRecord", "Tracer",
-    "aggregate_manifests", "attribution", "attribution_enabled",
-    "build_manifest", "diff_totals", "disable", "disable_attribution",
-    "enable", "enable_attribution", "enabled", "load_manifest", "registry",
-    "render_tree", "scope", "snapshot_totals", "span", "summarize_manifest",
-    "tracer", "write_manifest",
+    "AttributionSink", "CardinalityError", "CorrelationAccumulator",
+    "Counter", "DisclosureCurve", "Gauge", "Histogram", "MeanAccumulator",
+    "MetricsRegistry", "ObsContext", "ProgressReporter", "ProgressSink",
+    "SpanRecord", "Tracer", "WelchTAccumulator", "WelfordAccumulator",
+    "aggregate_manifests", "aggregate_spans", "attribution",
+    "attribution_enabled", "bucket_quantile", "build_manifest",
+    "diff_totals", "disable", "disable_attribution", "enable",
+    "enable_attribution", "enabled", "flamegraph_html", "load_manifest",
+    "merged", "registry", "render_tree", "reporter_from_env", "scope",
+    "sink_from_env", "snapshot_totals", "span", "summarize_manifest",
+    "svg_flamegraph", "tracer", "write_manifest",
 ]
 
 

@@ -53,6 +53,53 @@ class CardinalityError(ValueError):
     """A metric exceeded :data:`MAX_SERIES_PER_METRIC` label sets."""
 
 
+#: Quantiles published alongside every histogram series (summaries,
+#: snapshots, and ``obs summarize`` totals).
+SUMMARY_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def bucket_quantile(bounds: tuple[float, ...], counts: Iterable[int],
+                    q: float, minimum: Optional[float] = None,
+                    maximum: Optional[float] = None) -> float:
+    """Estimate the ``q``-quantile of a bucketed distribution.
+
+    Standard histogram-quantile estimation: find the bucket holding the
+    target rank and interpolate linearly across its ``(lower, upper]``
+    range.  The exact ``minimum``/``maximum`` the series tracked tighten
+    the estimate — they bound the open-ended +Inf bucket and clamp the
+    result, so a one-observation histogram reports its actual value
+    instead of a bucket midpoint.  Empty distributions report 0.
+    """
+    counts = list(counts)
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    q = min(max(float(q), 0.0), 1.0)
+    rank = q * total
+    cumulative = 0
+    value: Optional[float] = None
+    for index, count in enumerate(counts):
+        cumulative += count
+        if count and cumulative >= rank:
+            lower = bounds[index - 1] if index > 0 \
+                else (minimum if minimum is not None else 0.0)
+            if index < len(bounds):
+                upper = bounds[index]
+            else:  # +Inf bucket: only the tracked max bounds it
+                upper = maximum if maximum is not None else lower
+            position = (rank - (cumulative - count)) / count
+            value = lower + (upper - lower) * position
+            break
+    if value is None:
+        value = maximum if maximum is not None \
+            else (bounds[-1] if bounds else 0.0)
+    if minimum is not None:
+        value = max(value, minimum)
+    if maximum is not None:
+        value = min(value, maximum)
+    return float(value)
+
+
 class _Metric:
     """Shared series bookkeeping for the three instrument kinds."""
 
@@ -180,14 +227,35 @@ class Histogram(_Metric):
         series.max = value if series.max is None else max(series.max, value)
 
     def summary(self, **labels) -> dict[str, float]:
-        """``{count, sum, mean, min, max}`` of one series (zeros if unseen)."""
+        """``{count, sum, mean, min, max, p50, p95, p99}`` of one series
+        (zeros if unseen).  Percentiles are bucket-interpolated estimates
+        clamped by the exact min/max (:func:`bucket_quantile`)."""
         series = self._series.get(_label_key(labels))
         if series is None:
-            return {"count": 0, "sum": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0}
-        return {"count": series.count, "sum": series.sum,
-                "mean": series.sum / series.count if series.count else 0.0,
-                "min": series.min or 0.0, "max": series.max or 0.0}
+            out = {"count": 0, "sum": 0.0, "mean": 0.0,
+                   "min": 0.0, "max": 0.0}
+            out.update({_quantile_key(q): 0.0 for q in SUMMARY_QUANTILES})
+            return out
+        out = {"count": series.count, "sum": series.sum,
+               "mean": series.sum / series.count if series.count else 0.0,
+               "min": series.min or 0.0, "max": series.max or 0.0}
+        out.update(self._quantiles(series))
+        return out
+
+    def quantile(self, q: float, **labels) -> float:
+        """Estimated ``q``-quantile of one series (0 if unseen)."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return 0.0
+        return bucket_quantile(self.buckets, series.counts, q,
+                               minimum=series.min, maximum=series.max)
+
+    def _quantiles(self, series: "_HistogramSeries") -> dict[str, float]:
+        return {_quantile_key(q): bucket_quantile(self.buckets,
+                                                  series.counts, q,
+                                                  minimum=series.min,
+                                                  maximum=series.max)
+                for q in SUMMARY_QUANTILES}
 
 
 class MetricsRegistry:
@@ -245,10 +313,15 @@ class MetricsRegistry:
             for key, series in sorted(metric.series()):
                 labels = {k: v for k, v in key}
                 if isinstance(metric, Histogram):
-                    entry["series"].append({
+                    row = {
                         "labels": labels, "counts": list(series.counts),
                         "sum": series.sum, "count": series.count,
-                        "min": series.min, "max": series.max})
+                        "min": series.min, "max": series.max}
+                    # Published estimates ride along for manifest readers;
+                    # merge_snapshot ignores them (it re-derives from the
+                    # raw counts, which stay the source of truth).
+                    row.update(metric._quantiles(series))
+                    entry["series"].append(row)
                 else:
                     entry["series"].append({"labels": labels,
                                             "value": series})
@@ -298,11 +371,18 @@ class MetricsRegistry:
                                  f"kind {kind!r}")
 
 
+def _quantile_key(q: float) -> str:
+    return f"p{round(q * 100):d}"
+
+
 def snapshot_totals(snapshot: dict) -> dict[str, float]:
     """Flatten a snapshot to ``name{k=v,...} -> value`` scalar rows.
 
-    Histograms contribute ``name_count`` and ``name_sum`` rows.  This is
-    the view ``repro obs summarize`` renders and diffs.
+    Histograms contribute ``name_count``/``name_sum`` plus estimated
+    ``name_p50``/``name_p95``/``name_p99`` rows (recomputed from the raw
+    bucket counts, so manifests written before quantile publishing still
+    summarize with percentiles).  This is the view ``repro obs
+    summarize`` renders and diffs.
     """
     rows: dict[str, float] = {}
 
@@ -318,6 +398,13 @@ def snapshot_totals(snapshot: dict) -> dict[str, float]:
             if entry["kind"] == "histogram":
                 rows[format_name(name + "_count", labels)] = series["count"]
                 rows[format_name(name + "_sum", labels)] = series["sum"]
+                bounds = tuple(entry.get("buckets", ()))
+                for q in SUMMARY_QUANTILES:
+                    rows[format_name(name + "_" + _quantile_key(q),
+                                     labels)] = bucket_quantile(
+                        bounds, series.get("counts", ()), q,
+                        minimum=series.get("min"),
+                        maximum=series.get("max"))
             else:
                 rows[format_name(name, labels)] = series["value"]
     return rows

@@ -354,6 +354,24 @@ def attribution_section(attribution: dict) -> str:
     return "".join(parts)
 
 
+def flamegraph_section(spans: Sequence[dict]) -> str:
+    """Wall/CPU icicle charts of the recorded span forest."""
+    # Imported here: flamegraph reuses this module's palette, so a
+    # module-level import would be circular.
+    from .flamegraph import svg_flamegraph
+
+    charts = []
+    for metric, caption in (("wall", "wall time"), ("cpu", "CPU time")):
+        chart = svg_flamegraph(spans, metric=metric)
+        if chart:
+            charts.append(f"<figure>{chart}<figcaption>span profile by "
+                          f"{caption}; same-name spans merged, hover for "
+                          f"timings</figcaption></figure>")
+    if not charts:
+        return ""
+    return "<h2>Where the time went</h2>" + "".join(charts)
+
+
 def charts_section(series: dict[str, Sequence[float]],
                    title: str = "Per-cycle energy") -> str:
     charts = []
@@ -382,6 +400,7 @@ def build_report(title: str,
                  = None,
                  leakage: Optional[dict] = None,
                  attribution: Optional[dict] = None,
+                 spans: Optional[Sequence[dict]] = None,
                  meta: Optional[dict] = None,
                  notes: str = "") -> str:
     """Compose the self-contained HTML document from its parts.
@@ -389,7 +408,8 @@ def build_report(title: str,
     ``series`` maps name -> per-cycle values (one chart each);
     ``overlays`` maps chart-title -> {label: values} for multi-series
     A/B charts; ``leakage`` is a :class:`LeakageReport` dict (or mapping
-    of them); ``attribution`` a full or summarized snapshot; ``meta``
+    of them); ``attribution`` a full or summarized snapshot; ``spans`` a
+    recorded span forest (rendered as wall/CPU flamegraphs); ``meta``
     small provenance strings for the footer.
     """
     body = [f"<h1>{escape(title)}</h1>"]
@@ -414,6 +434,8 @@ def build_report(title: str,
         body.append(leakage_section(leakage))
     if attribution:
         body.append(attribution_section(attribution))
+    if spans:
+        body.append(flamegraph_section(spans))
     if notes:
         body.append(f'<p class="meta">{escape(notes)}</p>')
     if meta:
@@ -454,6 +476,7 @@ def report_from_manifest(manifest: dict,
     return build_report(title, summary=summary, series=series,
                         leakage=leakage,
                         attribution=manifest.get("attribution"),
+                        spans=manifest.get("spans"),
                         meta=meta, notes=notes)
 
 

@@ -45,11 +45,21 @@ class SpanRecord:
         out: dict = {"name": self.name, "wall_s": self.wall_s,
                      "cpu_s": self.cpu_s}
         if self.attributes:
-            out["attributes"] = {key: value for key, value
+            out["attributes"] = {key: _jsonable_value(value) for key, value
                                  in self.attributes.items()}
         if self.children:
             out["children"] = [child.to_dict() for child in self.children]
         return out
+
+
+def _jsonable_value(value: object) -> object:
+    """Span attributes end up in JSON manifests, but callers may attach
+    anything (an EnergyParams, a Path, an enum).  Scalars pass through;
+    everything else is pinned to ``repr`` so a single exotic attribute
+    can no longer crash the manifest write."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
 
 
 class Tracer:

@@ -175,3 +175,34 @@ def test_difference_of_means_antisymmetric(values):
     d1 = difference_of_means(traces, partition)
     d2 = difference_of_means(traces, 1 - partition)
     assert np.allclose(d1, -d2)
+
+
+# -- streaming path ---------------------------------------------------------
+
+
+def test_difference_of_means_streaming_matches_batch():
+    rng = np.random.default_rng(31)
+    traces = rng.normal(100, 2, size=(25, 12))
+    partition = (rng.random(25) > 0.5).astype(int)
+    np.testing.assert_allclose(
+        difference_of_means(traces, partition, streaming=True),
+        difference_of_means(traces, partition), rtol=1e-10)
+
+
+def test_welch_t_streaming_matches_batch():
+    rng = np.random.default_rng(37)
+    traces = rng.normal(100, 2, size=(30, 10))
+    partition = (np.arange(30) % 2).astype(int)
+    np.testing.assert_allclose(
+        welch_t_statistic(traces, partition, streaming=True),
+        welch_t_statistic(traces, partition), rtol=1e-9)
+
+
+def test_streaming_path_keeps_edge_case_semantics():
+    traces = np.ones((3, 4))
+    one_sided = np.zeros(3, dtype=int)
+    for streaming in (False, True):
+        assert list(difference_of_means(traces, one_sided,
+                                        streaming=streaming)) == [0.0] * 4
+        assert list(welch_t_statistic(traces, one_sided,
+                                      streaming=streaming)) == [0.0] * 4

@@ -79,3 +79,92 @@ def test_masked_des_passes_tvla_in_secured_region(round1_masked):
     assert result.passes
     # Stronger than the 4.5 threshold: identically zero everywhere.
     assert result.max_abs_t == 0.0
+
+
+# -- streaming campaigns ----------------------------------------------------
+
+
+def test_streaming_assessment_matches_batch(round1_unmasked):
+    """Same seeds, same traces: the streaming t must equal the batch t,
+    including the deterministic ±inf definite-leak rule."""
+    from repro.attacks.tvla import streaming_assess_des_program
+
+    plaintexts = random_plaintexts(6, seed=42)
+    batch = assess_des_program(round1_unmasked.program, KEY, PT, plaintexts)
+    campaign = streaming_assess_des_program(round1_unmasked.program, KEY,
+                                            PT, plaintexts, chunk_size=4)
+    assert campaign.traces_consumed == 12
+    streamed_t = campaign.result.t_statistic
+    # Wherever the batch path sees a definite (±inf) leak, so must the
+    # streaming path.
+    assert np.all(np.isinf(streamed_t[np.isinf(batch.t_statistic)]))
+    both_finite = np.isfinite(batch.t_statistic) & np.isfinite(streamed_t)
+    np.testing.assert_allclose(streamed_t[both_finite],
+                               batch.t_statistic[both_finite], rtol=1e-9,
+                               atol=1e-9)
+    # One-pass Welford yields an exact zero variance for identical
+    # traces where two-pass np.var leaves epsilon residue, so a few
+    # cycles read ±inf streaming vs astronomically-large-finite batch.
+    # The verdict must agree there regardless.
+    disagree = np.isinf(streamed_t) & np.isfinite(batch.t_statistic)
+    assert np.all(np.abs(batch.t_statistic[disagree]) > 1e6)
+    assert campaign.result.passes == batch.passes
+    assert campaign.result.leaky_cycles == batch.leaky_cycles
+
+
+def test_streaming_assessment_with_noise_matches_batch(round1_unmasked):
+    from repro.attacks.tvla import streaming_assess_des_program
+
+    plaintexts = random_plaintexts(6, seed=42)
+    batch = assess_des_program(round1_unmasked.program, KEY, PT, plaintexts,
+                               noise_sigma=2.0)
+    campaign = streaming_assess_des_program(round1_unmasked.program, KEY,
+                                            PT, plaintexts, noise_sigma=2.0,
+                                            chunk_size=4)
+    # Gaussian noise removes the zero-variance corner entirely: the two
+    # paths must agree everywhere.
+    np.testing.assert_allclose(campaign.result.t_statistic,
+                               batch.t_statistic, rtol=1e-9, atol=1e-9)
+
+
+def test_streaming_assessment_jobs_bit_identical(round1_unmasked):
+    from repro.attacks.tvla import streaming_assess_des_program
+
+    plaintexts = random_plaintexts(4, seed=42)
+    serial = streaming_assess_des_program(
+        round1_unmasked.program, KEY, PT, plaintexts, noise_sigma=1.0,
+        chunk_size=2, jobs=1)
+    parallel = streaming_assess_des_program(
+        round1_unmasked.program, KEY, PT, plaintexts, noise_sigma=1.0,
+        chunk_size=2, jobs=2)
+    np.testing.assert_array_equal(serial.result.t_statistic,
+                                  parallel.result.t_statistic)
+    assert serial.curve.values == parallel.curve.values
+
+
+def test_streaming_key_differential_disclosure(round1_unmasked,
+                                               round1_masked):
+    """Unmasked key pairs disclose within a small budget; the masked
+    secured region never does — its true differential is zero."""
+    from repro.harness.runner import des_run
+    from repro.attacks.tvla import streaming_key_differential
+    from repro.programs.markers import M_KEYPERM_START, M_KEYPERM_END
+
+    KEY_B = 0x0123456789ABCDEF
+    scout = des_run(round1_unmasked.program, KEY, PT)
+    window = (scout.trace.marker_cycles(M_KEYPERM_START)[0],
+              scout.trace.marker_cycles(M_KEYPERM_END)[0])
+    unmasked = streaming_key_differential(
+        round1_unmasked.program, KEY, KEY_B, PT, n_traces=8,
+        window=window, noise_sigma=2.0, chunk_size=4)
+    assert unmasked.disclosure_traces is not None
+    assert unmasked.disclosure_traces <= 16
+
+    scout_m = des_run(round1_masked.program, KEY, PT)
+    window_m = (scout_m.trace.marker_cycles(M_KEYPERM_START)[0],
+                scout_m.trace.marker_cycles(M_KEYPERM_END)[0])
+    masked = streaming_key_differential(
+        round1_masked.program, KEY, KEY_B, PT, n_traces=8,
+        window=window_m, noise_sigma=2.0, chunk_size=4)
+    assert masked.disclosure_traces is None
+    assert masked.curve.final_value < unmasked.curve.final_value

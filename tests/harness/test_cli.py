@@ -239,3 +239,48 @@ def test_obs_attribution_rejects_manifest_without_section(tmp_path,
     other.write_text(json.dumps({"schema": "nope"}))
     with pytest.raises(SystemExit):
         main(["obs", "attribution", str(other)])
+
+
+def test_experiment_streaming_and_progress_flags(tmp_path, capsys,
+                                                 monkeypatch):
+    import json
+    import os
+
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    progress_path = tmp_path / "progress.jsonl"
+    assert main(["experiment", "ext-tvla", "--streaming",
+                 "--progress", str(progress_path),
+                 "--progress-interval", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "unmasked_disclosure_traces" in out
+    assert "masked_disclosure_traces" in out
+    # The env scope unwound: later library calls see no progress sink.
+    assert "REPRO_PROGRESS" not in os.environ
+    records = [json.loads(line) for line
+               in progress_path.read_text().strip().splitlines()]
+    assert records[-1]["event"] == "finished"
+    assert any(r["event"] == "heartbeat" for r in records)
+    assert any("max_abs_t" in r for r in records)
+
+
+def test_experiment_streaming_flag_on_non_streaming_experiment(capsys):
+    assert main(["experiment", "xor-op", "--streaming"]) == 0
+    assert "--streaming" in capsys.readouterr().err
+
+
+def test_obs_flamegraph_subcommand(tmp_path, capsys):
+    manifest_path = tmp_path / "m.json"
+    assert main(["experiment", "xor-op",
+                 "--manifest", str(manifest_path)]) == 0
+    from repro import obs
+
+    obs.disable()
+    capsys.readouterr()
+    out_html = tmp_path / "flame.html"
+    assert main(["obs", "flamegraph", str(manifest_path),
+                 "-o", str(out_html), "--title", "xor spans"]) == 0
+    assert "saved flamegraph" in capsys.readouterr().out
+    page = out_html.read_text()
+    assert page.startswith("<!DOCTYPE html>")
+    assert "xor spans" in page
+    assert "experiment=xor-op" in page

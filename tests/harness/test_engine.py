@@ -152,3 +152,126 @@ def test_profile_batch_and_timings():
     timings = job_timings(results)
     assert {label for label, _ in timings} == {"first", "second", "raw"}
     assert timings[0][1] >= timings[-1][1]
+
+
+# -- streaming execution ----------------------------------------------------
+
+
+def _noisy_batch(count):
+    program = assemble(ASM)
+    return [SimJob(program=program, noise_sigma=0.8, noise_seed=i + 1,
+                   label=f"trace[{i}]") for i in range(count)]
+
+
+def test_run_stream_consumes_in_submission_order():
+    from repro.harness.engine import run_stream
+
+    seen = []
+    consumed = run_stream(_noisy_batch(7),
+                          lambda index, result: seen.append(
+                              (index, result.label)),
+                          chunk_size=3)
+    assert consumed == 7
+    assert seen == [(i, f"trace[{i}]") for i in range(7)]
+
+
+def test_run_stream_jobs_parallel_is_bit_identical():
+    from repro.harness.engine import run_stream
+
+    def collect(jobs, chunk_size):
+        energies = []
+        run_stream(_noisy_batch(8),
+                   lambda index, result: energies.append(result.energy),
+                   jobs=jobs, chunk_size=chunk_size)
+        return energies
+
+    serial = collect(jobs=1, chunk_size=3)
+    parallel = collect(jobs=3, chunk_size=3)
+    rechunked = collect(jobs=1, chunk_size=8)
+    for a, b, c in zip(serial, parallel, rechunked):
+        assert np.array_equal(a, b)    # exact, not approx
+        assert np.array_equal(a, c)    # chunking never changes results
+
+
+def test_run_stream_accumulator_matches_run_jobs():
+    from repro.harness.engine import run_stream
+    from repro.obs.streaming import WelfordAccumulator
+
+    batch = _noisy_batch(10)
+    streamed = WelfordAccumulator()
+    run_stream(batch, lambda index, result: streamed.update(result.energy),
+               chunk_size=4)
+    whole = WelfordAccumulator()
+    for result in run_jobs(batch):
+        whole.update(result.energy)
+    assert np.array_equal(streamed.mean, whole.mean)
+    assert np.array_equal(streamed.m2, whole.m2)
+
+
+def test_run_stream_progress_callback_spans_whole_batch():
+    from repro.harness.engine import run_stream
+
+    seen = []
+    run_stream(_noisy_batch(5), lambda index, result: None, chunk_size=2,
+               progress=lambda done, total: seen.append((done, total)))
+    assert seen == [(i, 5) for i in range(1, 6)]
+
+
+def test_run_stream_failed_slots_reach_consumer(monkeypatch):
+    from repro.harness.engine import run_stream
+    from repro.harness.resilience import FAULT_PLAN_ENV, JobFailure
+
+    monkeypatch.setenv(FAULT_PLAN_ENV, "trace[1]:*:raise")
+    slots = []
+    consumed = run_stream(_noisy_batch(4),
+                          lambda index, result: slots.append(result),
+                          chunk_size=2, failure_policy="collect")
+    assert consumed == 4
+    assert isinstance(slots[1], JobFailure)
+    assert all(not isinstance(slots[i], JobFailure) for i in (0, 2, 3))
+
+
+def test_run_stream_rejects_bad_chunk_size():
+    from repro.harness.engine import run_stream
+
+    with pytest.raises(ValueError):
+        run_stream(_noisy_batch(1), lambda index, result: None, chunk_size=0)
+
+
+def test_run_stream_reporter_heartbeats_and_failures(monkeypatch, tmp_path):
+    import json
+
+    from repro.harness.engine import run_stream
+    from repro.harness.resilience import FAULT_PLAN_ENV
+    from repro.obs import progress as obs_progress
+
+    monkeypatch.setenv(FAULT_PLAN_ENV, "trace[2]:*:raise")
+    target = tmp_path / "progress.jsonl"
+    monkeypatch.setenv(obs_progress.PROGRESS_ENV, str(target))
+    consumed = run_stream(_noisy_batch(6), lambda index, result: None,
+                          chunk_size=2, failure_policy="retry", retries=2)
+    assert consumed == 6
+    records = [json.loads(line)
+               for line in target.read_text().strip().splitlines()]
+    assert records[-1]["event"] == "finished"
+    assert records[-1]["done"] == 6
+    assert records[-1]["retried"] >= 1     # resilience layer reported in
+    # One forced beat per chunk boundary at minimum, plus the terminal.
+    assert len(records) >= 4
+
+
+def test_run_jobs_reporter_from_env(monkeypatch, tmp_path):
+    import json
+
+    from repro.obs import progress as obs_progress
+
+    target = tmp_path / "progress.jsonl"
+    monkeypatch.setenv(obs_progress.PROGRESS_ENV, str(target))
+    user_seen = []
+    run_jobs(_noisy_batch(3),
+             progress=lambda done, total: user_seen.append(done))
+    assert user_seen == [1, 2, 3]          # user callback still honored
+    records = [json.loads(line)
+               for line in target.read_text().strip().splitlines()]
+    assert records[-1]["event"] == "finished"
+    assert records[-1]["total"] == 3

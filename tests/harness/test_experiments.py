@@ -13,7 +13,7 @@ def test_registry_covers_all_paper_artifacts():
     ablations = {"ablation-slice", "ablation-components",
                  "ablation-isolation"}
     extensions = {"ext-aes", "ext-opt", "ext-coupling", "ext-noise",
-                  "ext-tvla", "ext-sensitivity"}
+                  "ext-tvla", "ext-sensitivity", "ext-disclosure"}
     assert paper | ablations | extensions == set(EXPERIMENTS)
 
 

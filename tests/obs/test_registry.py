@@ -106,7 +106,8 @@ def test_histogram_buckets_sorted_and_nonempty():
 def test_histogram_summary_unseen_series_is_zeros():
     histogram = Histogram("h")
     assert histogram.summary(label="nope") == {
-        "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0}
+        "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+        "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 def test_histogram_summary_mean():

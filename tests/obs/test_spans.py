@@ -50,6 +50,28 @@ def test_tree_round_trips_through_dicts():
     assert grafted[0]["children"][0]["children"][0]["name"] == "inner"
 
 
+def test_to_dict_coerces_non_json_attributes():
+    # Regression: attributes are caller-supplied and used to crash
+    # manifest serialization when a Path, tuple, or dataclass slipped in.
+    import json
+    from pathlib import Path
+
+    tracer = Tracer()
+    with tracer.span("job", path=Path("/tmp/x"), shape=(4, 2),
+                     label="plain", count=3, ratio=0.5, flag=True,
+                     missing=None):
+        pass
+    attributes = tracer.tree()[0]["attributes"]
+    assert attributes["label"] == "plain"          # primitives untouched
+    assert attributes["count"] == 3
+    assert attributes["ratio"] == 0.5
+    assert attributes["flag"] is True
+    assert attributes["missing"] is None
+    assert attributes["path"] == repr(Path("/tmp/x"))
+    assert attributes["shape"] == repr((4, 2))
+    json.dumps(tracer.tree())                      # serializes end to end
+
+
 def test_attach_without_open_span_adds_roots():
     tracer = Tracer()
     tracer.attach([{"name": "orphan", "wall_s": 0.5, "cpu_s": 0.4}])

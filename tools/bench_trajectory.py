@@ -36,7 +36,10 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+import numpy as np  # noqa: E402
+
 from repro import obs  # noqa: E402
+from repro.obs.streaming import WelchTAccumulator  # noqa: E402
 from repro.attacks.dpa import collect_traces, random_plaintexts  # noqa: E402
 from repro.harness.runner import des_run  # noqa: E402
 from repro.machine.fastpath import ensure_schedule  # noqa: E402
@@ -50,7 +53,7 @@ from repro.programs.workloads import (compile_des, key_words,  # noqa: E402
 KEY = 0x133457799BBCDFF1
 PT = 0x0123456789ABCDEF
 
-BASELINE_SCHEMA = "repro.bench.baseline/v3"
+BASELINE_SCHEMA = "repro.bench.baseline/v4"
 CALIBRATION_CLAMP = (0.5, 3.0)
 #: Cycles in the round-1 DES workload; turns simulate walls into
 #: simulated-cycles-per-second for the engine throughput gate.
@@ -61,6 +64,9 @@ BATCH_TRACES = 16
 #: times faster than serial fast-replay collection.  Calibration-free:
 #: both sides of the ratio run on the same host in the same process.
 VECTOR_SPEEDUP_MIN = 5.0
+#: Traces folded through the streaming Welch-t accumulator per bench
+#: round, at round-1 trace width; gates the campaign-statistics hot loop.
+STREAM_TRACES = 256
 
 
 def _spin() -> float:
@@ -119,6 +125,19 @@ def run_benches(rounds: int) -> dict[str, float]:
     results["batch16_vector"] = _best_of(
         lambda: collect_traces(program, KEY, plaintexts, engine="vector"),
         rounds)
+    # Streaming-accumulator throughput: fold a synthetic two-group
+    # campaign (round-1 trace width) through the Welch-t accumulator —
+    # the per-trace hot loop of every O(1)-memory campaign.
+    rows = np.random.default_rng(7).normal(
+        100.0, 5.0, size=(STREAM_TRACES, ROUND1_CYCLES))
+
+    def stream_welch():
+        accumulator = WelchTAccumulator()
+        for index in range(STREAM_TRACES):
+            accumulator.update(rows[index], index & 1)
+        accumulator.t_statistic(definite_leaks=True)
+
+    results["streaming_welch_256"] = _best_of(stream_welch, rounds)
     return results
 
 
@@ -134,6 +153,11 @@ def cycles_per_second(measured: dict[str, float]) -> dict[str, float]:
 def vector_speedup(measured: dict[str, float]) -> float:
     """Traces-per-second ratio of the vector batch over serial fast."""
     return measured["batch16_fast_serial"] / measured["batch16_vector"]
+
+
+def streaming_traces_per_second(measured: dict[str, float]) -> float:
+    """Accumulator fold rate of the streaming Welch-t campaign loop."""
+    return STREAM_TRACES / measured["streaming_welch_256"]
 
 
 def _usable_cores() -> int:
@@ -196,6 +220,23 @@ def compare(measured: dict[str, float], baseline: dict,
                     f"{calibrated:,.0f}) vs baseline {pinned:,.0f} "
                     f"= {-delta:+.1%} (budget -{max_regress:.0%})")
         record[f"_cycles_per_s.{engine}"] = entry
+    # Streaming-accumulator throughput gate, same calibrated shape.
+    stream_tps = streaming_traces_per_second(measured)
+    pinned = baseline.get("streaming_traces_per_s")
+    calibrated = stream_tps / factor
+    entry = {"traces_per_s": round(stream_tps, 1),
+             "calibrated_traces_per_s": round(calibrated, 1)}
+    if pinned is not None:
+        delta = 1.0 - calibrated / pinned
+        entry["baseline_traces_per_s"] = pinned
+        entry["regress"] = round(delta, 4)
+        entry["passed"] = delta <= max_regress
+        if not entry["passed"]:
+            failures.append(
+                f"  streaming_traces_per_s: {stream_tps:,.0f} (calibrated "
+                f"{calibrated:,.0f}) vs baseline {pinned:,.0f} "
+                f"= {-delta:+.1%} (budget -{max_regress:.0%})")
+    record["_streaming_traces_per_s"] = entry
     # Vector batch-throughput gate: the ratio is host-independent, so no
     # calibration is applied and no regression budget softens it.
     speedup = vector_speedup(measured)
@@ -239,6 +280,8 @@ def main() -> int:
               f"{cps:>12,.0f}")
     print(f"vector_speedup {vector_speedup(measured):17.2f}x "
           f"(floor {VECTOR_SPEEDUP_MIN:.1f}x)")
+    print(f"streaming_traces_per_s "
+          f"{streaming_traces_per_second(measured):9,.0f}")
 
     if arguments.update_baseline:
         spin = statistics.median(_spin() for _ in range(3))
@@ -250,7 +293,9 @@ def main() -> int:
              "cycles_per_s": {k: round(v, 1) for k, v in sorted(
                  throughput.items())},
              "vector_speedup": round(vector_speedup(measured), 2),
-             "vector_speedup_min": VECTOR_SPEEDUP_MIN},
+             "vector_speedup_min": VECTOR_SPEEDUP_MIN,
+             "streaming_traces_per_s": round(
+                 streaming_traces_per_second(measured), 1)},
             indent=2) + "\n")
         print(f"baseline pinned -> {arguments.baseline}")
         return 0
