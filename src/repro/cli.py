@@ -11,6 +11,11 @@ Commands:
   every picojoule to its (pc, unit, class) cell and saves the snapshot;
   ``--report-html`` writes the self-contained HTML leakage report)
 * ``experiments``       — list the experiment registry
+* ``serve``             — long-lived leakage-assessment daemon (HTTP
+  JSON API, bounded admission, deadlines, circuit breaker, graceful
+  drain — see ``docs/SERVICE.md``)
+* ``submit``            — submit one assessment request to a daemon
+  (or ``--local`` to run it in-process on the batch engine)
 * ``obs summarize``     — render, aggregate, and diff run manifests
 * ``obs attribution``   — ASCII energy-attribution tables from a
   snapshot or manifest
@@ -383,6 +388,90 @@ def cmd_obs_flamegraph(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(arguments: argparse.Namespace) -> int:
+    """Run the leakage-assessment daemon until SIGTERM/SIGINT."""
+    import json
+
+    from .service.core import ServiceConfig
+    from .service.server import serve
+
+    config = ServiceConfig(
+        workers=arguments.workers, jobs=arguments.jobs,
+        queue_depth=arguments.queue_depth, retries=arguments.retries,
+        job_timeout=arguments.job_timeout,
+        chunk_size=arguments.chunk_size,
+        default_deadline_s=arguments.default_deadline,
+        breaker_threshold=arguments.breaker_threshold,
+        breaker_cooldown_s=arguments.breaker_cooldown,
+        drain_grace_s=arguments.drain_grace,
+        journal=arguments.journal, manifest_out=arguments.manifest_out)
+
+    def announce(event: dict) -> None:
+        print(json.dumps(event, sort_keys=True), flush=True)
+
+    serve(host=arguments.host, port=arguments.port, config=config,
+          announce=announce)
+    return 0
+
+
+def cmd_submit(arguments: argparse.Namespace) -> int:
+    """Submit one assessment request (to a daemon, or run it locally)."""
+    import json
+
+    from .service.errors import ServiceError
+    from .service.protocol import AssessRequest
+
+    payload = {
+        "mode": arguments.mode, "masking": arguments.masking,
+        "rounds": arguments.rounds, "n_traces": arguments.n_traces,
+        "noise_sigma": arguments.noise_sigma, "seed": arguments.seed,
+        "client": arguments.client, "priority": arguments.priority,
+    }
+    if arguments.policy:
+        payload["policy"] = arguments.policy
+    if arguments.key:
+        payload["key"] = arguments.key
+    if arguments.key_b:
+        payload["key_b"] = arguments.key_b
+    if arguments.engine:
+        payload["engine"] = arguments.engine
+    if arguments.deadline is not None:
+        payload["deadline_s"] = arguments.deadline
+    try:
+        if arguments.local:
+            from .service.executor import execute_assessment
+
+            result = execute_assessment(AssessRequest.from_dict(payload),
+                                        jobs=arguments.jobs)
+        else:
+            from .service.client import ServiceClient
+
+            client = ServiceClient(arguments.url)
+            result = client.assess(payload, timeout_s=arguments.timeout)
+    except ServiceError as error:
+        detail = {"code": error.code, "message": error.message}
+        if error.retry_after_s is not None:
+            detail["retry_after_s"] = error.retry_after_s
+        print(json.dumps({"error": detail}, sort_keys=True),
+              file=sys.stderr)
+        return 1
+    if arguments.json:
+        Path(arguments.json).write_text(
+            json.dumps(result, indent=2, sort_keys=True))
+        print(f"saved {arguments.json}")
+    verdict = result["verdict"]
+    print(f"verdict:       {'PASS' if verdict['passed'] else 'FAIL'} "
+          f"({verdict['mode']})")
+    print(f"traces:        {result['n_traces']} "
+          f"({'/'.join(str(c) for c in result['cycles'])} cycles)")
+    print(f"total energy:  {result['total_pj'] / 1e6:.3f} uJ")
+    print(f"trace digest:  {result['trace_digest']}")
+    print(f"engines:       {result['engines']} "
+          f"(cache {'hit' if result['cache_hit'] else 'miss'})")
+    print(f"wall time:     {result['wall_s']:.3f} s")
+    return 0
+
+
 def cmd_experiments(arguments: argparse.Namespace) -> int:
     from .harness.experiments import EXPERIMENTS
 
@@ -509,6 +598,104 @@ def build_parser() -> argparse.ArgumentParser:
                                    help="list registered experiments")
     p_list.set_defaults(func=cmd_experiments)
 
+    p_serve = subparsers.add_parser(
+        "serve", help="run the leakage-assessment daemon (HTTP JSON API)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8734,
+                         help="TCP port (0 = ephemeral; the bound port is "
+                              "announced as a JSON line on stdout)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="executor threads serving requests "
+                              "concurrently (default 2)")
+    p_serve.add_argument("-j", "--jobs", type=int, default=1,
+                         help="worker processes per request for trace "
+                              "collection (default 1 = in-thread)")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         dest="queue_depth",
+                         help="admission queue bound; beyond it submissions "
+                              "get a typed 429 with Retry-After (default 64)")
+    p_serve.add_argument("--retries", type=int, default=2,
+                         help="per-job retries for crashed/timed-out batch "
+                              "jobs inside a request (default 2)")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         dest="job_timeout", metavar="SECONDS",
+                         help="wall-clock budget per batch job (pools only)")
+    p_serve.add_argument("--chunk-size", type=int, default=16,
+                         dest="chunk_size",
+                         help="traces per scheduling chunk; deadlines and "
+                              "drain are enforced at chunk boundaries "
+                              "(default 16)")
+    p_serve.add_argument("--default-deadline", type=float, default=None,
+                         dest="default_deadline", metavar="SECONDS",
+                         help="deadline applied to requests that do not "
+                              "carry their own deadline_s")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         dest="breaker_threshold",
+                         help="consecutive worker crashes before a program "
+                              "is quarantined (default 3)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         dest="breaker_cooldown", metavar="SECONDS",
+                         help="quarantine duration before a half-open "
+                              "probe is admitted (default 30)")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         dest="drain_grace", metavar="SECONDS",
+                         help="seconds to let in-flight requests finish on "
+                              "SIGTERM before cancelling (default 30)")
+    p_serve.add_argument("--journal", metavar="PATH",
+                         help="durable JSON-lines request journal; on "
+                              "restart GET /v1/recovery accounts for every "
+                              "request the previous daemon accepted")
+    p_serve.add_argument("--manifest-out", metavar="PATH",
+                         dest="manifest_out",
+                         help="write the SLO metrics manifest here during "
+                              "graceful drain")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = subparsers.add_parser(
+        "submit", help="submit one assessment request to a daemon")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8734",
+                          help="daemon base URL (default "
+                               "http://127.0.0.1:8734)")
+    p_submit.add_argument("--local", action="store_true",
+                          help="skip the daemon and run the request "
+                               "in-process on the batch engine (results "
+                               "are bit-identical to the service)")
+    p_submit.add_argument("--mode", default="pair",
+                          choices=["pair", "population"])
+    p_submit.add_argument("--masking", default="selective",
+                          choices=["selective", "annotate-only", "none"])
+    p_submit.add_argument("--policy", default=None,
+                          help="masking policy name (service default "
+                               "applies when omitted)")
+    p_submit.add_argument("--rounds", type=int, default=16)
+    p_submit.add_argument("--n-traces", type=int, default=2,
+                          dest="n_traces",
+                          help="traces to collect (pair mode uses 2)")
+    p_submit.add_argument("--key", help="DES key as a hex word64")
+    p_submit.add_argument("--key-b", dest="key_b",
+                          help="second key for pair mode (hex word64)")
+    p_submit.add_argument("--noise-sigma", type=float, default=0.0,
+                          dest="noise_sigma")
+    p_submit.add_argument("--seed", type=int, default=1234)
+    p_submit.add_argument("--engine", default=None,
+                          choices=["reference", "fast", "vector"])
+    p_submit.add_argument("--client", default="cli",
+                          help="client identity for fair scheduling")
+    p_submit.add_argument("--priority", default="normal",
+                          choices=["high", "normal", "low"])
+    p_submit.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-request deadline; a miss returns a "
+                               "typed deadline_exceeded error")
+    p_submit.add_argument("-j", "--jobs", type=int, default=1,
+                          help="worker processes when running --local")
+    p_submit.add_argument("--timeout", type=float, default=300.0,
+                          help="client-side wait budget in seconds "
+                               "(default 300)")
+    p_submit.add_argument("--json", metavar="PATH",
+                          help="save the full result document as JSON")
+    p_submit.set_defaults(func=cmd_submit)
+
     p_obs = subparsers.add_parser(
         "obs", help="inspect observability artifacts (run manifests)")
     obs_subparsers = p_obs.add_subparsers(dest="obs_command", required=True)
@@ -553,7 +740,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.func(arguments)
+    from .harness.resilience import BatchInterrupted
+
+    try:
+        return arguments.func(arguments)
+    except BatchInterrupted as interrupted:
+        # Graceful operator stop: checkpointed work is on disk; the
+        # conventional 128+SIGINT exit code tells scripts what happened.
+        print(f"repro: {interrupted}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

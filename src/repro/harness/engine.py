@@ -28,6 +28,7 @@ in-process with behavior identical to calling the runner directly.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -44,6 +45,8 @@ from ..energy.params import DEFAULT_PARAMS, EnergyParams
 from ..energy.trace import EnergyTrace
 from ..isa.program import Program
 from ..masking.policy import MaskingPolicy, apply_policy
+
+logger = logging.getLogger("repro.harness.engine")
 
 
 _FINGERPRINT: Optional[str] = None
@@ -135,6 +138,9 @@ class CacheStats:
 
     hits: int = 0
     misses: int = 0
+    #: Disk-layer write failures (EACCES, ENOSPC, ...).  The first one
+    #: degrades the instance to memory-only writes.
+    disk_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -159,6 +165,13 @@ class CompileCache:
     later process recompiles once instead of re-reading the bad file
     forever; stale ``*.tmp`` files left by crashed writers are swept on
     construction.
+
+    A disk layer that stops accepting writes (read-only mount → EACCES,
+    full volume → ENOSPC) **degrades to memory-only writes** after the
+    first failure — one warning, a ``compile_cache_disk_errors`` obs
+    counter, and no further write attempts — instead of paying a failed
+    syscall per compile forever.  Reads are still attempted: a read-only
+    cache keeps serving hits.
     """
 
     #: ``*.tmp`` files older than this are presumed orphaned by a crashed
@@ -178,6 +191,9 @@ class CompileCache:
         self.directory = Path(directory) if directory is not None else None
         self.memory: dict[str, object] = {}
         self.stats = CacheStats()
+        #: Set after the first disk write failure; writes stop, reads
+        #: continue (see the class docstring).
+        self.disk_write_disabled = False
         self._sweep_stale_tmp()
 
     def _sweep_stale_tmp(self) -> None:
@@ -262,7 +278,7 @@ class CompileCache:
             pass
 
     def _store(self, key: str, artifact: object) -> None:
-        if self.directory is None:
+        if self.directory is None or self.disk_write_disabled:
             return
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -271,8 +287,18 @@ class CompileCache:
             with os.fdopen(handle, "wb") as stream:
                 pickle.dump(artifact, stream)
             os.replace(temp_name, self.directory / f"{key}.pkl")
-        except OSError:
-            pass  # caching is best-effort; the compile already succeeded
+        except OSError as error:
+            # Caching is best-effort (the compile already succeeded), but
+            # a dead disk layer should fail once, loudly, not per store.
+            self.disk_write_disabled = True
+            self.stats.disk_errors += 1
+            logger.warning(
+                "compile cache %s: disk write failed (%s); continuing "
+                "memory-only for this process", self.directory, error)
+            if obs.enabled():
+                obs.counter("compile_cache_disk_errors",
+                            "compile caches degraded to memory-only after "
+                            "a disk write failure").inc()
 
 
 _DEFAULT_CACHE: Optional[CompileCache] = None

@@ -49,6 +49,7 @@ import signal
 import threading
 import time
 import traceback as traceback_module
+import zlib
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -74,7 +75,32 @@ BACKOFF_BASE_S = 0.05
 #: Ceiling on a single backoff delay.
 BACKOFF_MAX_S = 2.0
 
-_CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
+#: v2 wraps every record in a CRC-validated frame so a corrupt *middle*
+#: of the journal (bit rot, torn write) is detected, not unpickled.
+_CHECKPOINT_SCHEMA = "repro.checkpoint/v2"
+
+
+class BatchInterrupted(RuntimeError):
+    """The operator interrupted a batch (SIGTERM/SIGINT).
+
+    Raised by :func:`execute_batch` after an orderly stop: in-flight
+    pool workers are killed, every completed job is already fsync'd in
+    the checkpoint journal (when one is active), and a final forced
+    heartbeat records how far the batch got.  A rerun with the same
+    ``checkpoint=`` path resumes from ``done`` completed jobs.
+    """
+
+    def __init__(self, signum: int, done: int, total: int):
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(
+            f"batch interrupted by {name} after {done}/{total} job(s); "
+            "checkpointed work is preserved")
+        self.signum = signum
+        self.done = done
+        self.total = total
 
 
 class JobTimeout(RuntimeError):
@@ -324,6 +350,63 @@ def _pool_attempt(index: int, job, attempt: int,
 
 
 # ---------------------------------------------------------------------------
+# Graceful interrupt (SIGTERM/SIGINT)
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def _interrupt_guard():
+    """Convert SIGTERM/SIGINT into a cooperative stop flag for the batch.
+
+    Yields a zero-argument callable returning the received signal number
+    (or ``None``); schedulers poll it between jobs/attempts.  Handlers
+    only install on the main thread of the main interpreter — elsewhere
+    (service executor threads, pool workers) this is a no-op and whoever
+    owns the process keeps its own signal discipline.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield lambda: None
+        return
+    received: dict[str, int] = {}
+
+    def _handler(signum, frame):
+        received.setdefault("signum", signum)
+
+    previous = {}
+    try:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _handler)
+    except (ValueError, OSError):  # embedded interpreter oddities
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        yield lambda: None
+        return
+    try:
+        yield lambda: received.get("signum")
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+def _finalize_interrupt(state: "_BatchState", signum: int) -> None:
+    """Orderly end of an interrupted batch: heartbeat, count, raise.
+
+    The checkpoint journal needs no explicit flush — every record was
+    written as one fsync'd frame at completion time.
+    """
+    counter = _obs_counter("batch_interrupts",
+                           "batches stopped by SIGTERM/SIGINT")
+    if counter is not None:
+        counter.inc()
+    reporter = obs_progress.current()
+    if reporter is not None:
+        reporter.heartbeat(force=True)
+    logger.warning("batch interrupted (%d/%d done); checkpointed work "
+                   "is preserved", state.done, state.total)
+    raise BatchInterrupted(signum, done=state.done, total=state.total)
+
+
+# ---------------------------------------------------------------------------
 # Checkpoint journal
 # ---------------------------------------------------------------------------
 
@@ -358,12 +441,16 @@ class CheckpointJournal:
     """Append-only journal of completed jobs for one batch.
 
     The file holds consecutive pickle frames: a header
-    ``{"schema", "digest", "total"}`` followed by ``(index, JobResult)``
-    records.  Appends write one complete frame and fsync, so a crash can
-    only truncate the tail — the loader stops at the first partial frame
-    and the next run simply recomputes that job.  A journal whose header
-    digest does not match the batch (the sweep's content changed) is
-    discarded and rewritten, never partially reused.
+    ``{"schema", "digest", "total"}`` followed by record frames
+    ``(crc32, payload)`` where ``payload`` pickles to
+    ``(index, JobResult)``.  Appends write one complete frame and fsync,
+    so a crash can only truncate the tail; the CRC additionally catches
+    a corrupt frame in the *middle* of the file (bit rot, torn write on
+    a weird filesystem).  The loader trusts records strictly up to the
+    first bad frame — everything at and after it is recomputed, never
+    returned as garbage.  A journal whose header schema or digest does
+    not match the batch (older format, or the sweep's content changed)
+    is discarded and rewritten, never partially reused.
     """
 
     def __init__(self, path: Union[str, Path], digest: str,
@@ -391,23 +478,33 @@ class CheckpointJournal:
                         fresh = False
                         while True:
                             try:
-                                index, result = pickle.load(stream)
+                                frame = pickle.load(stream)
                             except EOFError:
                                 break
                             except (pickle.PickleError, ValueError,
                                     TypeError, AttributeError):
                                 logger.warning(
-                                    "checkpoint %s: truncated tail frame "
-                                    "ignored (crashed writer?)", path)
+                                    "checkpoint %s: unreadable frame after "
+                                    "%d record(s) (truncated tail or "
+                                    "corruption); recomputing the rest",
+                                    path, len(completed))
                                 break
+                            record = cls._decode_frame(frame)
+                            if record is None:
+                                logger.warning(
+                                    "checkpoint %s: CRC mismatch after %d "
+                                    "record(s); trusting nothing past it",
+                                    path, len(completed))
+                                break
+                            index, result = record
                             if isinstance(index, int) \
                                     and 0 <= index < len(batch):
                                 completed[index] = result
                     else:
                         logger.warning(
-                            "checkpoint %s: batch digest mismatch "
-                            "(stale sweep definition); starting fresh",
-                            path)
+                            "checkpoint %s: schema or batch digest "
+                            "mismatch (older format or stale sweep "
+                            "definition); starting fresh", path)
             except (OSError, pickle.PickleError, EOFError):
                 logger.warning("checkpoint %s: unreadable; starting fresh",
                                path)
@@ -420,12 +517,38 @@ class CheckpointJournal:
                 os.fsync(stream.fileno())
         return cls(path, digest, completed, total=len(batch))
 
+    @staticmethod
+    def _decode_frame(frame):
+        """``(index, result)`` from a v2 frame, or ``None`` if corrupt.
+
+        The CRC is checked *before* the payload is unpickled, so a
+        flipped bit can only ever be rejected — never deserialized into
+        a plausible-looking result.
+        """
+        if (not isinstance(frame, tuple) or len(frame) != 2
+                or not isinstance(frame[1], (bytes, bytearray))
+                or zlib.crc32(frame[1]) != frame[0]):
+            return None
+        try:
+            record = pickle.loads(frame[1])
+        except (pickle.PickleError, ValueError, TypeError,
+                AttributeError, EOFError):
+            return None
+        if not isinstance(record, tuple) or len(record) != 2:
+            return None
+        return record
+
+    @staticmethod
+    def _encode_frame(index: int, result) -> bytes:
+        payload = pickle.dumps((index, result))
+        return pickle.dumps((zlib.crc32(payload), payload))
+
     def record(self, index: int, result) -> None:
         """Append one completed job; best-effort (never fails the batch)."""
         if index in self.completed:
             return
         try:
-            frame = pickle.dumps((index, result))
+            frame = self._encode_frame(index, result)
             with self.path.open("ab") as stream:
                 stream.write(frame)
                 stream.flush()
@@ -462,6 +585,9 @@ class _BatchState:
         self.journal = journal
         self.slots: list = [None] * self.total
         self.done = 0
+        #: Zero-arg callable → received signal number or ``None``;
+        #: installed by :func:`execute_batch`'s interrupt guard.
+        self.interrupt_check: Callable[[], Optional[int]] = lambda: None
 
     def skip_completed(self) -> list[int]:
         """Fill slots from the journal; returns the indices still to run."""
@@ -556,6 +682,11 @@ def execute_batch(batch: Sequence, jobs: int = 1, progress=None,
     :class:`JobFailure` in that job's slot under ``collect``/``retry``
     when it ultimately failed.  ``raise`` re-raises the first failure
     (seed-compatible) after cancelling pending work.
+
+    On the main thread, SIGTERM/SIGINT stop the batch gracefully:
+    workers are killed, checkpointed results stay on disk, and
+    :class:`BatchInterrupted` is raised instead of the process dying
+    mid-write.
     """
     validate_batch_options(failure_policy, retries)
     max_attempts = 1 + (retries if failure_policy == "retry" else 0)
@@ -566,10 +697,12 @@ def execute_batch(batch: Sequence, jobs: int = 1, progress=None,
     pending = state.skip_completed()
     if not pending:
         return state.slots
-    if jobs <= 1 or len(pending) <= 1:
-        _run_serial(state, pending)
-    else:
-        _run_pool(state, pending, jobs)
+    with _interrupt_guard() as check:
+        state.interrupt_check = check
+        if jobs <= 1 or len(pending) <= 1:
+            _run_serial(state, pending)
+        else:
+            _run_pool(state, pending, jobs)
     return state.slots
 
 
@@ -671,7 +804,10 @@ def _run_pool(state: _BatchState, pending: Sequence[int],
             counter.inc()
         casualties = list(inflight.values())
         inflight.clear()
-        pool.shutdown(wait=False, cancel_futures=True)
+        # _kill_pool, not a bare shutdown(wait=False): a broken pool can
+        # strand its surviving workers blocked on the call queue, and the
+        # non-daemon executor manager thread then hangs interpreter exit.
+        _kill_pool(pool)
         if state.failure_policy == "raise":
             raise error
         for index, attempt, start in casualties:
@@ -695,6 +831,11 @@ def _run_pool(state: _BatchState, pending: Sequence[int],
 
     try:
         while queue or inflight:
+            signum = state.interrupt_check()
+            if signum is not None:
+                _kill_pool(pool)
+                pool = None
+                _finalize_interrupt(state, signum)
             if pool is None:
                 # Degraded: drain everything still queued serially.
                 remaining = sorted(index for _, index, _ in queue)
@@ -805,6 +946,9 @@ def _serial_from_attempt(state: _BatchState, index: int,
     job = state.batch[index]
     attempt = max(1, first_attempt)
     while True:
+        signum = state.interrupt_check()
+        if signum is not None:
+            _finalize_interrupt(state, signum)
         outcome = run_attempt(index, job, attempt, state.job_timeout)
         if _is_result(outcome):
             state.succeed(index, outcome)

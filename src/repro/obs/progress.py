@@ -22,10 +22,13 @@ from __future__ import annotations
 
 import contextlib
 import json
+import logging
 import os
 import sys
 import time
 from typing import Callable, Optional, TextIO
+
+logger = logging.getLogger("repro.obs.progress")
 
 #: Opt-in env var: ``-`` or ``stderr`` streams heartbeats to stderr, any
 #: other value is treated as a path opened in append mode.
@@ -42,12 +45,21 @@ class ProgressSink:
     ``target`` is ``"-"``/``"stderr"`` for stderr or a filesystem path
     (opened lazily in append mode so parallel campaigns interleave whole
     lines rather than truncating each other).
+
+    Telemetry must never kill the campaign it narrates: a consumer that
+    goes away mid-run (``tail`` killed → EPIPE, disk full, file deleted)
+    disables the sink after the first write error — subsequent records
+    are counted in :attr:`dropped` and the batch runs to completion.
     """
 
     def __init__(self, target: str):
         self.target = target
         self._stream: Optional[TextIO] = None
         self._owns_stream = False
+        #: Set after the first write error; the sink is dead from then on.
+        self.disabled = False
+        #: Heartbeats discarded because the sink was disabled.
+        self.dropped = 0
 
     def _ensure_stream(self) -> TextIO:
         if self._stream is None:
@@ -59,13 +71,34 @@ class ProgressSink:
         return self._stream
 
     def emit(self, record: dict) -> None:
-        stream = self._ensure_stream()
-        stream.write(json.dumps(record, sort_keys=True) + "\n")
-        stream.flush()
+        if self.disabled:
+            self.dropped += 1
+            return
+        try:
+            stream = self._ensure_stream()
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+            stream.flush()
+        except (OSError, ValueError) as error:
+            # ValueError covers writes to a stream something else closed.
+            self.disabled = True
+            self.dropped += 1
+            logger.warning("progress sink %s: write failed (%s); progress "
+                           "telemetry disabled for the rest of the run",
+                           self.target, error)
+            from repro import obs
+
+            if obs.enabled():
+                obs.counter("progress_sink_errors",
+                            "progress sinks disabled after a write error") \
+                    .inc()
+            self.close()
 
     def close(self) -> None:
         if self._owns_stream and self._stream is not None:
-            self._stream.close()
+            try:
+                self._stream.close()
+            except OSError:
+                pass  # a broken pipe may refuse even the close flush
         self._stream = None
         self._owns_stream = False
 

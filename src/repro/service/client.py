@@ -1,0 +1,160 @@
+"""Stdlib HTTP client for the leakage-assessment daemon.
+
+:class:`ServiceClient` speaks the :mod:`repro.service.server` API with
+``urllib`` only, and decodes non-2xx answers back into the *same* typed
+exceptions the in-process service raises
+(:mod:`repro.service.errors`), so calling code is transport-agnostic::
+
+    client = ServiceClient("http://127.0.0.1:8734")
+    try:
+        result = client.assess({"mode": "pair", "masking": "selective"})
+    except AdmissionRejected as busy:
+        time.sleep(busy.retry_after_s or 1.0)
+
+Used by ``repro submit`` and by the smoke/chaos suites.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Optional, Union
+
+from .errors import ServiceError, error_from_dict
+from .protocol import AssessRequest
+
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceClient:
+    """Thin typed wrapper over the daemon's JSON API."""
+
+    def __init__(self, base_url: str,
+                 timeout_s: float = DEFAULT_TIMEOUT_S):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- transport ------------------------------------------------------
+
+    def _call_raw(self, method: str, path: str,
+                  payload: Optional[dict] = None,
+                  timeout_s: Optional[float] = None) -> tuple[int, dict]:
+        """One HTTP round trip; non-2xx answers return, never raise —
+        only transport-level failures raise (as retryable
+        :class:`ServiceError`)."""
+        body = json.dumps(payload).encode() if payload is not None \
+            else None
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"})
+        timeout = self.timeout_s if timeout_s is None else timeout_s
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=timeout) as response:
+                return response.status, json.loads(response.read()
+                                                   or b"{}")
+        except urllib.error.HTTPError as http_error:
+            try:
+                document = json.loads(http_error.read() or b"{}")
+            except json.JSONDecodeError:
+                document = {"error": {
+                    "code": "service_error",
+                    "message": f"HTTP {http_error.code} from {path} "
+                               "without a JSON body"}}
+            return http_error.code, document
+        except urllib.error.URLError as network_error:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{getattr(network_error, 'reason', network_error)}",
+                retry_after_s=1.0)
+
+    def _call(self, method: str, path: str,
+              payload: Optional[dict] = None,
+              timeout_s: Optional[float] = None) -> dict:
+        """Round trip that raises the typed error on failure statuses.
+
+        A terminal lifecycle document (it carries ``state``) is returned
+        even on a failure status — the caller inspects it; pure error
+        bodies (submission rejections) raise.
+        """
+        status, document = self._call_raw(method, path, payload,
+                                          timeout_s)
+        if status >= 400 and "state" not in document:
+            raise error_from_dict(document)
+        return document
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, request: Union[dict, AssessRequest],
+               wait_s: Optional[float] = None) -> dict:
+        """Submit; returns the lifecycle document (maybe non-terminal).
+
+        Typed submission rejections (400/429/503) raise; terminal
+        failure states reached while waiting are returned as documents
+        (see :meth:`assess` for the raising form).
+        """
+        payload = request.to_dict() \
+            if isinstance(request, AssessRequest) else dict(request)
+        path = "/v1/requests"
+        if wait_s is not None:
+            path += f"?wait={float(wait_s)}"
+        timeout = None if wait_s is None else wait_s + self.timeout_s
+        return self._call("POST", path, payload, timeout_s=timeout)
+
+    def assess(self, request: Union[dict, AssessRequest],
+               timeout_s: float = 300.0,
+               poll_s: float = 0.25) -> dict:
+        """Submit and block until the result document; typed errors raise.
+
+        Long-polls the daemon until the request is terminal or
+        ``timeout_s`` elapses client-side.
+        """
+        document = self.submit(request, wait_s=min(timeout_s, 30.0))
+        deadline = time.monotonic() + timeout_s
+        while not document.get("terminal"):
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"request {document.get('id')} still "
+                    f"{document.get('state')} after {timeout_s}s "
+                    "(client-side wait budget)")
+            time.sleep(poll_s)
+            document = self.status(
+                document["id"],
+                wait_s=min(30.0, max(deadline - time.monotonic(), 0.0)))
+        if document.get("state") != "done":
+            raise error_from_dict(document)
+        return document["result"]
+
+    def status(self, request_id: str,
+               wait_s: Optional[float] = None) -> dict:
+        """Lifecycle document of one request, whatever its state.
+
+        Raises only for transport failures and unknown ids — terminal
+        failure states come back as documents (their ``error`` field
+        carries the typed detail), so accounting loops can fold every
+        outcome without exception plumbing.
+        """
+        path = f"/v1/requests/{request_id}"
+        if wait_s is not None:
+            path += f"?wait={max(float(wait_s), 0.0)}"
+        timeout = None if wait_s is None else wait_s + self.timeout_s
+        return self._call("GET", path, timeout_s=timeout)
+
+    def health(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def ready(self) -> tuple[bool, dict]:
+        """``(ready, document)`` — a 503 is an answer, not an error."""
+        status, document = self._call_raw("GET", "/readyz")
+        return status == 200, document
+
+    def metrics(self) -> dict:
+        return self._call("GET", "/metrics")
+
+    def recovery(self) -> dict:
+        return self._call("GET", "/v1/recovery")
+
+    def requests(self) -> list[dict]:
+        return self._call("GET", "/v1/requests")["requests"]

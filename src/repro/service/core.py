@@ -1,0 +1,421 @@
+"""The long-lived leakage-assessment service (transport-agnostic core).
+
+:class:`LeakageService` owns the whole request lifecycle and none of the
+sockets — the HTTP layer (:mod:`repro.service.server`) is a thin adapter
+over it, and tests drive it in-process.  The invariant it maintains is
+the one the chaos suite asserts: **every submitted request ends in
+exactly one terminal state** — a result, a typed admission rejection, a
+typed timeout, a typed failure, or a typed shutdown error — and each
+transition is journaled durably.
+
+Request flow::
+
+    submit() ── validation ──> InvalidRequest (400)
+           ├── breaker gate ──> ProgramQuarantined (503 + Retry-After)
+           ├── drain gate ────> ShuttingDown (503)
+           ├── bounded queue ─> AdmissionRejected (429 + Retry-After)
+           └── queued ── executor thread ── running ──> done / failed /
+                                                        timed_out
+    drain() ── queued requests ──> shutdown (typed, nothing lost)
+            └─ in-flight ───────> allowed to finish (cancel event only
+                                   fires when drain_grace_s expires)
+
+Executor threads run requests on the shared batch engine
+(:func:`repro.service.executor.execute_assessment`) with one **warm
+process-wide** :class:`~repro.harness.engine.CompileCache`, so the
+compile cost of a design-iteration loop is paid once, not per request.
+
+SLO metrics (queue depth, p50/p95/p99 latency, goodput, rejections,
+breaker state) live in a service-owned
+:class:`~repro.obs.registry.MetricsRegistry` — deliberately *not* the
+global obs context, so serving requests never toggles the global sink
+and trace energies stay bit-identical to the batch CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..harness.engine import CompileCache, default_cache
+from ..obs.registry import MetricsRegistry
+from . import protocol
+from .breaker import CircuitBreaker
+from .errors import (RequestNotFound, ServiceError, ShuttingDown)
+from .executor import ExecutionFailed, execute_assessment
+from .journal import RequestJournal
+from .protocol import AssessRequest, RequestRecord
+from .queue import AdmissionQueue
+
+logger = logging.getLogger("repro.service")
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance (all have safe defaults)."""
+
+    #: Executor threads (concurrent requests in flight).
+    workers: int = 2
+    #: Pool worker processes per request batch (1 = in-thread serial).
+    jobs: int = 1
+    #: Bounded admission-queue depth.
+    queue_depth: int = 64
+    #: Per-trace retry budget against worker crashes.
+    retries: int = 2
+    #: Wall-clock bound per trace under a worker pool (None = unbounded).
+    job_timeout: Optional[float] = None
+    #: Traces per engine call — the cancellation granularity.
+    chunk_size: int = 16
+    #: Deadline applied when a request does not carry its own.
+    default_deadline_s: Optional[float] = None
+    #: Consecutive worker-crashing requests that trip the breaker.
+    breaker_threshold: int = 3
+    #: Quarantine period before a half-open probe.
+    breaker_cooldown_s: float = 30.0
+    #: Seconds drain() waits for in-flight work before cancelling it.
+    drain_grace_s: float = 30.0
+    #: Durable request journal path (None = not journaled).
+    journal: Optional[Union[str, Path]] = None
+    #: Run-manifest path written on drain (None = not written).
+    manifest_out: Optional[Union[str, Path]] = None
+    #: Completed records kept for status queries.
+    history_limit: int = 1024
+
+
+class LeakageService:
+    """Transport-agnostic daemon core; see the module docstring."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 cache: Optional[CompileCache] = None):
+        self.config = config or ServiceConfig()
+        self.cache = cache if cache is not None else default_cache()
+        self.queue = AdmissionQueue(max_depth=self.config.queue_depth)
+        self.breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s)
+        self.journal = RequestJournal(self.config.journal) \
+            if self.config.journal else None
+        self.registry = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self._records_lock = threading.Lock()
+        self._records: dict[str, RequestRecord] = {}
+        self._order: list[str] = []
+        self._draining = threading.Event()
+        self._cancel = threading.Event()
+        self._drain_lock = threading.Lock()
+        self._drain_summary: Optional[dict] = None
+        self._started = time.monotonic()
+        self._inflight = 0
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"assess-worker-{index}", daemon=True)
+            for index in range(max(1, self.config.workers))]
+        for thread in self._threads:
+            thread.start()
+
+    # -- metrics (service-owned registry; one lock, many threads) -------
+
+    def _count(self, name: str, help_text: str = "", value: float = 1,
+               **labels) -> None:
+        with self._metrics_lock:
+            self.registry.counter(name, help_text).inc(value, **labels)
+
+    def _observe(self, name: str, value: float, help_text: str = "",
+                 **labels) -> None:
+        with self._metrics_lock:
+            self.registry.histogram(name, help_text).observe(value,
+                                                             **labels)
+
+    def _set_gauges(self) -> None:
+        with self._metrics_lock:
+            self.registry.gauge(
+                "service_queue_depth",
+                "admitted requests waiting for an executor") \
+                .set(self.queue.depth)
+            self.registry.gauge(
+                "service_inflight",
+                "requests currently executing").set(self._inflight)
+            self.registry.gauge(
+                "service_breaker_open",
+                "program variants currently quarantined") \
+                .set(self.breaker.open_count())
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, payload: Union[dict, AssessRequest]) -> RequestRecord:
+        """Admit one request; returns its record (state ``queued``).
+
+        Raises the typed taxonomy otherwise — and journals rejected
+        submissions too, so the restart accounting covers them.
+        """
+        request = payload if isinstance(payload, AssessRequest) \
+            else AssessRequest.from_dict(payload)
+        record = RequestRecord(request=request)
+        program_key = request.program_key()
+        if self.journal is not None:
+            self.journal.submitted(record.id, request.client,
+                                   request.priority, program_key)
+        try:
+            if self._draining.is_set():
+                raise ShuttingDown("service is draining; request not "
+                                   "admitted")
+            self.breaker.admit(program_key)
+            self.queue.put(record)
+        except ServiceError as error:
+            record.finish(protocol.REJECTED
+                          if error.code == "admission_rejected"
+                          else protocol.SHUTDOWN
+                          if error.code == "shutting_down"
+                          else protocol.REJECTED, error=error)
+            self._remember(record)
+            self._journal_terminal(record)
+            self._count("service_rejections_total",
+                        "submissions rejected before execution",
+                        reason=error.code)
+            self._set_gauges()
+            raise
+        self._remember(record)
+        self._count("service_requests_total",
+                    "requests accepted into the queue",
+                    client=request.client, priority=request.priority)
+        self._set_gauges()
+        return record
+
+    def _remember(self, record: RequestRecord) -> None:
+        with self._records_lock:
+            self._records[record.id] = record
+            self._order.append(record.id)
+            while len(self._order) > self.config.history_limit:
+                stale_id = self._order.pop(0)
+                stale = self._records.get(stale_id)
+                # Never evict a request that has not reached its
+                # terminal state: accounting beats memory here.
+                if stale is not None and stale.terminal.is_set():
+                    del self._records[stale_id]
+                else:
+                    self._order.insert(0, stale_id)
+                    break
+
+    def get(self, request_id: str) -> RequestRecord:
+        with self._records_lock:
+            record = self._records.get(request_id)
+        if record is None:
+            raise RequestNotFound(f"no request {request_id!r}")
+        return record
+
+    def records(self) -> list[RequestRecord]:
+        with self._records_lock:
+            return [self._records[request_id]
+                    for request_id in self._order]
+
+    # -- execution ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            record = self.queue.take(timeout=0.5)
+            if record is None:
+                if self.queue.closed:
+                    return
+                continue
+            with self._records_lock:
+                self._inflight += 1
+            try:
+                self._run_one(record)
+            finally:
+                with self._records_lock:
+                    self._inflight -= 1
+                self._set_gauges()
+
+    def _run_one(self, record: RequestRecord) -> None:
+        request = record.request
+        program_key = request.program_key()
+        deadline = record.deadline_monotonic
+        if deadline is None and self.config.default_deadline_s:
+            deadline = record.submitted_monotonic \
+                + self.config.default_deadline_s
+        if deadline is not None and time.monotonic() > deadline:
+            self._finish(record, protocol.TIMED_OUT,
+                         error=_queued_past_deadline(record))
+            return
+        record.start()
+        self._set_gauges()
+        queued_s = record.started_monotonic - record.submitted_monotonic
+        self._observe("service_queue_seconds", queued_s,
+                      "time from admission to execution start")
+        try:
+            result = execute_assessment(
+                request, cache=self.cache, jobs=self.config.jobs,
+                retries=self.config.retries,
+                job_timeout=self.config.job_timeout,
+                chunk_size=self.config.chunk_size,
+                deadline_monotonic=deadline, cancel=self._cancel)
+        except ShuttingDown as error:
+            self._finish(record, protocol.SHUTDOWN, error=error)
+        except ServiceError as error:  # DeadlineExceeded, ExecutionFailed
+
+            state = protocol.TIMED_OUT \
+                if error.code == "deadline_exceeded" else protocol.FAILED
+            if isinstance(error, ExecutionFailed):
+                if error.crashed_workers:
+                    tripped = self.breaker.record_crash(program_key)
+                    self._count("service_worker_crashes_total",
+                                "requests that crashed pool workers")
+                    if tripped:
+                        self._count("service_breaker_trips_total",
+                                    "circuit-breaker quarantine trips")
+                else:
+                    self.breaker.record_success(program_key)
+            self._finish(record, state, error=error)
+        except Exception as error:  # defensive: daemon must survive
+            logger.exception("request %s failed unexpectedly", record.id)
+            self._finish(record, protocol.FAILED,
+                         error=ServiceError(
+                             f"{type(error).__name__}: {error}"))
+        else:
+            self.breaker.record_success(program_key)
+            self._finish(record, protocol.DONE, result=result)
+
+    def _finish(self, record: RequestRecord, state: str,
+                result: Optional[dict] = None,
+                error: Optional[ServiceError] = None) -> None:
+        record.finish(state, result=result, error=error)
+        self._journal_terminal(record)
+        latency = record.latency_s or 0.0
+        self.queue.observe_service_time(latency)
+        self._observe("service_request_seconds", latency,
+                      "submission-to-terminal latency", outcome=state)
+        self._count("service_terminal_total",
+                    "requests by terminal state", state=state)
+        if state == protocol.DONE:
+            self._count("service_goodput_traces_total",
+                        "traces delivered inside successful results",
+                        value=result["n_traces"] if result else 0)
+
+    def _journal_terminal(self, record: RequestRecord) -> None:
+        if self.journal is None:
+            return
+        detail = record.error.code if record.error is not None else None
+        self.journal.terminal(record.id, record.state, detail=detail)
+
+    # -- health / introspection ----------------------------------------
+
+    def health(self) -> dict:
+        with self._records_lock:
+            inflight = self._inflight
+        terminal = {}
+        for record in self.records():
+            if record.terminal.is_set():
+                terminal[record.state] = terminal.get(record.state, 0) + 1
+        return {
+            "status": "draining" if self._draining.is_set() else "ok",
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "queue_depth": self.queue.depth,
+            "queue_capacity": self.queue.max_depth,
+            "inflight": inflight,
+            "workers": len(self._threads),
+            "workers_alive": sum(1 for thread in self._threads
+                                 if thread.is_alive()),
+            "terminal": dict(sorted(terminal.items())),
+            "breaker_open": self.breaker.open_count(),
+        }
+
+    def ready(self) -> tuple[bool, str]:
+        """Readiness: accepting new work, with live executor threads."""
+        if self._draining.is_set():
+            return False, "draining"
+        if not any(thread.is_alive() for thread in self._threads):
+            return False, "no live executor threads"
+        return True, "ok"
+
+    def metrics_snapshot(self) -> dict:
+        self._set_gauges()
+        with self._metrics_lock:
+            return self.registry.snapshot()
+
+    def recovery_report(self) -> Optional[dict]:
+        if self.journal is None:
+            return None
+        return self.journal.recovery.to_dict()
+
+    # -- drain ----------------------------------------------------------
+
+    def drain(self, grace_s: Optional[float] = None) -> dict:
+        """Graceful shutdown: finish in-flight, fail queued *typed*.
+
+        Returns a summary of what happened to outstanding work.  Runs
+        once: concurrent or repeated calls block on the first drain and
+        return its summary.
+        """
+        with self._drain_lock:
+            if self._drain_summary is not None:
+                return self._drain_summary
+            summary = self._drain(grace_s)
+            self._drain_summary = summary
+            return summary
+
+    def _drain(self, grace_s: Optional[float]) -> dict:
+        grace = self.config.drain_grace_s if grace_s is None else grace_s
+        self._draining.set()
+        abandoned = self.queue.drain()
+        for record in abandoned:
+            record.finish(protocol.SHUTDOWN, error=ShuttingDown(
+                "service shut down before this request started; "
+                "resubmit to a live instance"))
+            self._journal_terminal(record)
+            self._count("service_terminal_total", state=protocol.SHUTDOWN)
+        deadline = time.monotonic() + max(grace, 0.0)
+        for thread in self._threads:
+            thread.join(max(deadline - time.monotonic(), 0.0))
+        if any(thread.is_alive() for thread in self._threads):
+            # Grace expired: cancel in-flight chunked work; give the
+            # threads one more short window to observe the event.
+            self._cancel.set()
+            for thread in self._threads:
+                thread.join(5.0)
+        self._set_gauges()
+        summary = {
+            "drained": True,
+            "queued_failed_typed": len(abandoned),
+            "inflight_finished": sum(
+                1 for record in self.records()
+                if record.state == protocol.DONE),
+            "workers_alive": sum(1 for thread in self._threads
+                                 if thread.is_alive()),
+        }
+        if self.config.manifest_out:
+            summary["manifest"] = str(self._write_manifest())
+        if self.journal is not None:
+            self.journal.close()
+        return summary
+
+    def _write_manifest(self) -> Path:
+        """Publish the session's SLO metrics as a standard run manifest."""
+        from .. import obs
+
+        health = self.health()
+        manifest = obs.build_manifest(
+            experiment_id="service",
+            config={"workers": self.config.workers,
+                    "jobs": self.config.jobs,
+                    "queue_depth": self.config.queue_depth,
+                    "retries": self.config.retries,
+                    "chunk_size": self.config.chunk_size,
+                    "breaker_threshold": self.config.breaker_threshold},
+            summary={"uptime_s": health["uptime_s"],
+                     **{f"terminal_{state}": count
+                        for state, count in health["terminal"].items()}},
+            metrics=self.metrics_snapshot(), spans=[])
+        return obs.write_manifest(manifest, self.config.manifest_out)
+
+
+def _queued_past_deadline(record: RequestRecord):
+    from .errors import DeadlineExceeded
+
+    waited = time.monotonic() - record.submitted_monotonic
+    return DeadlineExceeded(
+        f"request spent {waited:.1f}s queued, past its "
+        f"{record.request.deadline_s}s deadline; never executed")

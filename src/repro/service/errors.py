@@ -1,0 +1,124 @@
+"""Typed error taxonomy of the leakage-assessment service.
+
+Every way a request can fail to produce a result is a distinct
+:class:`ServiceError` subclass carrying a stable machine-readable
+``code`` and the HTTP status the server maps it to.  The same classes
+are raised by the in-process service (:mod:`repro.service.core`), the
+HTTP layer (:mod:`repro.service.server`) and re-raised by the client
+(:mod:`repro.service.client`) after decoding the wire form, so a caller
+catches ``AdmissionRejected`` identically whether it talked to a local
+object or a remote daemon.
+
+The taxonomy mirrors the batch engine's (typed
+:class:`~repro.harness.resilience.JobFailure` / ``JobTimeout`` records
+instead of opaque tracebacks): an overloaded daemon answers with a
+retryable 429, a missed deadline with a 504, a draining daemon with a
+503 — never a hung socket or a stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServiceError(RuntimeError):
+    """Base class: a request ended without a result, for a typed reason."""
+
+    #: Stable machine-readable identifier (wire field ``error.code``).
+    code = "service_error"
+    #: HTTP status the server answers with.
+    http_status = 500
+    #: Whether retrying the identical request later can succeed.
+    retryable = False
+
+    def __init__(self, message: str,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+    def to_dict(self) -> dict:
+        """Wire form: ``{"error": {...}}`` body of a non-2xx response."""
+        payload: dict = {"code": self.code, "message": self.message,
+                         "retryable": self.retryable}
+        if self.retry_after_s is not None:
+            payload["retry_after_s"] = round(float(self.retry_after_s), 3)
+        return {"error": payload}
+
+
+class InvalidRequest(ServiceError):
+    """The request payload failed validation (never admitted)."""
+
+    code = "invalid_request"
+    http_status = 400
+
+
+class RequestNotFound(ServiceError):
+    """No request with that id (expired, or never submitted here)."""
+
+    code = "not_found"
+    http_status = 404
+
+
+class AdmissionRejected(ServiceError):
+    """The bounded admission queue is full; retry after ``retry_after_s``."""
+
+    code = "admission_rejected"
+    http_status = 429
+    retryable = True
+
+
+class ProgramQuarantined(ServiceError):
+    """The circuit breaker is open for this program variant.
+
+    Raised at admission when the requested program repeatedly crashed
+    workers; clears after the breaker's cool-down probe succeeds.
+    """
+
+    code = "program_quarantined"
+    http_status = 503
+    retryable = True
+
+
+class DeadlineExceeded(ServiceError):
+    """The request missed its deadline (queued or mid-execution)."""
+
+    code = "deadline_exceeded"
+    http_status = 504
+
+
+class ShuttingDown(ServiceError):
+    """The daemon is draining: queued work is returned, not dropped."""
+
+    code = "shutting_down"
+    http_status = 503
+    retryable = True
+
+
+class RequestFailed(ServiceError):
+    """Execution failed after the retry budget (typed detail inside)."""
+
+    code = "request_failed"
+    http_status = 500
+
+
+#: ``code`` -> class, for decoding wire errors back into exceptions.
+ERROR_TYPES: dict[str, type] = {
+    cls.code: cls
+    for cls in (ServiceError, InvalidRequest, RequestNotFound,
+                AdmissionRejected, ProgramQuarantined, DeadlineExceeded,
+                ShuttingDown, RequestFailed)
+}
+
+
+def error_from_dict(document: dict) -> ServiceError:
+    """Rebuild the typed exception from its wire form.
+
+    Unknown codes degrade to the base :class:`ServiceError` so a newer
+    daemon never crashes an older client.
+    """
+    payload = document.get("error", document)
+    cls = ERROR_TYPES.get(payload.get("code", ""), ServiceError)
+    error = cls(payload.get("message", "unknown service error"),
+                retry_after_s=payload.get("retry_after_s"))
+    return error

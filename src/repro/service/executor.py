@@ -1,0 +1,181 @@
+"""Request execution: one :class:`AssessRequest` -> one result document.
+
+:func:`execute_assessment` is the *only* place a request's jobs are
+built, so the daemon's executor threads and the batch CLI
+(``repro submit --local``) run literally the same code — the service's
+bit-identity guarantee is structural, not tested-into-existence.  The
+job batch is shaped exactly like :func:`repro.attacks.dpa.collect_traces`
+builds it (per-trace ``noise_seed = index + 1``, ``trace[i]`` labels),
+and the result carries a SHA-256 digest of the stacked energy matrix as
+the identity anchor.
+
+Execution is **chunked** so long requests stay cancellable: between
+chunks the executor consults the deadline and the cancel event and
+raises the matching typed error
+(:class:`~repro.service.errors.DeadlineExceeded` /
+:class:`~repro.service.errors.ShuttingDown`).  A chunk in flight is
+bounded by the request's ``max_cycles`` budget (and, under a worker
+pool, by ``job_timeout``), so cancellation latency is one chunk, not one
+request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..harness.engine import CompileCache, SimJob, default_cache, run_jobs
+from ..harness.resilience import JobFailure
+from .errors import DeadlineExceeded, RequestFailed, ShuttingDown
+from .protocol import SCHEMA, AssessRequest
+
+#: Traces per run_jobs call — the cancellation granularity.
+DEFAULT_CHUNK_SIZE = 16
+
+#: Failure types that indicate the *pool* was abused rather than the
+#: assessment honestly failing — these feed the circuit breaker.
+CRASH_ERROR_TYPES = ("WorkerCrash", "BrokenProcessPool", "GarbageResult")
+
+
+class ExecutionFailed(RequestFailed):
+    """Typed execution failure carrying the batch's failure records."""
+
+    def __init__(self, message: str, failures: list[JobFailure]):
+        super().__init__(message)
+        self.failures = failures
+
+    @property
+    def crashed_workers(self) -> bool:
+        return any(f.error_type in CRASH_ERROR_TYPES
+                   for f in self.failures)
+
+
+def _build_jobs(request: AssessRequest, program) -> list[SimJob]:
+    """The request's job batch — collect_traces-shaped for bit-identity."""
+    from ..attacks.dpa import random_plaintexts
+
+    if request.mode == "pair":
+        pairs = [(request.key, request.plaintext),
+                 (request.key_b, request.plaintext)]
+    else:
+        pairs = [(request.key, plaintext) for plaintext in
+                 random_plaintexts(request.n_traces, seed=request.seed)]
+    return [SimJob(program=program, des_pair=pair,
+                   noise_sigma=request.noise_sigma, noise_seed=index + 1,
+                   label=f"trace[{index}]", max_cycles=request.max_cycles,
+                   engine=request.engine)
+            for index, pair in enumerate(pairs)]
+
+
+def _verdict(request: AssessRequest, results,
+             plaintexts: list[int]) -> dict:
+    """Leakage verdict over the collected traces, per the request mode.
+
+    ``pair`` is the paper's differential form (max |Δ| per region vs the
+    picojoule budget); ``population`` partitions by plaintext LSB — a
+    public, uniformly split selection bit — and judges the peak Welch-t.
+    """
+    from ..obs.leakage import assess_pair, assess_population
+
+    if request.mode == "pair":
+        report = assess_pair(results[0].trace, results[1].trace,
+                             budget_pj=request.budget_pj,
+                             label=f"pair:{request.masking}")
+    else:
+        matrix = np.vstack([result.energy for result in results])
+        partition = np.array([plaintext & 1 for plaintext in plaintexts],
+                             dtype=np.int64)
+        report = assess_population(matrix, partition,
+                                   results[0].markers,
+                                   budget_t=request.budget_t,
+                                   budget_pj=request.budget_pj,
+                                   label=f"tvla:{request.masking}")
+    document = report.to_dict()
+    document["mode"] = request.mode
+    return document
+
+
+def trace_digest(results) -> str:
+    """SHA-256 over the stacked energy rows — the bit-identity anchor."""
+    digest = hashlib.sha256()
+    for result in results:
+        digest.update(np.ascontiguousarray(
+            result.energy, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def execute_assessment(
+        request: AssessRequest, *,
+        cache: Optional[CompileCache] = None,
+        jobs: int = 1,
+        retries: int = 2,
+        job_timeout: Optional[float] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        deadline_monotonic: Optional[float] = None,
+        cancel: Optional[threading.Event] = None,
+        on_chunk: Optional[Callable[[int, int], None]] = None) -> dict:
+    """Run one assessment request to completion in the current thread.
+
+    Raises :class:`DeadlineExceeded` / :class:`ShuttingDown` at chunk
+    boundaries, and :class:`ExecutionFailed` when traces still fail
+    after the retry budget.  Returns the result document (JSON-ready).
+    """
+    start = time.perf_counter()
+    cache = cache if cache is not None else default_cache()
+    compile_request = request.compile_request()
+    hits_before = cache.stats.hits
+    program = cache.program_for(compile_request)
+    cache_hit = cache.stats.hits > hits_before
+    batch = _build_jobs(request, program)
+    plaintexts = [job.des_pair[1] for job in batch]
+
+    results: list = []
+    engines: dict[str, int] = {}
+    for offset in range(0, len(batch), max(chunk_size, 1)):
+        if cancel is not None and cancel.is_set():
+            raise ShuttingDown(
+                f"request cancelled after {len(results)}/{len(batch)} "
+                "traces (service draining)")
+        if deadline_monotonic is not None \
+                and time.monotonic() > deadline_monotonic:
+            raise DeadlineExceeded(
+                f"deadline exceeded after {len(results)}/{len(batch)} "
+                "traces")
+        chunk = batch[offset:offset + max(chunk_size, 1)]
+        # Always the "retry" policy (retries=0 just means one attempt):
+        # failures come back as typed JobFailure records, so a worker
+        # crash feeds the circuit breaker instead of surfacing as a raw
+        # BrokenProcessPool.
+        chunk_results = run_jobs(
+            chunk, jobs=jobs, failure_policy="retry",
+            retries=retries, job_timeout=job_timeout)
+        failures = [r for r in chunk_results if isinstance(r, JobFailure)]
+        if failures:
+            raise ExecutionFailed(
+                f"{len(failures)} trace(s) failed after "
+                f"{retries + 1} attempt(s): "
+                f"{failures[0].error_type}: {failures[0].message}",
+                failures)
+        for result in chunk_results:
+            engines[result.engine] = engines.get(result.engine, 0) + 1
+            results.append(result)
+        if on_chunk is not None:
+            on_chunk(len(results), len(batch))
+
+    cycles = {result.cycles for result in results}
+    return {
+        "schema": SCHEMA,
+        "request": request.to_dict(),
+        "n_traces": len(results),
+        "cycles": sorted(cycles),
+        "trace_digest": trace_digest(results),
+        "total_pj": round(float(sum(r.total_pj for r in results)), 6),
+        "engines": dict(sorted(engines.items())),
+        "cache_hit": cache_hit,
+        "verdict": _verdict(request, results, plaintexts),
+        "wall_s": round(time.perf_counter() - start, 6),
+    }

@@ -1,0 +1,179 @@
+"""Bounded admission queue with priority and per-client fairness.
+
+The queue is where the daemon stays *available under overload*: depth is
+bounded, so a flood of submissions turns into fast typed 429s
+(:class:`~repro.service.errors.AdmissionRejected` with a ``Retry-After``
+estimate) instead of unbounded memory growth and minute-long latency
+tails.  Scheduling is two-level:
+
+* **priority** — ``high`` > ``normal`` > ``low``; a higher bucket is
+  always served first (an interactive design-loop query never waits
+  behind a bulk sweep);
+* **fairness** — within a bucket, clients are served round-robin: each
+  client owns a FIFO sub-queue and the scheduler rotates over clients,
+  so one chatty client queueing 50 requests cannot starve another's
+  single request (it waits behind at most one request per other client,
+  not fifty).
+
+Everything is thread-safe behind one lock + condition; ``close()`` flips
+the queue into drain mode, where ``put`` raises
+:class:`~repro.service.errors.ShuttingDown` and ``drain()`` hands back
+whatever was still queued so the daemon can fail it *typed*, never
+silently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Callable, Optional
+
+from .errors import AdmissionRejected, ShuttingDown
+from .protocol import PRIORITIES, RequestRecord
+
+
+class AdmissionQueue:
+    """Bounded, priority-bucketed, client-fair request queue."""
+
+    def __init__(self, max_depth: int = 64,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        #: One bucket per priority rank; each maps client -> FIFO.  The
+        #: OrderedDict order *is* the round-robin order.
+        self._buckets: list[OrderedDict[str, deque]] = [
+            OrderedDict() for _ in PRIORITIES]
+        self._depth = 0
+        self._closed = False
+        #: Recent service-time estimate feeding the Retry-After hint.
+        self._mean_service_s = 1.0
+
+    # -- producer side --------------------------------------------------
+
+    def put(self, record: RequestRecord) -> int:
+        """Admit one request; returns the queue depth after admission.
+
+        Raises :class:`AdmissionRejected` (with a ``retry_after_s``
+        estimate of when a slot should free up) when full, and
+        :class:`ShuttingDown` once the queue is closed.
+        """
+        with self._available:
+            if self._closed:
+                raise ShuttingDown("service is draining; request not "
+                                   "admitted")
+            if self._depth >= self.max_depth:
+                raise AdmissionRejected(
+                    f"admission queue is full "
+                    f"({self._depth}/{self.max_depth} queued)",
+                    retry_after_s=self.retry_after_hint())
+            bucket = self._buckets[record.request.priority_rank()]
+            client_queue = bucket.get(record.request.client)
+            if client_queue is None:
+                client_queue = bucket[record.request.client] = deque()
+            client_queue.append(record)
+            self._depth += 1
+            self._available.notify()
+            return self._depth
+
+    def retry_after_hint(self) -> float:
+        """Seconds until a queue slot plausibly frees up.
+
+        A full queue drains one slot per completed request, so the hint
+        is one recent mean service time, floored at a second to keep
+        eager clients from hammering the daemon.
+        """
+        return max(1.0, self._mean_service_s)
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Feed one completed request's wall time into the hint (EWMA)."""
+        with self._lock:
+            self._mean_service_s = (0.8 * self._mean_service_s
+                                    + 0.2 * max(float(seconds), 0.0))
+
+    # -- consumer side --------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) \
+            -> Optional[RequestRecord]:
+        """Pop the next request by (priority, client round-robin) order.
+
+        Blocks up to ``timeout`` seconds; returns ``None`` on timeout or
+        once the queue is closed *and* empty.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._available:
+            while True:
+                record = self._pop_locked()
+                if record is not None:
+                    return record
+                if self._closed:
+                    return None
+                remaining = None if deadline is None \
+                    else deadline - self._clock()
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._available.wait(remaining)
+
+    def _pop_locked(self) -> Optional[RequestRecord]:
+        for bucket in self._buckets:
+            while bucket:
+                client, client_queue = next(iter(bucket.items()))
+                if not client_queue:
+                    del bucket[client]  # client drained; drop its slot
+                    continue
+                record = client_queue.popleft()
+                # Rotate: the served client goes to the back of the
+                # round-robin, keeping its remaining requests queued.
+                bucket.move_to_end(client)
+                if not client_queue:
+                    del bucket[client]
+                self._depth -= 1
+                return record
+        return None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked consumer."""
+        with self._available:
+            self._closed = True
+            self._available.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def drain(self) -> list[RequestRecord]:
+        """Close and return every still-queued request (service order).
+
+        The caller owns failing them with a typed shutdown error —
+        nothing queued is ever silently dropped.
+        """
+        self.close()
+        remaining = []
+        with self._lock:
+            while True:
+                record = self._pop_locked()
+                if record is None:
+                    break
+                remaining.append(record)
+        return remaining
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def clients(self) -> list[str]:
+        """Distinct clients currently queued (diagnostics)."""
+        with self._lock:
+            seen: dict[str, None] = {}
+            for bucket in self._buckets:
+                for client, client_queue in bucket.items():
+                    if client_queue:
+                        seen.setdefault(client, None)
+            return list(seen)

@@ -1,0 +1,236 @@
+"""Threaded HTTP JSON API over :class:`~repro.service.core.LeakageService`.
+
+Stdlib-only (``http.server``); one thread per connection on top of the
+service's own executor threads.  Endpoints:
+
+========================  ==================================================
+``POST /v1/requests``     submit; ``?wait=SECONDS`` blocks for the result.
+                          Terminal states map to typed statuses (200 done,
+                          429 queue full + ``Retry-After``, 503 quarantined/
+                          draining, 504 deadline, 500 failed); a request
+                          still running when ``wait`` expires answers 202.
+``GET /v1/requests``      recent request summaries (lifecycle audit).
+``GET /v1/requests/<id>`` one request; ``?wait=SECONDS`` to block.
+``GET /healthz``          liveness + drain state; always 200 while the
+                          process can answer at all.
+``GET /readyz``           admission readiness: 200, or 503 while draining
+                          or with no live executor threads.
+``GET /metrics``          SLO metrics snapshot (p50/p95/p99 latency, queue
+                          depth, goodput, rejections, breaker state).
+``GET /v1/recovery``      restart journal accounting (what a previous,
+                          killed daemon left behind).
+========================  ==================================================
+
+``serve()`` installs SIGTERM/SIGINT handlers that run the graceful
+drain: stop admitting (``readyz`` flips first), let in-flight requests
+finish, fail queued ones with typed shutdown errors, write the SLO
+manifest, close the journal, exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from .core import LeakageService, ServiceConfig
+from .errors import RequestNotFound, ServiceError
+from .protocol import DONE, RequestRecord
+
+logger = logging.getLogger("repro.service.server")
+
+#: Longest single ``?wait=`` a client may ask for (long-polling bound).
+MAX_WAIT_S = 600.0
+#: Submission bodies larger than this are rejected unread.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps the service core onto HTTP; all state lives in the service."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> LeakageService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, document: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = json.dumps(document, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_typed(self, error: ServiceError) -> None:
+        headers = {}
+        if error.retry_after_s is not None:
+            headers["Retry-After"] = str(max(1, round(error.retry_after_s)))
+        self._send_json(error.http_status, error.to_dict(), headers)
+
+    def _wait_seconds(self, query: dict) -> Optional[float]:
+        raw = (query.get("wait") or [None])[0]
+        if raw is None:
+            return None
+        try:
+            return min(max(float(raw), 0.0), MAX_WAIT_S)
+        except ValueError:
+            return None
+
+    def _record_response(self, record: RequestRecord) -> None:
+        """Answer with the record's current lifecycle view."""
+        if not record.terminal.is_set():
+            self._send_json(202, record.to_dict())
+        elif record.state == DONE:
+            self._send_json(200, record.to_dict())
+        else:
+            error = record.error or ServiceError("request ended without "
+                                                 "result or error")
+            document = record.to_dict()
+            headers = {}
+            if error.retry_after_s is not None:
+                headers["Retry-After"] = str(
+                    max(1, round(error.retry_after_s)))
+            self._send_json(error.http_status, document, headers)
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        try:
+            if parsed.path == "/healthz":
+                self._send_json(200, self.service.health())
+            elif parsed.path == "/readyz":
+                ready, reason = self.service.ready()
+                self._send_json(200 if ready else 503,
+                                {"ready": ready, "reason": reason})
+            elif parsed.path == "/metrics":
+                self._send_json(200, self.service.metrics_snapshot())
+            elif parsed.path == "/v1/recovery":
+                report = self.service.recovery_report()
+                if report is None:
+                    self._send_json(200, {"journal": None})
+                else:
+                    self._send_json(200, report)
+            elif parsed.path == "/v1/requests":
+                self._send_json(200, {"requests": [
+                    record.to_dict(include_request=False)
+                    for record in self.service.records()]})
+            elif parsed.path.startswith("/v1/requests/"):
+                request_id = parsed.path.rsplit("/", 1)[1]
+                record = self.service.get(request_id)
+                wait = self._wait_seconds(query)
+                if wait:
+                    record.wait(wait)
+                self._record_response(record)
+            else:
+                self._send_json(404, {"error": {
+                    "code": "not_found",
+                    "message": f"no route {parsed.path}"}})
+        except ServiceError as error:
+            self._send_error_typed(error)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        if parsed.path != "/v1/requests":
+            self._send_json(404, {"error": {
+                "code": "not_found",
+                "message": f"no route POST {parsed.path}"}})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > MAX_BODY_BYTES:
+                raise ServiceError("request body too large")
+            try:
+                payload = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as error:
+                from .errors import InvalidRequest
+
+                raise InvalidRequest(f"body is not valid JSON: {error}")
+            record = self.service.submit(payload)
+        except ServiceError as error:
+            self._send_error_typed(error)
+            return
+        wait = self._wait_seconds(query)
+        if wait:
+            record.wait(wait)
+        self._record_response(record)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """HTTP front end owning a :class:`LeakageService`."""
+
+    daemon_threads = True
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 config: Optional[ServiceConfig] = None,
+                 service: Optional[LeakageService] = None):
+        self.service = service or LeakageService(config)
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+
+def serve(host: str = "127.0.0.1", port: int = 0,
+          config: Optional[ServiceConfig] = None,
+          announce=None, install_signal_handlers: bool = True) -> dict:
+    """Run the daemon until SIGTERM/SIGINT, then drain gracefully.
+
+    ``announce(event_dict)`` is called once with the bound address (the
+    CLI prints it as a JSON line so scripts can discover an ephemeral
+    port).  Returns the drain summary.
+    """
+    server = ServiceServer(host=host, port=port, config=config)
+    stop = threading.Event()
+
+    def _drain_then_stop():
+        # Drain while the HTTP server still answers: /healthz reports
+        # "draining", and clients polling queued/in-flight requests
+        # receive their typed terminal states instead of a dead socket.
+        # Only then stop the listener.
+        server.service.drain()
+        server.shutdown()
+
+    def _trigger_shutdown(signum=None, frame=None):
+        if stop.is_set():
+            return
+        stop.set()
+        # serve_forever() must be stopped from another thread; the
+        # signal handler runs on the main thread mid-poll.
+        threading.Thread(target=_drain_then_stop, daemon=True).start()
+
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, _trigger_shutdown)
+    bound_host, bound_port = server.address
+    if announce is not None:
+        announce({"event": "listening", "host": bound_host,
+                  "port": bound_port, "pid": os.getpid()})
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        # Idempotent: the signal path already drained; an external
+        # shutdown() call reaches a fresh drain here.
+        summary = server.service.drain()
+        server.server_close()
+    if announce is not None:
+        announce({"event": "drained", **summary})
+    return summary

@@ -275,3 +275,37 @@ def test_run_jobs_reporter_from_env(monkeypatch, tmp_path):
                for line in target.read_text().strip().splitlines()]
     assert records[-1]["event"] == "finished"
     assert records[-1]["total"] == 3
+
+
+def test_cache_degrades_to_memory_only_when_disk_writes_fail(
+        tmp_path, caplog):
+    """ISSUE satellite: a full or read-only artifact store must not kill
+    a run — the first failed store disables disk writes with one warning
+    and the cache keeps serving from memory."""
+    import logging
+
+    from repro.programs.des_source import DesProgramSpec
+
+    blocker = tmp_path / "cache"
+    blocker.write_bytes(b"")  # a FILE where the cache dir should be
+    cache = CompileCache(directory=blocker)
+    request = CompileRequest(
+        spec=DesProgramSpec(rounds=0, include_ip=False, include_fp=False),
+        masking="none")
+    with caplog.at_level(logging.WARNING, "repro.harness.engine"):
+        program = cache.program_for(request)  # compile works, store fails
+    assert program.text
+    assert cache.disk_write_disabled
+    assert cache.stats.disk_errors == 1
+    assert "memory-only" in caplog.text
+
+    caplog.clear()
+    other = CompileRequest(
+        spec=DesProgramSpec(rounds=0, include_ip=False, include_fp=False),
+        masking="selective")
+    with caplog.at_level(logging.WARNING, "repro.harness.engine"):
+        cache.program_for(other)              # store short-circuits
+    assert cache.stats.disk_errors == 1       # failed once, loudly, once
+    assert not caplog.records
+    assert cache.program_for(request).text    # memory still serves
+    assert cache.stats.hits == 1

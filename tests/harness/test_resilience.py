@@ -348,3 +348,126 @@ def test_stale_writer_tmp_files_swept_on_construction(tmp_path):
     CompileCache(directory=tmp_path)
     assert not stale.exists()  # orphan swept
     assert live.exists()       # a live writer's file survives
+
+
+# -- checkpoint CRC frames (v2) ---------------------------------------------
+
+
+def _frame_offsets(journal_path):
+    """Byte offsets of each record frame (header excluded)."""
+    offsets = []
+    with journal_path.open("rb") as stream:
+        pickle.load(stream)  # header
+        while True:
+            offsets.append(stream.tell())
+            try:
+                pickle.load(stream)
+            except EOFError:
+                offsets.pop()
+                break
+    return offsets
+
+
+def test_checkpoint_rejects_corrupt_mid_file_frame(tmp_path, caplog,
+                                                   no_fault_plan):
+    """A flipped bit in the *middle* of the journal (bit rot, torn write)
+    must never come back as a plausible result: the CRC rejects the frame
+    before unpickling, everything from it onward is recomputed, and the
+    resumed batch is bit-identical to a clean run."""
+    journal_path = tmp_path / "sweep.ckpt"
+    run_jobs(_batch(4), checkpoint=journal_path)
+    offsets = _frame_offsets(journal_path)
+    assert len(offsets) == 4
+    data = bytearray(journal_path.read_bytes())
+    # Flip one byte deep inside record 1's payload: the outer pickle
+    # still parses, so only the CRC can catch it.
+    data[offsets[1] + (offsets[2] - offsets[1]) // 2] ^= 0xFF
+    journal_path.write_bytes(bytes(data))
+
+    with caplog.at_level(logging.WARNING, "repro.harness.resilience"):
+        journal = CheckpointJournal.open(journal_path, _batch(4))
+    assert set(journal.completed) == {0}  # strict prefix before the rot
+    assert "CRC mismatch" in caplog.text or "unreadable frame" in caplog.text
+    resumed = run_jobs(_batch(4), checkpoint=journal_path)
+    clean = run_jobs(_batch(4))
+    for clean_result, result in zip(clean, resumed):
+        assert np.array_equal(clean_result.energy, result.energy)
+
+
+def test_checkpoint_v1_journal_discarded_not_misread(tmp_path, caplog,
+                                                     no_fault_plan):
+    """Journals from the pre-CRC format are discarded whole — an old
+    frame layout must not be reinterpreted as data."""
+    batch = _batch(3)
+    results = run_jobs(batch)
+    journal_path = tmp_path / "sweep.ckpt"
+    with journal_path.open("wb") as stream:
+        pickle.dump({"schema": "repro.checkpoint/v1",
+                     "digest": batch_digest(batch), "total": 3}, stream)
+        for index, result in enumerate(results):
+            pickle.dump((index, result), stream)  # v1: bare frames, no CRC
+    with caplog.at_level(logging.WARNING, "repro.harness.resilience"):
+        journal = CheckpointJournal.open(journal_path, batch)
+    assert journal.completed == {}
+    assert "schema or batch digest mismatch" in caplog.text
+
+
+# -- graceful interruption (SIGTERM/SIGINT) ---------------------------------
+
+
+def test_sigterm_interrupts_serial_batch_preserving_checkpoint(
+        tmp_path, no_fault_plan):
+    """ISSUE satellite: SIGTERM mid-batch flushes the checkpoint, raises
+    a typed BatchInterrupted (CLI exits nonzero), and the resumed run is
+    bit-identical; the previous signal disposition is restored."""
+    import os
+    import signal as signal_module
+
+    from repro.harness.resilience import BatchInterrupted
+
+    journal_path = tmp_path / "sweep.ckpt"
+    before = signal_module.getsignal(signal_module.SIGTERM)
+
+    def fire(done, total):
+        if done == 2:
+            os.kill(os.getpid(), signal_module.SIGTERM)
+
+    with pytest.raises(BatchInterrupted) as excinfo:
+        run_jobs(_batch(), checkpoint=journal_path, progress=fire)
+    assert excinfo.value.done == 2 and excinfo.value.total == 6
+    assert "SIGTERM" in str(excinfo.value)
+    assert signal_module.getsignal(signal_module.SIGTERM) is before
+
+    journal = CheckpointJournal.open(journal_path, _batch())
+    assert set(journal.completed) == {0, 1}  # interrupted work persisted
+    resumed = run_jobs(_batch(), checkpoint=journal_path)
+    clean = run_jobs(_batch())
+    for clean_result, result in zip(clean, resumed):
+        assert np.array_equal(clean_result.energy, result.energy)
+
+
+@pytest.mark.slow
+def test_sigint_interrupts_pool_batch_preserving_checkpoint(
+        tmp_path, no_fault_plan):
+    import os
+    import signal as signal_module
+
+    from repro.harness.resilience import BatchInterrupted
+
+    journal_path = tmp_path / "sweep.ckpt"
+
+    def fire(done, total):
+        if done == 2:
+            os.kill(os.getpid(), signal_module.SIGINT)
+
+    with pytest.raises(BatchInterrupted) as excinfo:
+        run_jobs(_batch(), jobs=3, checkpoint=journal_path, progress=fire)
+    assert excinfo.value.done >= 2
+    assert "SIGINT" in str(excinfo.value)
+
+    journal = CheckpointJournal.open(journal_path, _batch())
+    assert len(journal.completed) >= 2  # pool completions are unordered
+    resumed = run_jobs(_batch(), checkpoint=journal_path)
+    clean = run_jobs(_batch())
+    for clean_result, result in zip(clean, resumed):
+        assert np.array_equal(clean_result.energy, result.energy)

@@ -173,3 +173,69 @@ def test_interval_from_env_falls_back_on_garbage(monkeypatch):
     assert progress.interval_from_env() == progress.DEFAULT_INTERVAL_S
     monkeypatch.setenv(progress.INTERVAL_ENV, "-3")
     assert progress.interval_from_env() == 0.0
+
+
+# -- sink survives a vanished consumer (EPIPE, closed stream) ---------------
+
+
+def test_sink_survives_closed_stream_and_counts_drops(tmp_path, caplog):
+    """Telemetry must never kill the campaign: a stream closed under the
+    sink disables it after one warning; later emits are counted, not
+    raised."""
+    import logging
+
+    target = tmp_path / "progress.jsonl"
+    sink = progress.ProgressSink(str(target))
+    sink.emit({"event": "hb"})
+    sink._stream.close()                     # consumer vanished
+    with caplog.at_level(logging.WARNING, "repro.obs.progress"):
+        sink.emit({"event": "hb"})           # must not raise
+    assert sink.disabled and sink.dropped == 1
+    assert "telemetry disabled" in caplog.text
+    sink.emit({"event": "hb"})               # silent, counted
+    assert sink.dropped == 2
+    assert len(caplog.records) == 1          # warned exactly once
+    assert len(read_jsonl(target)) == 1      # only the pre-failure record
+
+
+def test_sink_survives_real_epipe(tmp_path):
+    """An actual broken pipe (``tail`` killed mid-run): write into a pipe
+    whose read end is gone."""
+    import os
+
+    read_fd, write_fd = os.pipe()
+    fifo_stream = os.fdopen(write_fd, "w", encoding="utf-8")
+    sink = progress.ProgressSink(str(tmp_path / "unused"))
+    sink._stream = fifo_stream               # simulate an open consumer
+    sink._owns_stream = True
+    sink.emit({"event": "hb"})
+    os.close(read_fd)                        # consumer dies
+    sink.emit({"padding": "x" * 65536})      # overflow the pipe buffer
+    sink.emit({"event": "hb"})
+    assert sink.disabled
+    assert sink.dropped == 2
+
+
+def test_sink_error_publishes_obs_counter(tmp_path, obs_on):
+    target = tmp_path / "progress.jsonl"
+    sink = progress.ProgressSink(str(target))
+    sink.emit({"event": "hb"})
+    sink._stream.close()
+    sink.emit({"event": "hb"})
+    assert obs.registry().counter("progress_sink_errors").value() == 1
+
+
+def test_reporter_finishes_cleanly_on_a_dead_sink(tmp_path):
+    """The reporter keeps working after its sink dies: heartbeats and the
+    terminal record are dropped, not raised into the batch."""
+    target = tmp_path / "hb.jsonl"
+    sink = progress.ProgressSink(str(target))
+    reporter = progress.ProgressReporter(4, sink=sink, interval_s=0.0,
+                                         clock=FakeClock())
+    reporter.job_done(1)
+    sink._stream.close()
+    reporter.job_done(2)                     # sink dies here, silently
+    reporter.heartbeat(force=True)
+    reporter.finish()
+    assert sink.disabled
+    assert len(read_jsonl(target)) == 1

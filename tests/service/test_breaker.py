@@ -1,0 +1,103 @@
+"""Circuit breaker: trip threshold, cool-down, half-open probe discipline.
+
+Driven with a fake clock so every state transition is deterministic.
+"""
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.errors import ProgramQuarantined
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown_s=30.0, clock=clock)
+
+
+def test_closed_breaker_admits_and_success_resets_count(breaker):
+    breaker.admit("prog")
+    breaker.record_crash("prog")
+    breaker.record_crash("prog")
+    breaker.record_success("prog")  # consecutive count resets
+    breaker.record_crash("prog")
+    breaker.record_crash("prog")
+    breaker.admit("prog")           # still only 2 consecutive: closed
+    assert breaker.open_count() == 0
+
+
+def test_threshold_consecutive_crashes_trip_the_breaker(breaker):
+    assert not breaker.record_crash("prog")
+    assert not breaker.record_crash("prog")
+    assert breaker.record_crash("prog")  # third: trips
+    assert breaker.open_count() == 1
+    with pytest.raises(ProgramQuarantined) as excinfo:
+        breaker.admit("prog")
+    assert excinfo.value.http_status == 503
+    assert excinfo.value.retryable
+    assert excinfo.value.retry_after_s is not None
+    breaker.admit("other-prog")  # quarantine is per program variant
+
+
+def test_half_open_admits_exactly_one_probe(breaker, clock):
+    for _ in range(3):
+        breaker.record_crash("prog")
+    clock.advance(31.0)
+    breaker.admit("prog")  # the probe goes through
+    with pytest.raises(ProgramQuarantined):
+        breaker.admit("prog")  # everyone else still waits on the verdict
+
+
+def test_probe_success_closes_probe_crash_reopens(breaker, clock):
+    for _ in range(3):
+        breaker.record_crash("prog")
+    clock.advance(31.0)
+    breaker.admit("prog")
+    breaker.record_success("prog")
+    breaker.admit("prog")  # closed again, normal service
+    assert breaker.open_count() == 0
+
+    for _ in range(3):
+        breaker.record_crash("prog")
+    clock.advance(31.0)
+    breaker.admit("prog")
+    assert breaker.record_crash("prog")  # probe crash: fresh trip
+    assert breaker.open_count() == 1
+    clock.advance(15.0)
+    with pytest.raises(ProgramQuarantined):  # cool-down restarted
+        breaker.admit("prog")
+
+
+def test_snapshot_reports_state_and_remaining_cooldown(breaker, clock):
+    for _ in range(3):
+        breaker.record_crash("bad")
+    breaker.record_crash("fine")
+    clock.advance(10.0)
+    snapshot = {entry.key: entry for entry in breaker.snapshot()}
+    assert snapshot["bad"].state == "open"
+    assert snapshot["bad"].trips == 1
+    assert snapshot["bad"].retry_after_s == pytest.approx(20.0)
+    assert snapshot["fine"].state == "closed"
+    assert snapshot["fine"].retry_after_s is None
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError, match="threshold"):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError, match="cooldown"):
+        CircuitBreaker(cooldown_s=0)

@@ -1,0 +1,105 @@
+"""HTTP adapter + typed client against a real in-process server."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.core import ServiceConfig
+from repro.service.errors import (InvalidRequest, RequestNotFound,
+                                  ServiceError)
+from repro.service.server import ServiceServer
+
+from .conftest import pair_payload, population_payload
+
+
+@pytest.fixture
+def server():
+    instance = ServiceServer(
+        host="127.0.0.1", port=0,
+        config=ServiceConfig(workers=2, queue_depth=8))
+    thread = threading.Thread(target=instance.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    yield instance
+    instance.shutdown()
+    instance.server_close()
+    instance.service.drain(grace_s=30.0)
+    thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def client(server):
+    host, port = server.address
+    return ServiceClient(f"http://{host}:{port}")
+
+
+def test_health_ready_and_metrics_endpoints(client):
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["workers_alive"] == 2
+    ready, document = client.ready()
+    assert ready and document["ready"]
+    assert "service_queue_depth" in client.metrics()
+
+
+def test_submit_with_wait_returns_the_result_document(client):
+    result = client.assess(pair_payload(), timeout_s=120.0)
+    assert result["n_traces"] == 2
+    assert result["verdict"]["mode"] == "pair"
+    assert len(result["trace_digest"]) == 64
+
+
+def test_async_submit_then_poll_lifecycle(client):
+    document = client.submit(population_payload(n_traces=4))
+    assert document["state"] in ("queued", "running")
+    assert document["id"].startswith("req-")
+    final = client.status(document["id"], wait_s=120.0)
+    assert final["terminal"] and final["state"] == "done"
+    listing = client.requests()
+    assert any(entry["id"] == document["id"] for entry in listing)
+
+
+def test_invalid_request_raises_typed_400(client):
+    with pytest.raises(InvalidRequest, match="rounds"):
+        client.submit(pair_payload(rounds=99))
+
+
+def test_unknown_request_id_raises_typed_404(client):
+    with pytest.raises(RequestNotFound):
+        client.status("req-999999")
+
+
+def test_unknown_route_is_a_json_404(client, server):
+    host, port = server.address
+    status, document = client._call_raw("GET", "/v2/nope")
+    assert status == 404
+    assert document["error"]["code"] == "not_found"
+
+
+def test_malformed_json_body_is_typed_not_a_stack_trace(server):
+    host, port = server.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}/v1/requests", data=b"{definitely not json",
+        method="POST", headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            raise AssertionError(f"unexpected {response.status}")
+    except urllib.error.HTTPError as error:
+        assert error.code == 400
+        document = json.loads(error.read())
+        assert document["error"]["code"] == "invalid_request"
+
+
+def test_unreachable_daemon_is_a_retryable_typed_error():
+    client = ServiceClient("http://127.0.0.1:9")  # discard port: refused
+    with pytest.raises(ServiceError) as excinfo:
+        client.health()
+    assert excinfo.value.retry_after_s is not None
+
+
+def test_recovery_endpoint_without_journal(client):
+    assert client.recovery() == {"journal": None}

@@ -1,0 +1,83 @@
+"""Durable request journal: replay accounting survives kills and rot."""
+
+import json
+
+from repro.service.journal import SCHEMA, RequestJournal, replay
+
+
+def _journal_one_session(path, terminal_states):
+    journal = RequestJournal(path)
+    for index, state in enumerate(terminal_states):
+        request_id = f"req-{index:06d}"
+        journal.submitted(request_id, "client", "normal", "deadbeef")
+        if state is not None:
+            journal.terminal(request_id, state)
+    journal.close()
+    return journal
+
+
+def test_replay_accounts_completed_and_interrupted(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    _journal_one_session(path, ["done", "shutdown", None, "timed_out"])
+    report = replay(path)
+    assert report.completed == {"done": 1, "shutdown": 1, "timed_out": 1}
+    assert report.interrupted == ["req-000002"]  # submitted, never ended
+    assert report.total_submitted == 4
+    assert report.sessions == 1
+    assert report.malformed_lines == 0
+
+
+def test_restart_surfaces_previous_sessions_interrupted(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    _journal_one_session(path, ["done", None])
+    second = RequestJournal(path)  # the restarted daemon
+    assert second.recovery.interrupted == ["req-000001"]
+    assert second.recovery.completed == {"done": 1}
+    second.close()
+    # The restart itself journals what it recovered, for forensics.
+    lines = [json.loads(line)
+             for line in path.read_text().splitlines()]
+    starts = [line for line in lines if line["event"] == "session_start"]
+    assert starts[-1]["recovered_interrupted"] == ["req-000001"]
+
+
+def test_replay_tolerates_truncated_tail(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    _journal_one_session(path, ["done", "done"])
+    payload = path.read_text()
+    path.write_text(payload[:-15])  # SIGKILL mid-append: torn last line
+    report = replay(path)
+    assert report.malformed_lines == 1
+    assert report.completed.get("done", 0) >= 1  # prefix still trusted
+
+
+def test_replay_tolerates_corruption_and_foreign_lines(tmp_path):
+    path = tmp_path / "requests.jsonl"
+    _journal_one_session(path, ["done"])
+    with path.open("a") as stream:
+        stream.write("{not json at all\n")
+        stream.write(json.dumps({"schema": "someone.else/v9",
+                                 "event": "submitted", "id": "x"}) + "\n")
+        stream.write(json.dumps({"schema": SCHEMA, "event": "terminal",
+                                 "id": "req-x", "state": "exploded"})
+                     + "\n")
+    report = replay(path)
+    assert report.malformed_lines == 3
+    assert report.completed == {"done": 1}
+    assert report.interrupted == []
+
+
+def test_missing_journal_is_an_empty_report(tmp_path):
+    report = replay(tmp_path / "never-written.jsonl")
+    assert report.total_submitted == 0
+    assert report.sessions == 0
+
+
+def test_journal_on_dead_disk_degrades_without_raising(tmp_path, caplog):
+    path = tmp_path / "requests.jsonl"
+    journal = RequestJournal(path)
+    journal._stream.close()  # simulate the disk dying under the daemon
+    journal.submitted("req-1", "client", "normal", "k")  # must not raise
+    journal.terminal("req-1", "done")
+    journal.close()
+    assert "journaling disabled" in caplog.text

@@ -1,0 +1,113 @@
+"""Admission queue: bounds, priority, per-client fairness, drain."""
+
+import threading
+
+import pytest
+
+from repro.service.errors import AdmissionRejected, ShuttingDown
+from repro.service.protocol import AssessRequest, RequestRecord
+from repro.service.queue import AdmissionQueue
+
+
+def _record(client="c", priority="normal") -> RequestRecord:
+    return RequestRecord(request=AssessRequest.from_dict(
+        {"rounds": 2, "client": client, "priority": priority}))
+
+
+def test_fifo_within_a_single_client():
+    queue = AdmissionQueue(max_depth=8)
+    records = [_record() for _ in range(3)]
+    for record in records:
+        queue.put(record)
+    assert [queue.take(0) for _ in range(3)] == records
+    assert queue.take(0) is None  # empty: immediate None, not a hang
+
+
+def test_priority_buckets_are_strictly_ordered():
+    queue = AdmissionQueue(max_depth=8)
+    low = _record(priority="low")
+    normal = _record(priority="normal")
+    high = _record(priority="high")
+    for record in (low, normal, high):
+        queue.put(record)
+    assert queue.take(0) is high
+    assert queue.take(0) is normal
+    assert queue.take(0) is low
+
+
+def test_clients_are_served_round_robin_not_starved():
+    """A chatty client's backlog cannot starve another client: B's one
+    request waits behind at most one of A's, not all four."""
+    queue = AdmissionQueue(max_depth=16)
+    chatty = [_record(client="A") for _ in range(4)]
+    for record in chatty:
+        queue.put(record)
+    lonely = _record(client="B")
+    queue.put(lonely)
+    order = [queue.take(0) for _ in range(5)]
+    assert order[0] is chatty[0]
+    assert order[1] is lonely           # B served after ONE of A's
+    assert order[2:] == chatty[1:]
+
+
+def test_overflow_is_a_typed_429_with_retry_hint():
+    queue = AdmissionQueue(max_depth=2)
+    queue.put(_record())
+    queue.put(_record())
+    with pytest.raises(AdmissionRejected) as excinfo:
+        queue.put(_record())
+    assert excinfo.value.http_status == 429
+    assert excinfo.value.retryable
+    assert excinfo.value.retry_after_s >= 1.0
+    assert queue.depth == 2  # the rejected request was never queued
+
+
+def test_retry_hint_tracks_observed_service_times():
+    queue = AdmissionQueue(max_depth=1)
+    assert queue.retry_after_hint() == 1.0  # floor before any data
+    for _ in range(30):
+        queue.observe_service_time(10.0)
+    assert 5.0 < queue.retry_after_hint() <= 10.0
+
+
+def test_closed_queue_rejects_puts_and_drains_remainder():
+    queue = AdmissionQueue(max_depth=8)
+    stranded = [_record(), _record(priority="high")]
+    for record in stranded:
+        queue.put(record)
+    remaining = queue.drain()
+    assert {record.id for record in remaining} \
+        == {record.id for record in stranded}
+    assert queue.depth == 0
+    with pytest.raises(ShuttingDown):
+        queue.put(_record())
+    assert queue.take(0) is None  # closed + empty: consumers exit
+
+
+def test_take_wakes_a_blocked_consumer_on_put():
+    queue = AdmissionQueue(max_depth=4)
+    taken = []
+    consumer = threading.Thread(
+        target=lambda: taken.append(queue.take(timeout=5.0)))
+    consumer.start()
+    record = _record()
+    queue.put(record)
+    consumer.join(timeout=5.0)
+    assert taken == [record]
+
+
+def test_close_wakes_blocked_consumers():
+    queue = AdmissionQueue(max_depth=4)
+    taken = []
+    consumer = threading.Thread(
+        target=lambda: taken.append(queue.take(timeout=30.0)))
+    consumer.start()
+    queue.close()
+    consumer.join(timeout=5.0)
+    assert not consumer.is_alive()
+    assert taken == [None]
+
+
+def test_invalid_depth_rejected():
+    with pytest.raises(ValueError, match="max_depth"):
+        AdmissionQueue(max_depth=0)

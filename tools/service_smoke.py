@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI smoke for the leakage-assessment daemon (`repro serve`).
+
+Drives a real daemon subprocess through the failure modes the service
+promises to survive, and exits nonzero if any promise is broken:
+
+1. a request served over HTTP is bit-identical to the same request run
+   in-process;
+2. concurrent load trips admission control — the overflow submission is
+   a typed 429 with a ``Retry-After`` hint, and the daemon keeps
+   serving;
+3. a request whose deadline expires while queued ends as a typed 504,
+   never executed;
+4. SIGTERM mid-load drains gracefully: the in-flight request finishes,
+   queued requests end in typed ``shutdown`` states, and the exit code
+   is 0;
+5. the drain writes the SLO manifest (latency quantiles, rejection and
+   terminal-state counters) and the request journal accounts for every
+   submission exactly once.
+
+Usage: ``PYTHONPATH=src python tools/service_smoke.py [--keep DIR]``.
+The manifest/journal land in ``DIR`` (default: a temp dir) so CI can
+upload them as artifacts.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient          # noqa: E402
+from repro.service.errors import AdmissionRejected      # noqa: E402
+from repro.service.executor import execute_assessment   # noqa: E402
+from repro.service.journal import replay                # noqa: E402
+from repro.service.protocol import AssessRequest        # noqa: E402
+
+PAIR = {"mode": "pair", "rounds": 2, "client": "smoke"}
+SLOW = {"mode": "population", "rounds": 2, "n_traces": 8, "seed": 2003,
+        "client": "smoke"}
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"service smoke FAILED: {message}")
+
+
+def poll_until(predicate, timeout_s, message):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise SystemExit(f"service smoke FAILED: timed out waiting for "
+                     f"{message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep", type=Path, default=None,
+                        help="directory for the journal/manifest artifacts")
+    arguments = parser.parse_args()
+    out_dir = arguments.keep or Path(tempfile.mkdtemp(prefix="svc-smoke-"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    journal_path = out_dir / "service-journal.jsonl"
+    manifest_path = out_dir / "service-manifest.json"
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop("REPRO_FAULT_PLAN", None)
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "1", "--jobs", "2", "--queue-depth", "2",
+         "--chunk-size", "4", "--drain-grace", "120",
+         "--journal", str(journal_path),
+         "--manifest-out", str(manifest_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        env=env, text=True, cwd=REPO_ROOT)
+    try:
+        listening = json.loads(daemon.stdout.readline())
+        check(listening.get("event") == "listening",
+              f"bad announce line: {listening}")
+        client = ServiceClient(
+            f"http://{listening['host']}:{listening['port']}")
+
+        # 1. bit-identity over the wire -------------------------------
+        print("smoke: bit-identity ...", flush=True)
+        served = client.assess(PAIR, timeout_s=300.0)
+        local = execute_assessment(AssessRequest.from_dict(PAIR))
+        check(served["trace_digest"] == local["trace_digest"],
+              "HTTP result digest differs from in-process execution")
+
+        # 2 + 3. admission trip and queued-deadline miss --------------
+        print("smoke: admission control + deadlines ...", flush=True)
+        slow = client.submit(SLOW)
+        poll_until(lambda: client.status(slow["id"])["state"] == "running",
+                   60.0, "the slow request to start")
+        doomed = client.submit(dict(PAIR, deadline_s=0.05))
+        queued = client.submit(PAIR)
+        try:
+            client.submit(PAIR)
+            check(False, "third queued submission was not rejected")
+        except AdmissionRejected as error:
+            check(error.http_status == 429 and error.retry_after_s >= 1.0,
+                  f"untyped admission rejection: {error!r}")
+        final_doomed = client.status(doomed["id"], wait_s=120.0)
+        check(final_doomed["state"] == "timed_out"
+              and final_doomed["error"]["code"] == "deadline_exceeded",
+              f"queued deadline miss not typed: {final_doomed}")
+        check(client.status(queued["id"], wait_s=120.0)["state"] == "done",
+              "the queued request behind the load did not complete")
+        check(client.status(slow["id"], wait_s=120.0)["state"] == "done",
+              "the slow request did not complete")
+
+        # 4. SIGTERM mid-load -----------------------------------------
+        print("smoke: SIGTERM mid-load ...", flush=True)
+        slow2 = client.submit(SLOW)
+        poll_until(lambda: client.status(slow2["id"])["state"] == "running",
+                   60.0, "the second slow request to start")
+        stranded = client.submit(PAIR)
+        daemon.send_signal(signal.SIGTERM)
+        poll_until(lambda: client.health()["status"] == "draining",
+                   30.0, "healthz to report draining")
+        final = client.status(stranded["id"], wait_s=60.0)
+        check(final["state"] == "shutdown"
+              and final["error"]["code"] == "shutting_down"
+              and final["error"]["retryable"],
+              f"queued request not typed-shutdown on drain: {final}")
+        stdout, stderr = daemon.communicate(timeout=300)
+        check(daemon.returncode == 0,
+              f"daemon exited {daemon.returncode}; stderr:\n{stderr}")
+        drained = json.loads(stdout.strip().splitlines()[-1])
+        check(drained.get("event") == "drained" and drained["drained"],
+              f"no drained announce: {drained}")
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+
+    # 5. SLO manifest + journal accounting ----------------------------
+    print("smoke: SLO manifest + journal accounting ...", flush=True)
+    check(manifest_path.exists(), "drain did not write the SLO manifest")
+    manifest = json.loads(manifest_path.read_text())
+    metrics = manifest["metrics"]
+    for name in ("service_request_seconds", "service_rejections_total",
+                 "service_terminal_total", "service_goodput_traces_total"):
+        check(name in metrics, f"SLO metric {name} missing from manifest")
+    latency_series = metrics["service_request_seconds"]["series"]
+    check(any(entry.get("p95") is not None for entry in latency_series),
+          "latency quantiles missing from the manifest")
+
+    report = replay(journal_path)
+    check(report.interrupted == [],
+          f"journal lost requests: interrupted={report.interrupted}")
+    expected = {"done": 4, "rejected": 1, "timed_out": 1, "shutdown": 1}
+    check(report.completed == expected,
+          f"journal accounting {report.completed} != {expected}")
+    check(report.total_submitted == sum(expected.values()),
+          "journal total_submitted mismatch")
+
+    print(f"service smoke OK: {report.total_submitted} requests, "
+          f"each in exactly one terminal state "
+          f"({json.dumps(report.completed, sort_keys=True)}); "
+          f"artifacts in {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
