@@ -27,6 +27,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -303,6 +304,13 @@ def cmd_obs_summarize(arguments: argparse.Namespace) -> int:
     from .obs.registry import snapshot_totals
 
     manifests = [obs.load_manifest(path) for path in arguments.manifests]
+    if getattr(arguments, "format", "text") == "prom":
+        from .obs.prom import render_prometheus
+
+        snapshot = obs.aggregate_manifests(manifests)["metrics"] \
+            if len(manifests) >= 2 else manifests[0].get("metrics") or {}
+        print(render_prometheus(snapshot), end="")
+        return 0
     for manifest in manifests:
         print(obs.summarize_manifest(manifest))
         print()
@@ -404,7 +412,10 @@ def cmd_serve(arguments: argparse.Namespace) -> int:
         breaker_threshold=arguments.breaker_threshold,
         breaker_cooldown_s=arguments.breaker_cooldown,
         drain_grace_s=arguments.drain_grace,
-        journal=arguments.journal, manifest_out=arguments.manifest_out)
+        journal=arguments.journal, manifest_out=arguments.manifest_out,
+        event_log=arguments.event_log,
+        event_log_max_bytes=arguments.event_log_max_bytes,
+        trace_requests=not arguments.no_request_tracing)
 
     def announce(event: dict) -> None:
         print(json.dumps(event, sort_keys=True), flush=True)
@@ -437,6 +448,11 @@ def cmd_submit(arguments: argparse.Namespace) -> int:
         payload["engine"] = arguments.engine
     if arguments.deadline is not None:
         payload["deadline_s"] = arguments.deadline
+    if arguments.attribution:
+        payload["attribution"] = True
+    trace_id = arguments.trace_id or os.environ.get("REPRO_TRACE_ID") \
+        or None
+    request_id = None
     try:
         if arguments.local:
             from .service.executor import execute_assessment
@@ -447,11 +463,22 @@ def cmd_submit(arguments: argparse.Namespace) -> int:
             from .service.client import ServiceClient
 
             client = ServiceClient(arguments.url)
-            result = client.assess(payload, timeout_s=arguments.timeout)
+            document = client.assess_detailed(
+                payload, timeout_s=arguments.timeout, trace_id=trace_id,
+                retry_429=arguments.retry_429)
+            request_id = document.get("id")
+            trace_id = document.get("trace_id", trace_id)
+            result = document["result"]
     except ServiceError as error:
         detail = {"code": error.code, "message": error.message}
         if error.retry_after_s is not None:
             detail["retry_after_s"] = error.retry_after_s
+        # Even rejected/failed requests are remembered by the daemon:
+        # surface the IDs so /v1/requests/<id>/trace stays reachable.
+        if error.request_id is not None:
+            detail["request_id"] = error.request_id
+        if error.trace_id is not None:
+            detail["trace_id"] = error.trace_id
         print(json.dumps({"error": detail}, sort_keys=True),
               file=sys.stderr)
         return 1
@@ -459,6 +486,9 @@ def cmd_submit(arguments: argparse.Namespace) -> int:
         Path(arguments.json).write_text(
             json.dumps(result, indent=2, sort_keys=True))
         print(f"saved {arguments.json}")
+    if request_id is not None:
+        print(f"request id:    {request_id}")
+        print(f"trace id:      {trace_id}")
     verdict = result["verdict"]
     print(f"verdict:       {'PASS' if verdict['passed'] else 'FAIL'} "
           f"({verdict['mode']})")
@@ -649,6 +679,21 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="manifest_out",
                          help="write the SLO metrics manifest here during "
                               "graceful drain")
+    p_serve.add_argument("--event-log", metavar="PATH",
+                         dest="event_log", default=None,
+                         help="structured JSONL event log; one fsync'd "
+                              "line per request lifecycle transition "
+                              "(replayable with repro.obs.events)")
+    p_serve.add_argument("--event-log-max-bytes", type=int,
+                         dest="event_log_max_bytes",
+                         default=4 * 1024 * 1024,
+                         help="rotate the event log to PATH.1 past this "
+                              "size (default 4 MiB)")
+    p_serve.add_argument("--no-request-tracing", action="store_true",
+                         dest="no_request_tracing",
+                         help="disable per-request span trees and "
+                              "timelines (trace endpoints answer with "
+                              "empty documents)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = subparsers.add_parser(
@@ -694,6 +739,19 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default 300)")
     p_submit.add_argument("--json", metavar="PATH",
                           help="save the full result document as JSON")
+    p_submit.add_argument("--trace-id", dest="trace_id", default=None,
+                          help="trace ID to stamp on the request "
+                               "(default: $REPRO_TRACE_ID when set, else "
+                               "the daemon mints one)")
+    p_submit.add_argument("--retry-429", type=int, default=0,
+                          dest="retry_429", metavar="N",
+                          help="re-submit up to N times on queue-full "
+                               "429s with capped jittered backoff "
+                               "honoring Retry-After (default 0)")
+    p_submit.add_argument("--attribution", action="store_true",
+                          help="collect per-PC energy attribution; "
+                               "retrievable afterwards via "
+                               "/v1/requests/<id>/attribution")
     p_submit.set_defaults(func=cmd_submit)
 
     p_obs = subparsers.add_parser(
@@ -704,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="render manifests; with several, aggregate (and diff a pair)")
     p_summarize.add_argument("manifests", nargs="+",
                              metavar="MANIFEST.json")
+    p_summarize.add_argument("--format", choices=["text", "prom"],
+                             default="text",
+                             help="output format: human-readable text "
+                                  "(default) or Prometheus exposition of "
+                                  "the metrics snapshot")
     p_summarize.set_defaults(func=cmd_obs_summarize)
     p_attr = obs_subparsers.add_parser(
         "attribution",

@@ -340,6 +340,15 @@ class SimJob:
     #: ``None`` for the ambient default (``$REPRO_ENGINE``, else
     #: ``"fast"``).
     engine: Optional[str] = None
+    #: Force the observability sink on for this job regardless of the
+    #: process-wide flag.  Rides on the pickled job, so pool workers —
+    #: fresh processes that never saw the submitter's thread-local
+    #: forced scope — still record and ship their span trees.  The
+    #: request-scoped tracing path of the service daemon sets this.
+    observe: bool = False
+    #: Force per-PC energy attribution on for this job (implies
+    #: ``observe``); same propagation story as ``observe``.
+    attribute: bool = False
 
 
 @dataclass
@@ -402,14 +411,18 @@ class JobResult:
 def execute_job(job: SimJob) -> JobResult:
     """Run one job in the current process (the workers' entry point).
 
-    With the observability sink enabled the job runs inside a fresh
-    :func:`repro.obs.scope` — a ``job`` span wrapping ``compile`` and
-    ``execute`` — and ships the scoped snapshot/span tree back on the
-    :class:`JobResult` for the parent to merge.
+    With the observability sink enabled — process-wide, via the calling
+    thread's forced scope, or via the job's own ``observe``/``attribute``
+    flags — the job runs inside a fresh :func:`repro.obs.scope` — a
+    ``job`` span wrapping ``compile`` and ``execute`` — and ships the
+    scoped snapshot/span tree back on the :class:`JobResult` for the
+    parent to merge.
     """
-    if not obs.enabled() and not obs.attribution_enabled():
+    force = job.observe or job.attribute
+    if (not force and not obs.enabled()
+            and not obs.attribution_enabled()):
         return _execute_job_inner(job)
-    with obs.scope() as scoped:
+    with obs.scope(force=force, attribution=job.attribute) as scoped:
         with obs.span("job", label=job.label):
             result = _execute_job_inner(job)
         result.metrics = scoped.registry.snapshot()
@@ -571,6 +584,10 @@ def _try_batch_native(batch: Sequence[SimJob],
     if len(batch) < 2:
         return None
     if obs.enabled() or obs.attribution_enabled():
+        return None
+    if any(job.observe or job.attribute for job in batch):
+        # Per-request tracing travels on the jobs themselves; those need
+        # per-job scopes and spans, which the batch hook cannot record.
         return None
     if os.environ.get(FAULT_PLAN_ENV):
         # Deterministic fault injection targets per-job execution; keep

@@ -38,6 +38,7 @@ Typical use::
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -87,7 +88,25 @@ class ObsContext:
         self.attribution = AttributionSink()
 
 
-_context_stack: list[ObsContext] = [ObsContext()]
+#: The process-wide root context: what every thread reads when it has no
+#: scope of its own open.  Scopes themselves are **thread-local** (see
+#: :class:`_ThreadState`), so concurrent scopes — the service daemon's
+#: executor threads each tracing their own request — never interleave.
+_root_context = ObsContext()
+
+
+class _ThreadState(threading.local):
+    """Per-thread observability state: the scope stack plus forced-enable
+    counters.  ``threading.local`` runs ``__init__`` once per thread, so
+    every thread starts with an empty stack over the shared root."""
+
+    def __init__(self):
+        self.stack: list[ObsContext] = []
+        self.forced = 0
+        self.forced_attribution = 0
+
+
+_thread_state = _ThreadState()
 
 _ENV_FLAG = "REPRO_OBS"
 
@@ -101,8 +120,14 @@ _enabled = _env_enabled()
 
 
 def enabled() -> bool:
-    """Is the observability sink collecting?  (Default: off.)"""
-    return _enabled
+    """Is the observability sink collecting?  (Default: off.)
+
+    True when the sink is enabled process-wide (:func:`enable`,
+    ``REPRO_OBS=1``) **or** the current thread is inside a forced scope
+    (``scope(force=True)``) — the request-scoped tracing the service
+    uses without toggling the global sink for unrelated threads.
+    """
+    return _enabled or _thread_state.forced > 0
 
 
 def enable() -> None:
@@ -131,8 +156,12 @@ _attribution_enabled = _attr_env_enabled()
 
 
 def attribution_enabled() -> bool:
-    """Is per-PC energy attribution collecting?  (Default: off.)"""
-    return _attribution_enabled
+    """Is per-PC energy attribution collecting?  (Default: off.)
+
+    Like :func:`enabled`, honors both the process-wide flag and the
+    current thread's forced scopes (``scope(attribution=True)``).
+    """
+    return _attribution_enabled or _thread_state.forced_attribution > 0
 
 
 def enable_attribution() -> None:
@@ -157,38 +186,60 @@ def disable_attribution() -> None:
 
 def attribution() -> AttributionSink:
     """The current context's attribution accumulator."""
-    return _context_stack[-1].attribution
+    return context().attribution
 
 
 def context() -> ObsContext:
-    """The current observability context."""
-    return _context_stack[-1]
+    """The current observability context (this thread's innermost scope,
+    else the shared process-wide root)."""
+    stack = _thread_state.stack
+    return stack[-1] if stack else _root_context
 
 
 def registry() -> MetricsRegistry:
     """The current metrics registry."""
-    return _context_stack[-1].registry
+    return context().registry
 
 
 def tracer() -> Tracer:
     """The current span tracer."""
-    return _context_stack[-1].tracer
+    return context().tracer
 
 
 @contextmanager
-def scope() -> Iterator[ObsContext]:
+def scope(force: bool = False,
+          attribution: bool = False) -> Iterator[ObsContext]:
     """Push a fresh registry+tracer; metrics recorded inside stay local.
 
     Used by the engine to isolate per-job observability (serial and
     worker paths alike) and by tests to keep the module-level context
-    clean.
+    clean.  Scopes are per-thread: a scope opened on one thread is
+    invisible to every other thread, so concurrent scoped work (the
+    service daemon's executor threads) cannot interleave span trees.
+
+    ``force=True`` additionally makes :func:`enabled` answer True *for
+    this thread* while the scope is open — request-scoped tracing
+    without flipping the process-wide sink (no ``REPRO_OBS`` export, so
+    sibling threads and their pool dispatch decisions are untouched).
+    ``attribution=True`` does the same for :func:`attribution_enabled`
+    (and implies ``force``).
     """
     fresh = ObsContext()
-    _context_stack.append(fresh)
+    state = _thread_state
+    state.stack.append(fresh)
+    forced = force or attribution
+    if forced:
+        state.forced += 1
+    if attribution:
+        state.forced_attribution += 1
     try:
         yield fresh
     finally:
-        _context_stack.pop()
+        state.stack.pop()
+        if forced:
+            state.forced -= 1
+        if attribution:
+            state.forced_attribution -= 1
 
 
 class _NullSpan:
@@ -208,29 +259,29 @@ _NULL_SPAN = _NullSpan()
 
 def span(name: str, **attributes):
     """Open a span in the current tracer; a shared no-op when disabled."""
-    if not _enabled:
+    if not _enabled and not _thread_state.forced:
         return _NULL_SPAN
-    return _context_stack[-1].tracer.span(name, **attributes)
+    return context().tracer.span(name, **attributes)
 
 
 def counter(name: str, help: str = "") -> Counter:
     """Shorthand for ``registry().counter(...)``."""
-    return _context_stack[-1].registry.counter(name, help)
+    return context().registry.counter(name, help)
 
 
 def gauge(name: str, help: str = "") -> Gauge:
     """Shorthand for ``registry().gauge(...)``."""
-    return _context_stack[-1].registry.gauge(name, help)
+    return context().registry.gauge(name, help)
 
 
 def histogram(name: str, help: str = "", **kwargs) -> Histogram:
     """Shorthand for ``registry().histogram(...)``."""
-    return _context_stack[-1].registry.histogram(name, help, **kwargs)
+    return context().registry.histogram(name, help, **kwargs)
 
 
 def reset() -> None:
     """Clear the current context's metrics and spans (tests, REPL)."""
-    current = _context_stack[-1]
+    current = context()
     current.registry.reset()
     current.tracer.reset()
     current.attribution.reset()

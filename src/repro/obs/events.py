@@ -1,0 +1,179 @@
+"""Structured JSONL event log for service request lifecycles.
+
+One line per lifecycle transition (received, admitted, started, chunk,
+deadline_check, terminal, …), flushed and fsync'd before the write
+returns — like the service journal, a crash loses at most the line being
+written.  Unlike the journal (which exists to *recover* state), the
+event log exists to *explain* it: every line carries the request and
+trace IDs, so an operator can reconstruct any request's timeline after
+the daemon is gone, long after the in-memory history has been evicted.
+
+The log rotates by size: when appending a line would push the active
+file past ``max_bytes``, the file is renamed to ``<path>.1`` (replacing
+any previous rotation) and a fresh file is started — a bounded two-file
+window, not an unbounded archive.  :func:`replay_events` reads the
+rotated file first so replay order matches write order, and tolerates a
+truncated final line (the torn write a crash can leave behind).
+:func:`timeline_from_events` rebuilds one request's timeline in the same
+shape the live ``/v1/requests/<id>/trace`` endpoint serves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+SCHEMA = "repro.obs.events/v1"
+
+#: Default rotation threshold (bytes) for ``--event-log``.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+
+
+class EventLog:
+    """Append-only, fsync'd, size-rotated JSONL event sink.
+
+    Thread-safe: the daemon's admission path and every executor thread
+    write through one shared instance.  Write failures degrade to a
+    warning and disable the sink rather than poisoning request handling
+    — losing telemetry must never lose a request.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 max_bytes: int = DEFAULT_MAX_BYTES):
+        self.path = Path(path)
+        self.max_bytes = max(int(max_bytes), 4096)
+        self.events_written = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._stream: Optional[object] = None
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "ab")
+            self._size = self._stream.tell()
+        except OSError as exc:
+            warnings.warn(f"event log disabled: cannot open "
+                          f"{self.path}: {exc}", RuntimeWarning,
+                          stacklevel=2)
+            self._stream = None
+            self._size = 0
+
+    @property
+    def rotated_path(self) -> Path:
+        return self.path.with_name(self.path.name + ".1")
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event line (schema + wall timestamp + fields)."""
+        record = {"schema": SCHEMA, "ts": round(time.time(), 6),
+                  "event": str(event)}
+        record.update(fields)
+        data = (json.dumps(record, sort_keys=True, default=repr)
+                + "\n").encode("utf-8")
+        with self._lock:
+            if self._stream is None:
+                return
+            try:
+                if self._size and self._size + len(data) > self.max_bytes:
+                    self._rotate_locked()
+                self._stream.write(data)
+                self._stream.flush()
+                os.fsync(self._stream.fileno())
+                self._size += len(data)
+                self.events_written += 1
+            except OSError as exc:
+                warnings.warn(f"event log disabled after write failure: "
+                              f"{exc}", RuntimeWarning, stacklevel=2)
+                self._close_locked()
+
+    def _rotate_locked(self) -> None:
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self._stream.close()
+        os.replace(self.path, self.rotated_path)
+        self._stream = open(self.path, "ab")
+        self._size = 0
+        self.rotations += 1
+
+    def _close_locked(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            except OSError:
+                pass
+            self._stream = None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                try:
+                    self._stream.flush()
+                    os.fsync(self._stream.fileno())
+                except OSError:
+                    pass
+            self._close_locked()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _iter_lines(path: Path) -> Iterator[dict]:
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return
+    for line in raw.split(b"\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            continue  # torn tail from a crash mid-write
+        if isinstance(record, dict) and record.get("schema") == SCHEMA:
+            yield record
+
+
+def replay_events(path: Union[str, Path],
+                  include_rotated: bool = True) -> list[dict]:
+    """All surviving events in write order (rotated file first)."""
+    path = Path(path)
+    events: list[dict] = []
+    if include_rotated:
+        rotated = path.with_name(path.name + ".1")
+        if rotated.exists():
+            events.extend(_iter_lines(rotated))
+    if path.exists():
+        events.extend(_iter_lines(path))
+    return events
+
+
+def timeline_from_events(events: list[dict],
+                         request_id: str) -> list[dict]:
+    """Rebuild one request's lifecycle timeline from replayed events.
+
+    Same shape as the live record's timeline: ``{"event", "t_s", ...}``
+    with ``t_s`` relative to the request's first event (wall-clock here,
+    monotonic in the live record — ordering and event names match
+    exactly; sub-millisecond offsets may differ).
+    """
+    timeline: list[dict] = []
+    origin: Optional[float] = None
+    for record in events:
+        if record.get("id") != request_id:
+            continue
+        ts = float(record.get("ts", 0.0))
+        if origin is None:
+            origin = ts
+        entry = {"event": record.get("event", "?"),
+                 "t_s": round(max(0.0, ts - origin), 6)}
+        for key, value in record.items():
+            if key not in ("schema", "ts", "event", "id", "trace_id"):
+                entry[key] = value
+        timeline.append(entry)
+    return timeline

@@ -1,0 +1,269 @@
+"""Prometheus text-format exposition of a registry snapshot.
+
+:func:`render_prometheus` turns the JSON snapshot a
+:class:`~repro.obs.registry.MetricsRegistry` produces into the standard
+``text/plain; version=0.0.4`` exposition format — ``# HELP``/``# TYPE``
+headers, one sample per series, label values escaped per the spec
+(``\\``, ``"``, newline), histograms expanded into cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count``.  The daemon serves
+it from ``GET /metrics?format=prometheus`` and ``repro obs summarize
+--format prom`` renders manifests with it, so any Prometheus-compatible
+scraper can consume the service SLOs without an adapter.
+
+:func:`parse_prometheus` is the deliberately small inverse used by the
+test suite and the CI smoke: it parses samples (with full label-escape
+handling) back into ``(name, labels) -> value`` rows, and
+:func:`samples_from_snapshot` computes the same rows straight from the
+JSON snapshot — the two must agree exactly, which is the round-trip
+oracle asserting the renderer never drops or distorts a series.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterator, Optional
+
+#: Content type of the exposition format this module renders.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+_TYPE_BY_KIND = {"counter": "counter", "gauge": "gauge",
+                 "histogram": "histogram"}
+
+#: Sample key: metric name plus the sorted, escaped-free label items.
+SampleKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce a metric/label name into the Prometheus charset."""
+    name = _INVALID_NAME_CHARS.sub("_", str(name))
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition spec."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Canonical sample-value rendering (integers bare, floats ``repr``,
+    specials as ``+Inf``/``-Inf``/``NaN``)."""
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 2 ** 53:
+        return str(int(value))
+    return repr(value)
+
+
+def _metric_samples(name: str, entry: dict) -> Iterator[
+        tuple[str, tuple[tuple[str, str], ...], float]]:
+    """Yield ``(sample_name, sorted_label_items, value)`` rows of one
+    snapshot entry — the single source of truth shared by the renderer
+    and :func:`samples_from_snapshot`."""
+    metric = sanitize_name(name)
+    kind = entry.get("kind")
+    for series in entry.get("series", []):
+        labels = {sanitize_name(key): str(value) for key, value
+                  in (series.get("labels") or {}).items()}
+        if kind == "histogram":
+            bounds = [float(bound) for bound in entry.get("buckets", [])]
+            counts = list(series.get("counts", []))
+            cumulative = 0
+            for bound, count in zip(bounds, counts):
+                cumulative += int(count)
+                yield (metric + "_bucket",
+                       tuple(sorted({**labels,
+                                     "le": format_value(bound)}.items())),
+                       float(cumulative))
+            total = int(series.get("count", 0))
+            yield (metric + "_bucket",
+                   tuple(sorted({**labels, "le": "+Inf"}.items())),
+                   float(total))
+            yield (metric + "_sum", tuple(sorted(labels.items())),
+                   float(series.get("sum", 0.0)))
+            yield (metric + "_count", tuple(sorted(labels.items())),
+                   float(total))
+        else:
+            yield (metric, tuple(sorted(labels.items())),
+                   float(series.get("value", 0.0)))
+
+
+def samples_from_snapshot(snapshot: dict) -> dict[SampleKey, float]:
+    """Every sample the exposition carries, keyed by (name, labels).
+
+    This is the agreement oracle: ``parse_prometheus(render_prometheus(
+    snapshot))["samples"] == samples_from_snapshot(snapshot)`` must hold
+    for any snapshot — asserted by the unit suite and the CI smoke
+    against a live daemon.
+    """
+    samples: dict[SampleKey, float] = {}
+    for name, entry in sorted(snapshot.items()):
+        for sample_name, labels, value in _metric_samples(name, entry):
+            samples[(sample_name, labels)] = value
+    return samples
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+    for name, entry in sorted(snapshot.items()):
+        metric = sanitize_name(name)
+        help_text = entry.get("help")
+        if help_text:
+            lines.append(f"# HELP {metric} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {metric} "
+                     f"{_TYPE_BY_KIND.get(entry.get('kind'), 'untyped')}")
+        for sample_name, labels, value in _metric_samples(name, entry):
+            if labels:
+                inner = ",".join(
+                    f'{key}="{escape_label_value(val)}"'
+                    for key, val in labels)
+                lines.append(f"{sample_name}{{{inner}}} "
+                             f"{format_value(value)}")
+            else:
+                lines.append(f"{sample_name} {format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------------
+# minimal parser (tests + CI smoke)
+# ---------------------------------------------------------------------------
+
+
+class PromParseError(ValueError):
+    """The exposition text violated the subset this parser accepts."""
+
+
+_UNESCAPE = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _parse_labels(line: str, start: int) -> tuple[
+        tuple[tuple[str, str], ...], int]:
+    """Parse ``{k="v",...}`` starting at ``line[start] == '{'``; returns
+    the sorted label items and the index one past the closing brace."""
+    labels: list[tuple[str, str]] = []
+    i = start + 1
+    while True:
+        while i < len(line) and line[i] in ", \t":
+            i += 1
+        if i >= len(line):
+            raise PromParseError(f"unterminated label set: {line!r}")
+        if line[i] == "}":
+            return tuple(sorted(labels)), i + 1
+        eq = line.find("=", i)
+        if eq == -1 or eq + 1 >= len(line) or line[eq + 1] != '"':
+            raise PromParseError(f"malformed label in: {line!r}")
+        key = line[i:eq].strip()
+        i = eq + 2
+        buffer: list[str] = []
+        while True:
+            if i >= len(line):
+                raise PromParseError(f"unterminated label value: {line!r}")
+            char = line[i]
+            if char == "\\":
+                if i + 1 >= len(line):
+                    raise PromParseError(f"dangling escape in: {line!r}")
+                buffer.append(_UNESCAPE.get(line[i + 1],
+                                            "\\" + line[i + 1]))
+                i += 2
+            elif char == '"':
+                i += 1
+                break
+            else:
+                buffer.append(char)
+                i += 1
+        labels.append((key, "".join(buffer)))
+
+
+def _parse_sample(line: str) -> tuple[str, tuple[tuple[str, str], ...],
+                                      float]:
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        name = line[:brace]
+        labels, end = _parse_labels(line, brace)
+        rest = line[end:].strip()
+    else:
+        name, _, rest = line.partition(" ")
+        labels = ()
+        rest = rest.strip()
+    if not name or not rest:
+        raise PromParseError(f"malformed sample line: {line!r}")
+    try:
+        value = float(rest.split()[0])
+    except ValueError:
+        raise PromParseError(f"bad sample value in: {line!r}")
+    return name, labels, value
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{"types": ..., "help": ...,
+    "samples": ...}``.
+
+    ``samples`` maps ``(name, sorted_label_items)`` to the float value;
+    ``types`` maps base metric names to their declared type.  Raises
+    :class:`PromParseError` on anything malformed — the CI smoke treats
+    a parse failure as a broken ``/metrics`` endpoint.
+    """
+    types: dict[str, str] = {}
+    help_texts: dict[str, str] = {}
+    samples: dict[SampleKey, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(None, 1)
+            if len(parts) != 2:
+                raise PromParseError(f"malformed TYPE line: {raw!r}")
+            types[parts[0]] = parts[1].strip()
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(None, 1)
+            if parts:
+                help_texts[parts[0]] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        name, labels, value = _parse_sample(line)
+        samples[(name, labels)] = value
+    return {"types": types, "help": help_texts, "samples": samples}
+
+
+def assert_snapshot_agreement(snapshot: dict, text: str,
+                              ignore: Optional[set] = None) -> None:
+    """Raise ``AssertionError`` unless ``text`` carries exactly the
+    samples of ``snapshot`` (modulo ``ignore``d metric names).  Shared by
+    the unit tests and ``tools/service_smoke.py``."""
+    expected = samples_from_snapshot(snapshot)
+    parsed = parse_prometheus(text)["samples"]
+    if ignore:
+        def keep(key: SampleKey) -> bool:
+            return not any(key[0] == name or key[0].startswith(name + "_")
+                           for name in ignore)
+
+        expected = {k: v for k, v in expected.items() if keep(k)}
+        parsed = {k: v for k, v in parsed.items() if keep(k)}
+    missing = sorted(set(expected) - set(parsed))
+    extra = sorted(set(parsed) - set(expected))
+    if missing or extra:
+        raise AssertionError(
+            f"prometheus exposition disagrees with the JSON snapshot: "
+            f"missing={missing[:5]} extra={extra[:5]}")
+    for key, value in expected.items():
+        got = parsed[key]
+        if not (value == got or (math.isnan(value) and math.isnan(got))):
+            raise AssertionError(
+                f"sample {key} differs: snapshot={value!r} text={got!r}")

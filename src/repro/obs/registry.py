@@ -21,6 +21,7 @@ parallel metric aggregation deterministic regardless of worker scheduling.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Iterator, Optional
 
 #: Series-per-metric ceiling.  Labeled metrics multiply: a label whose
@@ -229,32 +230,45 @@ class Histogram(_Metric):
     def summary(self, **labels) -> dict[str, float]:
         """``{count, sum, mean, min, max, p50, p95, p99}`` of one series
         (zeros if unseen).  Percentiles are bucket-interpolated estimates
-        clamped by the exact min/max (:func:`bucket_quantile`)."""
+        clamped by the exact min/max (:func:`bucket_quantile`).
+
+        Empty and zero-count series — an unseen label set, or a series
+        created by merging a snapshot that never observed — report the
+        NaN-free zero defaults instead of dividing by their zero count;
+        non-finite scalars (a NaN observation poisoning ``sum``) are
+        likewise pinned to 0 so summaries stay JSON- and SLO-safe.
+        """
         series = self._series.get(_label_key(labels))
-        if series is None:
+        if series is None or series.count <= 0:
             out = {"count": 0, "sum": 0.0, "mean": 0.0,
                    "min": 0.0, "max": 0.0}
             out.update({_quantile_key(q): 0.0 for q in SUMMARY_QUANTILES})
             return out
-        out = {"count": series.count, "sum": series.sum,
-               "mean": series.sum / series.count if series.count else 0.0,
-               "min": series.min or 0.0, "max": series.max or 0.0}
+        total = _finite_or_zero(series.sum)
+        out = {"count": series.count, "sum": total,
+               "mean": total / series.count,
+               "min": _finite_or_zero(series.min),
+               "max": _finite_or_zero(series.max)}
         out.update(self._quantiles(series))
         return out
 
     def quantile(self, q: float, **labels) -> float:
-        """Estimated ``q``-quantile of one series (0 if unseen)."""
+        """Estimated ``q``-quantile of one series (0 if unseen or never
+        observed)."""
         series = self._series.get(_label_key(labels))
-        if series is None:
+        if series is None or series.count <= 0:
             return 0.0
         return bucket_quantile(self.buckets, series.counts, q,
-                               minimum=series.min, maximum=series.max)
+                               minimum=_finite_or_none(series.min),
+                               maximum=_finite_or_none(series.max))
 
     def _quantiles(self, series: "_HistogramSeries") -> dict[str, float]:
+        minimum = _finite_or_none(series.min)
+        maximum = _finite_or_none(series.max)
         return {_quantile_key(q): bucket_quantile(self.buckets,
                                                   series.counts, q,
-                                                  minimum=series.min,
-                                                  maximum=series.max)
+                                                  minimum=minimum,
+                                                  maximum=maximum)
                 for q in SUMMARY_QUANTILES}
 
 
@@ -373,6 +387,17 @@ class MetricsRegistry:
 
 def _quantile_key(q: float) -> str:
     return f"p{round(q * 100):d}"
+
+
+def _finite_or_zero(value: Optional[float]) -> float:
+    value = 0.0 if value is None else float(value)
+    return value if math.isfinite(value) else 0.0
+
+
+def _finite_or_none(value: Optional[float]) -> Optional[float]:
+    if value is None or not math.isfinite(value):
+        return None
+    return float(value)
 
 
 def snapshot_totals(snapshot: dict) -> dict[str, float]:

@@ -480,6 +480,237 @@ def report_from_manifest(manifest: dict,
                         meta=meta, notes=notes)
 
 
+def _timeline_section(timeline: Sequence[dict]) -> str:
+    """Lifecycle table: one row per recorded transition."""
+    if not timeline:
+        return ""
+    rows = []
+    for entry in timeline:
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(entry.items())
+            if key not in ("event", "t_s", "ts"))
+        rows.append(
+            f"<tr><td>{escape(str(entry.get('event', '?')))}</td>"
+            f'<td class="num">{float(entry.get("t_s", 0.0)):.6f}</td>'
+            f"<td>{escape(detail)}</td></tr>")
+    return ("<h2>Lifecycle timeline</h2>"
+            "<table><tr><th>event</th><th>t+ (s)</th><th>detail</th></tr>"
+            + "".join(rows) + "</table>")
+
+
+def _phase_latency_section(spans: Sequence[dict],
+                           queued_s: Optional[float]) -> str:
+    """Per-phase wall/CPU breakdown from the request's span forest."""
+    from .spans import phase_totals
+
+    totals = phase_totals(list(spans)) if spans else {}
+    if not totals and queued_s is None:
+        return ""
+    rows = []
+    if queued_s is not None:
+        rows.append('<tr><td>queue wait</td>'
+                    f'<td class="num">{queued_s:.6f}</td>'
+                    '<td class="num">-</td><td class="num">1</td></tr>')
+    for name, slot in sorted(totals.items(),
+                             key=lambda kv: -kv[1]["wall_s"]):
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f'<td class="num">{slot["wall_s"]:.6f}</td>'
+            f'<td class="num">{slot["cpu_s"]:.6f}</td>'
+            f'<td class="num">{slot["count"]}</td></tr>')
+    return ("<h2>Per-phase latency</h2>"
+            "<table><tr><th>phase</th><th>wall (s)</th><th>cpu (s)</th>"
+            "<th>spans</th></tr>" + "".join(rows) + "</table>")
+
+
+def svg_sparkline(values: Sequence[float], width: int = 220,
+                  height: int = 36, color: str = PALETTE[0]) -> str:
+    """Minimal inline sparkline (no axes) for the dashboard tiles."""
+    values = _finite([float(v) for v in values])
+    if len(values) < 2:
+        return ""
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    points = " ".join(
+        f"{2 + (width - 4) * i / (len(values) - 1):.1f},"
+        f"{2 + (height - 4) * (1 - (v - low) / span):.1f}"
+        for i, v in enumerate(values))
+    return (f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+            f'height="{height}" role="img">'
+            f'<polyline points="{points}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/></svg>')
+
+
+def latency_quantiles(snapshot: dict,
+                      metric: str = "service_request_seconds"
+                      ) -> dict[str, float]:
+    """p50/p95/p99 across *all* series of one histogram metric.
+
+    The snapshot publishes per-series estimates; the dashboard wants the
+    whole-service view, so the raw bucket counts are merged and
+    re-estimated with :func:`~repro.obs.registry.bucket_quantile`.
+    """
+    from .registry import bucket_quantile
+
+    entry = snapshot.get(metric)
+    if not entry or entry.get("kind") != "histogram":
+        return {}
+    bounds = tuple(float(bound) for bound in entry.get("buckets", []))
+    merged: Optional[list[int]] = None
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    for series in entry.get("series", []):
+        counts = [int(count) for count in series.get("counts", [])]
+        if merged is None:
+            merged = counts
+        else:
+            merged = [a + b for a, b in zip(merged, counts)]
+        for bound_name, picker in (("min", min), ("max", max)):
+            value = series.get(bound_name)
+            if value is not None and math.isfinite(value):
+                current = minimum if bound_name == "min" else maximum
+                chosen = value if current is None \
+                    else picker(current, value)
+                if bound_name == "min":
+                    minimum = chosen
+                else:
+                    maximum = chosen
+    if merged is None or not sum(merged):
+        return {}
+    return {name: bucket_quantile(bounds, merged, q,
+                                  minimum=minimum, maximum=maximum)
+            for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))}
+
+
+def dashboard_html(health: dict, snapshot: dict,
+                   history: Sequence[dict],
+                   refresh_s: float = 2.0) -> str:
+    """Self-contained auto-refreshing SLO dashboard (``GET /dashboard``).
+
+    ``history`` is the server's rolling sample list ({queue_depth,
+    inflight, p95_s, goodput} per sample) rendered as sparklines; the
+    page re-fetches itself every ``refresh_s`` via ``<meta refresh>`` —
+    no JavaScript, no external assets.
+    """
+    status = health.get("status", "?")
+    quantiles = latency_quantiles(snapshot)
+    outcome = "pass" if status == "ok" else "fail"
+    body = ["<h1>repro service dashboard</h1>",
+            f'<p><span class="verdict-banner {outcome}">'
+            f"{escape(str(status))}</span> "
+            f'<span class="meta">uptime '
+            f'{_fmt(float(health.get("uptime_s", 0.0)))}s · auto-refresh '
+            f"every {_fmt(refresh_s)}s</span></p>"]
+    stats = {
+        "queue depth": f'{health.get("queue_depth", 0)}'
+                       f' / {health.get("queue_capacity", 0)}',
+        "in flight": health.get("inflight", 0),
+        "workers alive": f'{health.get("workers_alive", 0)}'
+                         f' / {health.get("workers", 0)}',
+        "breaker open": health.get("breaker_open", 0),
+    }
+    for name, value in quantiles.items():
+        stats[f"latency {name} (s)"] = _fmt(value)
+    for state, count in (health.get("terminal") or {}).items():
+        stats[f"terminal: {state}"] = count
+    body.append(_kv_table(stats, caption="service level"))
+    if history:
+        tiles = []
+        for key, label in (("queue_depth", "queue depth"),
+                           ("inflight", "in flight"),
+                           ("p95_s", "p95 latency (s)"),
+                           ("goodput", "goodput traces")):
+            values = [float(sample.get(key, 0.0)) for sample in history]
+            chart = svg_sparkline(values,
+                                  color=PALETTE[len(tiles) % len(PALETTE)])
+            if chart:
+                tiles.append(f"<figure>{chart}<figcaption>"
+                             f"{escape(label)} (last {len(values)} "
+                             f"samples, now {_fmt(values[-1])})"
+                             "</figcaption></figure>")
+        if tiles:
+            body.append("<h2>Trends</h2>" + "".join(tiles))
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'/>"
+            f'<meta http-equiv="refresh" content="{refresh_s:g}"/>'
+            "<title>repro service dashboard</title>"
+            f"<style>{_STYLE}</style></head><body>"
+            + "".join(body) + "</body></html>")
+
+
+def request_report_html(document: dict) -> str:
+    """Self-contained HTML report for one service request.
+
+    ``document`` is the trace document
+    (:meth:`~repro.service.protocol.RequestRecord.trace_document`),
+    optionally carrying the terminal ``result``: verdict banner,
+    request summary, per-phase latency breakdown (queue wait + span
+    phases), lifecycle timeline, the leakage verdict table, attribution
+    charts, and wall/CPU flamegraphs — everything inline, nothing
+    fetched.  Served by ``GET /v1/requests/<id>/report.html``.
+    """
+    request_id = document.get("id", "?")
+    state = document.get("state", "?")
+    result = document.get("result") or {}
+    request = document.get("request") or {}
+    error = document.get("error")
+    title = f"repro request {request_id} — {state}"
+    body = [f"<h1>{escape(title)}</h1>"]
+
+    verdict = (result.get("verdict") or {})
+    if verdict:
+        outcome = "pass" if verdict.get("passed") else "fail"
+        body.append(f'<p><span class="verdict-banner {outcome}">leakage '
+                    f"budget: {outcome.upper()}</span></p>")
+    else:
+        outcome = "pass" if state == "done" else "fail"
+        body.append(f'<p><span class="verdict-banner {outcome}">'
+                    f"request {escape(state)}</span></p>")
+    if error:
+        body.append(f"<p><strong>{escape(str(error.get('code', '?')))}"
+                    f"</strong>: {escape(str(error.get('message', '')))}"
+                    "</p>")
+
+    summary = {"id": request_id,
+               "trace id": document.get("trace_id", "?"),
+               "state": state,
+               "client": request.get("client", "?"),
+               "mode": request.get("mode", "?"),
+               "masking": request.get("masking", "?"),
+               "priority": request.get("priority", "?")}
+    if document.get("queued_s") is not None:
+        summary["queue wait (s)"] = document["queued_s"]
+    if document.get("latency_s") is not None:
+        summary["latency (s)"] = document["latency_s"]
+    if result:
+        summary.update({
+            "traces": result.get("n_traces", "?"),
+            "total pJ": result.get("total_pj", "?"),
+            "engines": ", ".join(f"{name}×{count}" for name, count in
+                                 (result.get("engines") or {}).items()),
+            "compile cache hit": result.get("cache_hit", "?"),
+            "trace digest": str(result.get("trace_digest", "?"))[:16],
+        })
+    body.append("<h2>Summary</h2>")
+    body.append(_kv_table(summary))
+
+    spans = document.get("spans") or []
+    body.append(_phase_latency_section(spans, document.get("queued_s")))
+    body.append(_timeline_section(document.get("timeline") or []))
+    if verdict:
+        body.append(leakage_section(verdict))
+    if document.get("attribution"):
+        body.append(attribution_section(document["attribution"]))
+    if spans:
+        if document.get("spans_compacted"):
+            body.append('<p class="meta">span tree compacted '
+                        "(aggregated by name) to bound memory.</p>")
+        body.append(flamegraph_section(spans))
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'/>"
+            f"<title>{escape(title)}</title>"
+            f"<style>{_STYLE}</style></head><body>"
+            + "".join(body) + "</body></html>")
+
+
 def write_report(html: str, path: PathLike) -> Path:
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)

@@ -113,6 +113,43 @@ def _from_dict(node: dict) -> SpanRecord:
     return record
 
 
+def phase_totals(tree: list[dict],
+                 fold_indexed: bool = True) -> dict[str, dict]:
+    """Per-phase wall/CPU totals of a span forest.
+
+    Walks every node and sums same-name spans into
+    ``{name: {"wall_s", "cpu_s", "count"}}`` — the per-phase latency
+    breakdown the request report renders.  ``fold_indexed`` folds
+    enumerated siblings (``chunk[3]``, ``trace[17]``) into their base
+    name so a 4096-trace request reports one ``chunk`` row, not 256.
+    """
+    import re
+
+    totals: dict[str, dict] = {}
+
+    def visit(node: dict) -> None:
+        name = str(node.get("name", "?"))
+        if fold_indexed:
+            name = re.sub(r"\[\d+\]$", "", name)
+        slot = totals.setdefault(name, {"wall_s": 0.0, "cpu_s": 0.0,
+                                        "count": 0})
+        slot["wall_s"] += float(node.get("wall_s", 0.0))
+        slot["cpu_s"] += float(node.get("cpu_s", 0.0))
+        slot["count"] += 1
+        for child in node.get("children", []):
+            visit(child)
+
+    for root in tree:
+        visit(root)
+    return totals
+
+
+def count_spans(tree: list[dict]) -> int:
+    """Total node count of a span forest (history-size bookkeeping)."""
+    return sum(1 + count_spans(node.get("children", []))
+               for node in tree)
+
+
 def render_tree(tree: list[dict], indent: str = "") -> list[str]:
     """ASCII rendering of a span forest, one line per span."""
     lines: list[str] = []

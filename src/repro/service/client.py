@@ -17,15 +17,43 @@ Used by ``repro submit`` and by the smoke/chaos suites.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from typing import Optional, Union
 
-from .errors import ServiceError, error_from_dict
+from .errors import AdmissionRejected, ServiceError, error_from_dict
 from .protocol import AssessRequest
 
 DEFAULT_TIMEOUT_S = 30.0
+
+#: Trace-ID propagation header (mirrors the server's).
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: Capped backoff bounds for ``retry_429`` (seconds).
+RETRY_BASE_S = 0.5
+RETRY_CAP_S = 30.0
+
+
+def backoff_delay(attempt: int, retry_after_s: Optional[float] = None,
+                  base_s: float = RETRY_BASE_S,
+                  cap_s: float = RETRY_CAP_S,
+                  rng: Optional[random.Random] = None) -> float:
+    """Capped, jittered retry delay honoring a server ``Retry-After``.
+
+    The server hint (when present) seeds the delay; otherwise
+    exponential from ``base_s``.  Either way the delay is capped at
+    ``cap_s`` and jittered ±25% so a herd of rejected clients does not
+    re-arrive in lockstep.
+    """
+    if retry_after_s is not None and retry_after_s > 0:
+        delay = float(retry_after_s)
+    else:
+        delay = base_s * (2 ** attempt)
+    delay = min(delay, cap_s)
+    roll = (rng or random).uniform(0.75, 1.25)
+    return delay * roll
 
 
 class ServiceClient:
@@ -40,30 +68,44 @@ class ServiceClient:
 
     def _call_raw(self, method: str, path: str,
                   payload: Optional[dict] = None,
-                  timeout_s: Optional[float] = None) -> tuple[int, dict]:
+                  timeout_s: Optional[float] = None,
+                  headers: Optional[dict] = None) -> tuple[int, dict]:
         """One HTTP round trip; non-2xx answers return, never raise —
         only transport-level failures raise (as retryable
         :class:`ServiceError`)."""
+        status, text = self._call_text(method, path, payload=payload,
+                                       timeout_s=timeout_s,
+                                       headers=headers)
+        try:
+            return status, json.loads(text or "{}")
+        except json.JSONDecodeError:
+            return status, {"error": {
+                "code": "service_error",
+                "message": f"HTTP {status} from {path} "
+                           "without a JSON body"}}
+
+    def _call_text(self, method: str, path: str,
+                   payload: Optional[dict] = None,
+                   timeout_s: Optional[float] = None,
+                   headers: Optional[dict] = None) -> tuple[int, str]:
+        """Round trip returning the raw body (HTML reports, Prometheus
+        text); non-2xx answers return, transport failures raise."""
         body = json.dumps(payload).encode() if payload is not None \
             else None
+        request_headers = {"Content-Type": "application/json"}
+        request_headers.update(headers or {})
         request = urllib.request.Request(
             self.base_url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"})
+            headers=request_headers)
         timeout = self.timeout_s if timeout_s is None else timeout_s
         try:
             with urllib.request.urlopen(request,
                                         timeout=timeout) as response:
-                return response.status, json.loads(response.read()
-                                                   or b"{}")
+                return response.status, \
+                    (response.read() or b"").decode("utf-8")
         except urllib.error.HTTPError as http_error:
-            try:
-                document = json.loads(http_error.read() or b"{}")
-            except json.JSONDecodeError:
-                document = {"error": {
-                    "code": "service_error",
-                    "message": f"HTTP {http_error.code} from {path} "
-                               "without a JSON body"}}
-            return http_error.code, document
+            return http_error.code, \
+                (http_error.read() or b"").decode("utf-8")
         except urllib.error.URLError as network_error:
             raise ServiceError(
                 f"cannot reach service at {self.base_url}: "
@@ -72,7 +114,8 @@ class ServiceClient:
 
     def _call(self, method: str, path: str,
               payload: Optional[dict] = None,
-              timeout_s: Optional[float] = None) -> dict:
+              timeout_s: Optional[float] = None,
+              headers: Optional[dict] = None) -> dict:
         """Round trip that raises the typed error on failure statuses.
 
         A terminal lifecycle document (it carries ``state``) is returned
@@ -80,7 +123,7 @@ class ServiceClient:
         bodies (submission rejections) raise.
         """
         status, document = self._call_raw(method, path, payload,
-                                          timeout_s)
+                                          timeout_s, headers=headers)
         if status >= 400 and "state" not in document:
             raise error_from_dict(document)
         return document
@@ -88,12 +131,17 @@ class ServiceClient:
     # -- API ------------------------------------------------------------
 
     def submit(self, request: Union[dict, AssessRequest],
-               wait_s: Optional[float] = None) -> dict:
+               wait_s: Optional[float] = None,
+               trace_id: Optional[str] = None,
+               retry_429: int = 0) -> dict:
         """Submit; returns the lifecycle document (maybe non-terminal).
 
         Typed submission rejections (400/429/503) raise; terminal
         failure states reached while waiting are returned as documents
-        (see :meth:`assess` for the raising form).
+        (see :meth:`assess` for the raising form).  ``trace_id`` rides
+        the ``X-Repro-Trace-Id`` header; ``retry_429`` re-submits up to
+        N times on queue-full rejections with capped jittered backoff
+        honoring the server's ``Retry-After`` hint.
         """
         payload = request.to_dict() \
             if isinstance(request, AssessRequest) else dict(request)
@@ -101,31 +149,56 @@ class ServiceClient:
         if wait_s is not None:
             path += f"?wait={float(wait_s)}"
         timeout = None if wait_s is None else wait_s + self.timeout_s
-        return self._call("POST", path, payload, timeout_s=timeout)
+        headers = {TRACE_HEADER: trace_id} if trace_id else None
+        attempt = 0
+        while True:
+            try:
+                return self._call("POST", path, payload,
+                                  timeout_s=timeout, headers=headers)
+            except AdmissionRejected as busy:
+                if attempt >= max(retry_429, 0):
+                    raise
+                time.sleep(backoff_delay(attempt, busy.retry_after_s))
+                attempt += 1
 
     def assess(self, request: Union[dict, AssessRequest],
-               timeout_s: float = 300.0,
-               poll_s: float = 0.25) -> dict:
+               timeout_s: float = 300.0, poll_s: float = 0.25,
+               trace_id: Optional[str] = None,
+               retry_429: int = 0) -> dict:
         """Submit and block until the result document; typed errors raise.
 
         Long-polls the daemon until the request is terminal or
         ``timeout_s`` elapses client-side.
         """
-        document = self.submit(request, wait_s=min(timeout_s, 30.0))
+        return self.assess_detailed(request, timeout_s=timeout_s,
+                                    poll_s=poll_s, trace_id=trace_id,
+                                    retry_429=retry_429)["result"]
+
+    def assess_detailed(self, request: Union[dict, AssessRequest],
+                        timeout_s: float = 300.0, poll_s: float = 0.25,
+                        trace_id: Optional[str] = None,
+                        retry_429: int = 0) -> dict:
+        """Like :meth:`assess` but returns the full terminal lifecycle
+        document (``id``, ``trace_id``, ``latency_s``, ``result``) so
+        callers can fetch the trace/report afterwards."""
+        document = self.submit(request, wait_s=min(timeout_s, 30.0),
+                               trace_id=trace_id, retry_429=retry_429)
         deadline = time.monotonic() + timeout_s
         while not document.get("terminal"):
             if time.monotonic() > deadline:
                 raise ServiceError(
                     f"request {document.get('id')} still "
                     f"{document.get('state')} after {timeout_s}s "
-                    "(client-side wait budget)")
+                    "(client-side wait budget)",
+                    request_id=document.get("id"),
+                    trace_id=document.get("trace_id"))
             time.sleep(poll_s)
             document = self.status(
                 document["id"],
                 wait_s=min(30.0, max(deadline - time.monotonic(), 0.0)))
         if document.get("state") != "done":
             raise error_from_dict(document)
-        return document["result"]
+        return document
 
     def status(self, request_id: str,
                wait_s: Optional[float] = None) -> dict:
@@ -152,6 +225,41 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._call("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the daemon's SLO registry."""
+        status, text = self._call_text("GET",
+                                       "/metrics?format=prometheus")
+        if status >= 400:
+            raise ServiceError(f"HTTP {status} from /metrics")
+        return text
+
+    def trace(self, request_id: str) -> dict:
+        """Span tree + lifecycle timeline of one request."""
+        return self._call("GET", f"/v1/requests/{request_id}/trace")
+
+    def attribution(self, request_id: str) -> dict:
+        """Per-PC attribution snapshot (typed 404 unless collected)."""
+        return self._call("GET",
+                          f"/v1/requests/{request_id}/attribution")
+
+    def report_html(self, request_id: str) -> str:
+        """Self-contained HTML report of one request."""
+        status, text = self._call_text(
+            "GET", f"/v1/requests/{request_id}/report.html")
+        if status >= 400:
+            try:
+                raise error_from_dict(json.loads(text or "{}"))
+            except json.JSONDecodeError:
+                raise ServiceError(f"HTTP {status} from report.html")
+        return text
+
+    def dashboard(self) -> str:
+        """The auto-refreshing HTML SLO dashboard page."""
+        status, text = self._call_text("GET", "/dashboard")
+        if status >= 400:
+            raise ServiceError(f"HTTP {status} from /dashboard")
+        return text
 
     def recovery(self) -> dict:
         return self._call("GET", "/v1/recovery")

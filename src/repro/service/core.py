@@ -41,14 +41,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from .. import obs
 from ..harness.engine import CompileCache, default_cache
+from ..obs import events as obs_events
+from ..obs.flamegraph import aggregate_spans
 from ..obs.registry import MetricsRegistry
+from ..obs.spans import count_spans
 from . import protocol
 from .breaker import CircuitBreaker
 from .errors import (RequestNotFound, ServiceError, ShuttingDown)
 from .executor import ExecutionFailed, execute_assessment
 from .journal import RequestJournal
-from .protocol import AssessRequest, RequestRecord
+from .protocol import AssessRequest, RequestRecord, make_trace_id
 from .queue import AdmissionQueue
 
 logger = logging.getLogger("repro.service")
@@ -84,6 +88,16 @@ class ServiceConfig:
     manifest_out: Optional[Union[str, Path]] = None
     #: Completed records kept for status queries.
     history_limit: int = 1024
+    #: Record a per-request span tree + timeline (request tracing).
+    #: Off, requests still get IDs and timelines, but no span trees.
+    trace_requests: bool = True
+    #: Structured JSONL event-log path (None = no event log).
+    event_log: Optional[Union[str, Path]] = None
+    #: Event-log rotation threshold in bytes.
+    event_log_max_bytes: int = obs_events.DEFAULT_MAX_BYTES
+    #: Span-forest node ceiling per request; larger forests are
+    #: compacted into an aggregated frame tree to bound history memory.
+    span_tree_limit: int = 2048
 
 
 class LeakageService:
@@ -99,6 +113,10 @@ class LeakageService:
             cooldown_s=self.config.breaker_cooldown_s)
         self.journal = RequestJournal(self.config.journal) \
             if self.config.journal else None
+        self.events = obs_events.EventLog(
+            self.config.event_log,
+            max_bytes=self.config.event_log_max_bytes) \
+            if self.config.event_log else None
         self.registry = MetricsRegistry()
         self._metrics_lock = threading.Lock()
         self._records_lock = threading.Lock()
@@ -144,21 +162,55 @@ class LeakageService:
                 "program variants currently quarantined") \
                 .set(self.breaker.open_count())
 
+    # -- observability helpers ------------------------------------------
+
+    def _event(self, event: str, record: RequestRecord, **detail) -> None:
+        """One fsync'd event-log line for a lifecycle transition."""
+        if self.events is not None:
+            detail.setdefault("state", record.state)
+            self.events.emit(event, id=record.id,
+                             trace_id=record.trace_id, **detail)
+
+    def _transition(self, event: str, record: RequestRecord,
+                    **detail) -> None:
+        """Record a lifecycle transition on both the in-memory timeline
+        and the durable event log."""
+        record.mark(event, **detail)
+        self._event(event, record, **detail)
+
+    def _tag_error(self, record: RequestRecord,
+                   error: Optional[ServiceError]) -> None:
+        """Stamp the request/trace IDs onto an outgoing typed error so
+        the client can fetch ``/v1/requests/<id>/trace`` afterwards."""
+        if error is None:
+            return
+        if error.request_id is None:
+            error.request_id = record.id
+        if error.trace_id is None:
+            error.trace_id = record.trace_id
+
     # -- submission -----------------------------------------------------
 
-    def submit(self, payload: Union[dict, AssessRequest]) -> RequestRecord:
+    def submit(self, payload: Union[dict, AssessRequest],
+               trace_id: Optional[str] = None) -> RequestRecord:
         """Admit one request; returns its record (state ``queued``).
 
         Raises the typed taxonomy otherwise — and journals rejected
         submissions too, so the restart accounting covers them.
+        ``trace_id`` is the client-supplied trace identifier
+        (``X-Repro-Trace-Id``); one is minted when absent.
         """
         request = payload if isinstance(payload, AssessRequest) \
             else AssessRequest.from_dict(payload)
-        record = RequestRecord(request=request)
+        record = RequestRecord(request=request,
+                               trace_id=make_trace_id(trace_id))
+        self._transition("received", record, client=request.client,
+                         priority=request.priority)
         program_key = request.program_key()
         if self.journal is not None:
             self.journal.submitted(record.id, request.client,
-                                   request.priority, program_key)
+                                   request.priority, program_key,
+                                   trace_id=record.trace_id)
         try:
             if self._draining.is_set():
                 raise ShuttingDown("service is draining; request not "
@@ -166,11 +218,14 @@ class LeakageService:
             self.breaker.admit(program_key)
             self.queue.put(record)
         except ServiceError as error:
+            self._tag_error(record, error)
             record.finish(protocol.REJECTED
                           if error.code == "admission_rejected"
                           else protocol.SHUTDOWN
                           if error.code == "shutting_down"
                           else protocol.REJECTED, error=error)
+            self._transition("terminal", record, state=record.state,
+                             code=error.code)
             self._remember(record)
             self._journal_terminal(record)
             self._count("service_rejections_total",
@@ -178,6 +233,8 @@ class LeakageService:
                         reason=error.code)
             self._set_gauges()
             raise
+        self._transition("admitted", record,
+                         queue_depth=self.queue.depth)
         self._remember(record)
         self._count("service_requests_total",
                     "requests accepted into the queue",
@@ -244,15 +301,11 @@ class LeakageService:
         record.start()
         self._set_gauges()
         queued_s = record.started_monotonic - record.submitted_monotonic
+        self._transition("started", record, queued_s=round(queued_s, 6))
         self._observe("service_queue_seconds", queued_s,
                       "time from admission to execution start")
         try:
-            result = execute_assessment(
-                request, cache=self.cache, jobs=self.config.jobs,
-                retries=self.config.retries,
-                job_timeout=self.config.job_timeout,
-                chunk_size=self.config.chunk_size,
-                deadline_monotonic=deadline, cancel=self._cancel)
+            result = self._execute(record, deadline)
         except ShuttingDown as error:
             self._finish(record, protocol.SHUTDOWN, error=error)
         except ServiceError as error:  # DeadlineExceeded, ExecutionFailed
@@ -279,10 +332,56 @@ class LeakageService:
             self.breaker.record_success(program_key)
             self._finish(record, protocol.DONE, result=result)
 
+    def _execute(self, record: RequestRecord,
+                 deadline: Optional[float]) -> dict:
+        """Run one request's assessment, with request-scoped tracing.
+
+        The scope is **forced** for this thread only (see
+        :func:`repro.obs.scope`): the global sink stays off, sibling
+        executor threads trace their own requests independently, and the
+        span tree is captured in a ``finally`` — a request that fails or
+        times out mid-chunk keeps the partial tree the finished jobs
+        already grafted, instead of dropping it with the chunk.
+        """
+        request = record.request
+
+        def on_event(event: str, **detail) -> None:
+            self._transition(event, record, **detail)
+
+        kwargs = dict(cache=self.cache, jobs=self.config.jobs,
+                      retries=self.config.retries,
+                      job_timeout=self.config.job_timeout,
+                      chunk_size=self.config.chunk_size,
+                      deadline_monotonic=deadline, cancel=self._cancel,
+                      on_event=on_event)
+        if not self.config.trace_requests:
+            return execute_assessment(request, **kwargs)
+        attribute = request.attribution
+        with obs.scope(force=True, attribution=attribute) as scoped:
+            try:
+                return execute_assessment(request, observe=True,
+                                          attribute=attribute, **kwargs)
+            finally:
+                self._capture_trace(record, scoped, attribute)
+
+    def _capture_trace(self, record: RequestRecord, scoped,
+                       attribute: bool) -> None:
+        tree = scoped.tracer.tree()
+        if count_spans(tree) > max(self.config.span_tree_limit, 1):
+            record.spans = [aggregate_spans(tree).to_dict()]
+            record.spans_compacted = True
+        else:
+            record.spans = tree
+        if attribute:
+            record.attribution_snapshot = scoped.attribution.snapshot()
+
     def _finish(self, record: RequestRecord, state: str,
                 result: Optional[dict] = None,
                 error: Optional[ServiceError] = None) -> None:
+        self._tag_error(record, error)
         record.finish(state, result=result, error=error)
+        self._transition("terminal", record, state=record.state,
+                         **({"code": error.code} if error else {}))
         self._journal_terminal(record)
         latency = record.latency_s or 0.0
         self.queue.observe_service_time(latency)
@@ -362,9 +461,13 @@ class LeakageService:
         self._draining.set()
         abandoned = self.queue.drain()
         for record in abandoned:
-            record.finish(protocol.SHUTDOWN, error=ShuttingDown(
+            error = ShuttingDown(
                 "service shut down before this request started; "
-                "resubmit to a live instance"))
+                "resubmit to a live instance")
+            self._tag_error(record, error)
+            record.finish(protocol.SHUTDOWN, error=error)
+            self._transition("terminal", record, state=protocol.SHUTDOWN,
+                             code=error.code)
             self._journal_terminal(record)
             self._count("service_terminal_total", state=protocol.SHUTDOWN)
         deadline = time.monotonic() + max(grace, 0.0)
@@ -390,12 +493,12 @@ class LeakageService:
             summary["manifest"] = str(self._write_manifest())
         if self.journal is not None:
             self.journal.close()
+        if self.events is not None:
+            self.events.close()
         return summary
 
     def _write_manifest(self) -> Path:
         """Publish the session's SLO metrics as a standard run manifest."""
-        from .. import obs
-
         health = self.health()
         manifest = obs.build_manifest(
             experiment_id="service",

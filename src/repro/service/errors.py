@@ -32,10 +32,17 @@ class ServiceError(RuntimeError):
     retryable = False
 
     def __init__(self, message: str,
-                 retry_after_s: Optional[float] = None):
+                 retry_after_s: Optional[float] = None,
+                 request_id: Optional[str] = None,
+                 trace_id: Optional[str] = None):
         super().__init__(message)
         self.message = message
         self.retry_after_s = retry_after_s
+        #: Request/trace identifiers, when the failure happened after an
+        #: ID was minted — even a 429'd request is remembered, so the
+        #: client can fetch ``/v1/requests/<id>/trace`` for its timeline.
+        self.request_id = request_id
+        self.trace_id = trace_id
 
     def to_dict(self) -> dict:
         """Wire form: ``{"error": {...}}`` body of a non-2xx response."""
@@ -43,6 +50,10 @@ class ServiceError(RuntimeError):
                          "retryable": self.retryable}
         if self.retry_after_s is not None:
             payload["retry_after_s"] = round(float(self.retry_after_s), 3)
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         return {"error": payload}
 
 
@@ -120,5 +131,7 @@ def error_from_dict(document: dict) -> ServiceError:
     payload = document.get("error", document)
     cls = ERROR_TYPES.get(payload.get("code", ""), ServiceError)
     error = cls(payload.get("message", "unknown service error"),
-                retry_after_s=payload.get("retry_after_s"))
+                retry_after_s=payload.get("retry_after_s"),
+                request_id=payload.get("request_id"),
+                trace_id=payload.get("trace_id"))
     return error

@@ -28,6 +28,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from .. import obs
 from ..harness.engine import CompileCache, SimJob, default_cache, run_jobs
 from ..harness.resilience import JobFailure
 from .errors import DeadlineExceeded, RequestFailed, ShuttingDown
@@ -54,8 +55,15 @@ class ExecutionFailed(RequestFailed):
                    for f in self.failures)
 
 
-def _build_jobs(request: AssessRequest, program) -> list[SimJob]:
-    """The request's job batch — collect_traces-shaped for bit-identity."""
+def _build_jobs(request: AssessRequest, program, *,
+                observe: bool = False,
+                attribute: bool = False) -> list[SimJob]:
+    """The request's job batch — collect_traces-shaped for bit-identity.
+
+    ``observe``/``attribute`` ride on the jobs themselves so pool
+    workers (fresh processes, blind to the submitter's thread-local
+    forced scope) still record and ship their span trees home.
+    """
     from ..attacks.dpa import random_plaintexts
 
     if request.mode == "pair":
@@ -67,7 +75,8 @@ def _build_jobs(request: AssessRequest, program) -> list[SimJob]:
     return [SimJob(program=program, des_pair=pair,
                    noise_sigma=request.noise_sigma, noise_seed=index + 1,
                    label=f"trace[{index}]", max_cycles=request.max_cycles,
-                   engine=request.engine)
+                   engine=request.engine, observe=observe,
+                   attribute=attribute)
             for index, pair in enumerate(pairs)]
 
 
@@ -117,44 +126,73 @@ def execute_assessment(
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         deadline_monotonic: Optional[float] = None,
         cancel: Optional[threading.Event] = None,
-        on_chunk: Optional[Callable[[int, int], None]] = None) -> dict:
+        on_chunk: Optional[Callable[[int, int], None]] = None,
+        observe: bool = False,
+        attribute: bool = False,
+        on_event: Optional[Callable[..., None]] = None) -> dict:
     """Run one assessment request to completion in the current thread.
 
     Raises :class:`DeadlineExceeded` / :class:`ShuttingDown` at chunk
     boundaries, and :class:`ExecutionFailed` when traces still fail
     after the retry budget.  Returns the result document (JSON-ready).
+
+    ``observe``/``attribute`` turn on per-job tracing for the batch (the
+    caller is expected to hold an :func:`repro.obs.scope` so the spans
+    land somewhere); ``on_event(name, **detail)`` receives lifecycle
+    marks — ``deadline_check``, ``chunk``, ``chunk_failed`` — that the
+    daemon folds into the request timeline.  Neither affects the energy
+    result: traces are bit-identical with tracing on or off.
     """
+
+    def emit(event: str, **detail) -> None:
+        if on_event is not None:
+            on_event(event, **detail)
+
     start = time.perf_counter()
     cache = cache if cache is not None else default_cache()
     compile_request = request.compile_request()
-    hits_before = cache.stats.hits
-    program = cache.program_for(compile_request)
-    cache_hit = cache.stats.hits > hits_before
-    batch = _build_jobs(request, program)
+    with obs.span("compile", cipher=request.cipher,
+                  masking=request.masking):
+        hits_before = cache.stats.hits
+        program = cache.program_for(compile_request)
+        cache_hit = cache.stats.hits > hits_before
+    batch = _build_jobs(request, program, observe=observe,
+                        attribute=attribute)
     plaintexts = [job.des_pair[1] for job in batch]
 
     results: list = []
     engines: dict[str, int] = {}
-    for offset in range(0, len(batch), max(chunk_size, 1)):
+    for number, offset in enumerate(
+            range(0, len(batch), max(chunk_size, 1))):
         if cancel is not None and cancel.is_set():
+            emit("cancelled", done=len(results), total=len(batch))
             raise ShuttingDown(
                 f"request cancelled after {len(results)}/{len(batch)} "
                 "traces (service draining)")
-        if deadline_monotonic is not None \
-                and time.monotonic() > deadline_monotonic:
-            raise DeadlineExceeded(
-                f"deadline exceeded after {len(results)}/{len(batch)} "
-                "traces")
+        if deadline_monotonic is not None:
+            remaining = deadline_monotonic - time.monotonic()
+            emit("deadline_check", remaining_s=round(remaining, 6))
+            if remaining < 0:
+                raise DeadlineExceeded(
+                    f"deadline exceeded after {len(results)}/{len(batch)} "
+                    "traces")
         chunk = batch[offset:offset + max(chunk_size, 1)]
         # Always the "retry" policy (retries=0 just means one attempt):
         # failures come back as typed JobFailure records, so a worker
         # crash feeds the circuit breaker instead of surfacing as a raw
         # BrokenProcessPool.
-        chunk_results = run_jobs(
-            chunk, jobs=jobs, failure_policy="retry",
-            retries=retries, job_timeout=job_timeout)
+        with obs.span(f"chunk[{number}]", traces=len(chunk)):
+            chunk_results = run_jobs(
+                chunk, jobs=jobs, failure_policy="retry",
+                retries=retries, job_timeout=job_timeout)
         failures = [r for r in chunk_results if isinstance(r, JobFailure)]
         if failures:
+            # Spans from the chunk's *successful* jobs were already
+            # grafted by run_jobs before this raise, so a mid-chunk
+            # failure still leaves a partial span tree behind.
+            emit("chunk_failed", done=len(results), total=len(batch),
+                 failed=len(failures),
+                 error_type=failures[0].error_type)
             raise ExecutionFailed(
                 f"{len(failures)} trace(s) failed after "
                 f"{retries + 1} attempt(s): "
@@ -163,10 +201,13 @@ def execute_assessment(
         for result in chunk_results:
             engines[result.engine] = engines.get(result.engine, 0) + 1
             results.append(result)
+        emit("chunk", done=len(results), total=len(batch))
         if on_chunk is not None:
             on_chunk(len(results), len(batch))
 
     cycles = {result.cycles for result in results}
+    with obs.span("verdict", mode=request.mode):
+        verdict = _verdict(request, results, plaintexts)
     return {
         "schema": SCHEMA,
         "request": request.to_dict(),
@@ -176,6 +217,6 @@ def execute_assessment(
         "total_pj": round(float(sum(r.total_pj for r in results)), 6),
         "engines": dict(sorted(engines.items())),
         "cache_hit": cache_hit,
-        "verdict": _verdict(request, results, plaintexts),
+        "verdict": verdict,
         "wall_s": round(time.perf_counter() - start, 6),
     }

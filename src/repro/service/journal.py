@@ -100,10 +100,14 @@ class RequestJournal:
     # -- lifecycle frames ----------------------------------------------
 
     def submitted(self, request_id: str, client: str, priority: str,
-                  program_key: str) -> None:
-        self._write({"event": "submitted", "id": request_id,
-                     "client": client, "priority": priority,
-                     "program": program_key[:12]})
+                  program_key: str,
+                  trace_id: Optional[str] = None) -> None:
+        record = {"event": "submitted", "id": request_id,
+                  "client": client, "priority": priority,
+                  "program": program_key[:12]}
+        if trace_id:
+            record["trace_id"] = trace_id
+        self._write(record)
 
     def terminal(self, request_id: str, state: str,
                  detail: Optional[str] = None) -> None:

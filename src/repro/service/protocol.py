@@ -19,8 +19,10 @@ which a submitted request silently disappears.
 from __future__ import annotations
 
 import itertools
+import re
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -95,6 +97,9 @@ class AssessRequest:
     client: str = "anonymous"
     priority: str = "normal"
     deadline_s: Optional[float] = None
+    #: Collect per-PC energy attribution for this request (observability
+    #: only — the energy result stays bit-identical either way).
+    attribution: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -141,6 +146,8 @@ class AssessRequest:
             raise InvalidRequest("deadline_s must be > 0")
         if not self.client or not isinstance(self.client, str):
             raise InvalidRequest("client must be a non-empty string")
+        if not isinstance(self.attribution, bool):
+            raise InvalidRequest("attribution must be a boolean")
 
     # -- wire form ------------------------------------------------------
 
@@ -155,6 +162,7 @@ class AssessRequest:
             "budget_pj": self.budget_pj, "budget_t": self.budget_t,
             "max_cycles": self.max_cycles, "client": self.client,
             "priority": self.priority, "deadline_s": self.deadline_s,
+            "attribution": self.attribution,
         }
 
     @classmethod
@@ -229,9 +237,38 @@ def next_request_id(prefix: str = "req") -> str:
     return f"{prefix}-{next(_request_counter):06d}"
 
 
+#: Charset/length contract for client-supplied trace IDs
+#: (``X-Repro-Trace-Id`` header, ``--trace-id`` flag, ``REPRO_TRACE_ID``).
+TRACE_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,128}$")
+
+
+def make_trace_id(candidate: Optional[str] = None) -> str:
+    """Validate a client-supplied trace ID or mint a fresh one.
+
+    Invalid candidates raise :class:`InvalidRequest` rather than being
+    silently replaced — a client that sends a trace ID wants to find the
+    request by it later.
+    """
+    if candidate is None or candidate == "":
+        return f"tr-{uuid.uuid4().hex[:20]}"
+    if not isinstance(candidate, str) or not TRACE_ID_RE.match(candidate):
+        raise InvalidRequest(
+            "trace id must match [A-Za-z0-9._:-]{1,128}")
+    return candidate
+
+
 @dataclass
 class RequestRecord:
-    """Server-side lifecycle of one admitted (or rejected) request."""
+    """Server-side lifecycle of one admitted (or rejected) request.
+
+    Beyond the state machine, the record carries the request's
+    observability: the trace ID (client-supplied or minted), a
+    **timeline** of lifecycle marks (:meth:`mark` — received, admitted,
+    started, chunks, deadline checks, terminal), and — when request
+    tracing is on — the grafted span tree and attribution snapshot the
+    executor captured.  :meth:`trace_document` is the JSON the
+    ``GET /v1/requests/<id>/trace`` endpoint serves.
+    """
 
     request: AssessRequest
     id: str = field(default_factory=next_request_id)
@@ -243,6 +280,18 @@ class RequestRecord:
     finished_monotonic: Optional[float] = None
     terminal: threading.Event = field(default_factory=threading.Event,
                                       repr=False, compare=False)
+    trace_id: str = field(default_factory=make_trace_id)
+    #: Lifecycle marks: ``{"event", "t_s" (relative to submission),
+    #: "ts" (wall clock), **detail}`` in occurrence order.
+    timeline: list = field(default_factory=list, compare=False)
+    #: Request-scoped span forest (request tracing enabled only).
+    spans: Optional[list] = field(default=None, compare=False)
+    #: Whether the span forest was compacted into an aggregated frame
+    #: tree to bound history memory (see ``ServiceConfig.span_tree_limit``).
+    spans_compacted: bool = False
+    #: Per-PC attribution snapshot (``request.attribution`` only).
+    attribution_snapshot: Optional[dict] = field(default=None,
+                                                 compare=False)
 
     @property
     def deadline_monotonic(self) -> Optional[float]:
@@ -273,12 +322,30 @@ class RequestRecord:
             return None
         return self.finished_monotonic - self.submitted_monotonic
 
+    @property
+    def queued_s(self) -> Optional[float]:
+        """Queue wait: submission to execution start (None if never
+        started — rejected at admission, or drained while queued)."""
+        if self.started_monotonic is None:
+            return None
+        return self.started_monotonic - self.submitted_monotonic
+
+    def mark(self, event: str, **detail) -> None:
+        """Record one lifecycle transition on the timeline."""
+        entry = {"event": event,
+                 "t_s": round(time.monotonic()
+                              - self.submitted_monotonic, 6),
+                 "ts": round(time.time(), 6)}
+        entry.update(detail)
+        self.timeline.append(entry)
+
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until terminal (or timeout); True when terminal."""
         return self.terminal.wait(timeout)
 
     def to_dict(self, include_request: bool = True) -> dict:
         document: dict = {"schema": SCHEMA, "id": self.id,
+                          "trace_id": self.trace_id,
                           "state": self.state,
                           "terminal": self.terminal.is_set()}
         if include_request:
@@ -287,6 +354,27 @@ class RequestRecord:
             document["latency_s"] = round(self.latency_s, 6)
         if self.result is not None:
             document["result"] = self.result
+        if self.error is not None:
+            document.update(self.error.to_dict())
+        return document
+
+    def trace_document(self) -> dict:
+        """Span tree + timeline JSON for ``GET /v1/requests/<id>/trace``."""
+        document: dict = {"schema": SCHEMA, "id": self.id,
+                          "trace_id": self.trace_id,
+                          "state": self.state,
+                          "terminal": self.terminal.is_set(),
+                          "request": self.request.to_dict(),
+                          "timeline": list(self.timeline)}
+        if self.queued_s is not None:
+            document["queued_s"] = round(self.queued_s, 6)
+        if self.latency_s is not None:
+            document["latency_s"] = round(self.latency_s, 6)
+        if self.spans is not None:
+            document["spans"] = self.spans
+            document["spans_compacted"] = self.spans_compacted
+        if self.attribution_snapshot is not None:
+            document["attribution"] = self.attribution_snapshot
         if self.error is not None:
             document.update(self.error.to_dict())
         return document

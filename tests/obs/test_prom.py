@@ -1,0 +1,156 @@
+"""Prometheus exposition: golden file, escaping, round-trip agreement."""
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs.prom import (CONTENT_TYPE, PromParseError,
+                            assert_snapshot_agreement, escape_label_value,
+                            format_value, parse_prometheus,
+                            render_prometheus, samples_from_snapshot,
+                            sanitize_name)
+from repro.obs.registry import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "metrics.prom"
+
+
+def golden_registry() -> MetricsRegistry:
+    """A deterministic registry covering every metric kind."""
+    registry = MetricsRegistry()
+    ops = registry.counter("ops_total", help="operations by opcode")
+    ops.inc(3, opcode="xor", secure=True)
+    ops.inc(1, opcode="lw", secure=False)
+    registry.gauge("queue_depth", help="queued requests").set(7)
+    latency = registry.histogram("latency_seconds",
+                                 help="request latency",
+                                 buckets=(0.1, 1.0, 10.0))
+    latency.observe(0.05, client="cli")
+    latency.observe(0.5, client="cli")
+    latency.observe(30.0, client="cli")
+    return registry
+
+
+# -- golden file ------------------------------------------------------------
+
+
+def test_golden_file_matches_renderer():
+    text = render_prometheus(golden_registry().snapshot())
+    assert text == GOLDEN.read_text(), (
+        "exposition drifted from tests/obs/golden/metrics.prom; if the "
+        "change is intentional, regenerate the golden file")
+
+
+def test_golden_file_parses_and_agrees():
+    snapshot = golden_registry().snapshot()
+    assert_snapshot_agreement(snapshot, GOLDEN.read_text())
+
+
+def test_golden_histogram_buckets_are_cumulative():
+    parsed = parse_prometheus(GOLDEN.read_text())
+    buckets = {labels: value for (name, labels), value
+               in parsed["samples"].items()
+               if name == "latency_seconds_bucket"}
+    by_le = {dict(labels)["le"]: value for labels, value in buckets.items()}
+    assert by_le == {"0.1": 1, "1": 2, "10": 2, "+Inf": 3}
+    assert parsed["samples"][("latency_seconds_count",
+                              (("client", "cli"),))] == 3
+    assert parsed["types"]["latency_seconds"] == "histogram"
+
+
+# -- escaping ---------------------------------------------------------------
+
+
+def test_label_escaping_round_trips():
+    nasty = 'quote " backslash \\ newline \n tab\tend'
+    registry = MetricsRegistry()
+    registry.counter("evil").inc(label=nasty)
+    snapshot = registry.snapshot()
+    text = render_prometheus(snapshot)
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+    sample_lines = [line for line in text.splitlines()
+                    if line.startswith("evil{")]
+    assert len(sample_lines) == 1  # the newline was escaped, not emitted
+    parsed = parse_prometheus(text)
+    assert parsed["samples"][("evil", (("label", nasty),))] == 1.0
+    assert_snapshot_agreement(snapshot, text)
+
+
+def test_escape_label_value_spec():
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("a\nb") == "a\\nb"
+
+
+def test_sanitize_name():
+    assert sanitize_name("service.request-seconds") == \
+        "service_request_seconds"
+    assert sanitize_name("9lives") == "_9lives"
+    assert sanitize_name("") == "_"
+
+
+def test_format_value_edge_cases():
+    assert format_value(3) == "3"
+    assert format_value(3.5) == "3.5"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("-inf")) == "-Inf"
+    assert format_value(float("nan")) == "NaN"
+    assert format_value(2.0 ** 53) == repr(2.0 ** 53)
+
+
+# -- round trip -------------------------------------------------------------
+
+
+def test_round_trip_equals_snapshot_oracle():
+    snapshot = golden_registry().snapshot()
+    parsed = parse_prometheus(render_prometheus(snapshot))
+    assert parsed["samples"] == samples_from_snapshot(snapshot)
+
+
+def test_agreement_detects_missing_series():
+    snapshot = golden_registry().snapshot()
+    text = render_prometheus(snapshot)
+    clipped = "\n".join(line for line in text.splitlines()
+                        if not line.startswith("queue_depth")) + "\n"
+    with pytest.raises(AssertionError):
+        assert_snapshot_agreement(snapshot, clipped)
+
+
+def test_agreement_detects_distorted_value():
+    snapshot = golden_registry().snapshot()
+    text = render_prometheus(snapshot).replace("queue_depth 7",
+                                               "queue_depth 8")
+    with pytest.raises(AssertionError):
+        assert_snapshot_agreement(snapshot, text)
+
+
+def test_agreement_ignore_skips_metric_family():
+    snapshot = golden_registry().snapshot()
+    text = "\n".join(line for line in
+                     render_prometheus(snapshot).splitlines()
+                     if "latency_seconds" not in line) + "\n"
+    assert_snapshot_agreement(snapshot, text,
+                              ignore={"latency_seconds"})
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(PromParseError):
+        parse_prometheus('broken{label="unterminated} 1\n')
+    with pytest.raises(PromParseError):
+        parse_prometheus("name_without_value\n")
+    with pytest.raises(PromParseError):
+        parse_prometheus("metric 1.2.3\n")
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus({}) == ""
+    assert parse_prometheus("")["samples"] == {}
+
+
+def test_nan_sum_round_trips():
+    parsed = parse_prometheus("weird NaN\n")
+    assert math.isnan(parsed["samples"][("weird", ())])
+
+
+def test_content_type_pin():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

@@ -110,6 +110,14 @@ def test_histogram_summary_unseen_series_is_zeros():
         "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
+def test_histogram_quantile_zero_count_is_zero():
+    # regression: quantile() on a never-observed series must not divide
+    # by a zero count or emit NaN/Inf into snapshots
+    histogram = Histogram("h")
+    assert histogram.quantile(0.95) == 0.0
+    assert histogram.quantile(0.5, label="nope") == 0.0
+
+
 def test_histogram_summary_mean():
     histogram = Histogram("h", buckets=(10.0,))
     for value in (1.0, 2.0, 6.0):

@@ -105,3 +105,79 @@ def test_obs_span_records_when_enabled(obs_on):
     tree = obs_on.tracer.tree()
     assert tree[0]["name"] == "visible"
     assert tree[0]["attributes"] == {"why": "test"}
+
+
+def test_phase_totals_folds_indexed_siblings():
+    from repro.obs.spans import phase_totals
+
+    tracer = Tracer()
+    with tracer.span("compile"):
+        pass
+    for number in range(3):
+        with tracer.span(f"chunk[{number}]"):
+            with tracer.span("job"):
+                pass
+    totals = phase_totals(tracer.tree())
+    assert set(totals) == {"compile", "chunk", "job"}
+    assert totals["chunk"]["count"] == 3
+    assert totals["job"]["count"] == 3
+    assert totals["chunk"]["wall_s"] >= 0.0
+
+
+def test_phase_totals_unfolded_keeps_indices():
+    from repro.obs.spans import phase_totals
+
+    tracer = Tracer()
+    with tracer.span("chunk[0]"):
+        pass
+    with tracer.span("chunk[1]"):
+        pass
+    totals = phase_totals(tracer.tree(), fold_indexed=False)
+    assert set(totals) == {"chunk[0]", "chunk[1]"}
+
+
+def test_count_spans_counts_every_node():
+    from repro.obs.spans import count_spans
+
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+        with tracer.span("c"):
+            with tracer.span("d"):
+                pass
+    assert count_spans(tracer.tree()) == 4
+    assert count_spans([]) == 0
+
+
+def test_forced_scope_enables_without_global_sink():
+    assert not obs.enabled()
+    with obs.scope(force=True) as scoped:
+        assert obs.enabled()
+        assert not obs.attribution_enabled()
+        with obs.span("traced"):
+            pass
+        assert scoped.tracer.tree()[0]["name"] == "traced"
+    assert not obs.enabled()  # force is scoped, not sticky
+
+
+def test_forced_scope_attribution_flag():
+    with obs.scope(force=True, attribution=True):
+        assert obs.enabled()
+        assert obs.attribution_enabled()
+    assert not obs.attribution_enabled()
+
+
+def test_forced_scope_is_thread_local():
+    import threading
+
+    seen = {}
+
+    def peer():
+        seen["enabled"] = obs.enabled()
+
+    with obs.scope(force=True):
+        thread = threading.Thread(target=peer)
+        thread.start()
+        thread.join()
+    assert seen["enabled"] is False  # forcing never leaks across threads

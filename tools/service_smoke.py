@@ -16,11 +16,16 @@ promises to survive, and exits nonzero if any promise is broken:
    is 0;
 5. the drain writes the SLO manifest (latency quantiles, rejection and
    terminal-state counters) and the request journal accounts for every
-   submission exactly once.
+   submission exactly once;
+6. ``GET /metrics?format=prometheus`` parses and agrees sample-for-
+   sample with the JSON snapshot; a completed request's trace and HTML
+   report are retrievable; a 429 rejection carries a request ID whose
+   timeline stays queryable; the JSONL event log replays into the same
+   lifecycle the live timeline recorded.
 
 Usage: ``PYTHONPATH=src python tools/service_smoke.py [--keep DIR]``.
-The manifest/journal land in ``DIR`` (default: a temp dir) so CI can
-upload them as artifacts.
+The manifest/journal/trace/report/prometheus artifacts land in ``DIR``
+(default: a temp dir) so CI can upload them.
 """
 
 import argparse
@@ -36,11 +41,19 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.obs import prom                              # noqa: E402
+from repro.obs.events import (replay_events,            # noqa: E402
+                              timeline_from_events)
 from repro.service.client import ServiceClient          # noqa: E402
 from repro.service.errors import AdmissionRejected      # noqa: E402
 from repro.service.executor import execute_assessment   # noqa: E402
 from repro.service.journal import replay                # noqa: E402
 from repro.service.protocol import AssessRequest        # noqa: E402
+
+#: Gauges recomputed at scrape time — excluded from the JSON-vs-prom
+#: agreement check because the two scrapes are separate HTTP calls.
+VOLATILE = {"service_queue_depth", "service_inflight",
+            "service_breaker_open"}
 
 PAIR = {"mode": "pair", "rounds": 2, "client": "smoke"}
 SLOW = {"mode": "population", "rounds": 2, "n_traces": 8, "seed": 2003,
@@ -71,6 +84,7 @@ def main() -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     journal_path = out_dir / "service-journal.jsonl"
     manifest_path = out_dir / "service-manifest.json"
+    event_log_path = out_dir / "service-events.jsonl"
 
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
     env.pop("REPRO_FAULT_PLAN", None)
@@ -79,7 +93,8 @@ def main() -> int:
          "--workers", "1", "--jobs", "2", "--queue-depth", "2",
          "--chunk-size", "4", "--drain-grace", "120",
          "--journal", str(journal_path),
-         "--manifest-out", str(manifest_path)],
+         "--manifest-out", str(manifest_path),
+         "--event-log", str(event_log_path)],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE,
         env=env, text=True, cwd=REPO_ROOT)
     try:
@@ -89,12 +104,42 @@ def main() -> int:
         client = ServiceClient(
             f"http://{listening['host']}:{listening['port']}")
 
-        # 1. bit-identity over the wire -------------------------------
+        # 1. bit-identity over the wire (with request tracing on) -----
         print("smoke: bit-identity ...", flush=True)
-        served = client.assess(PAIR, timeout_s=300.0)
+        detailed = client.assess_detailed(PAIR, timeout_s=300.0,
+                                          trace_id="tr-smoke-identity")
+        served = detailed["result"]
         local = execute_assessment(AssessRequest.from_dict(PAIR))
         check(served["trace_digest"] == local["trace_digest"],
               "HTTP result digest differs from in-process execution")
+        check(detailed["trace_id"] == "tr-smoke-identity",
+              f"client trace ID not honored: {detailed['trace_id']}")
+
+        # 1b. the completed request is fully explainable --------------
+        print("smoke: trace + report endpoints ...", flush=True)
+        trace = client.trace(detailed["id"])
+        events = [entry["event"] for entry in trace["timeline"]]
+        check(events[0] == "received" and events[-1] == "terminal"
+              and "started" in events,
+              f"incomplete lifecycle timeline: {events}")
+        check(trace.get("spans"),
+              "completed request has no span tree")
+        (out_dir / "request-trace.json").write_text(
+            json.dumps(trace, indent=2, sort_keys=True))
+        report = client.report_html(detailed["id"])
+        check(report.lstrip().startswith("<!DOCTYPE html>")
+              and detailed["id"] in report,
+              "report.html is not a self-contained request report")
+        (out_dir / "request-report.html").write_text(report)
+
+        # 1c. prometheus exposition agrees with the JSON snapshot -----
+        print("smoke: prometheus exposition ...", flush=True)
+        snapshot = client.metrics()
+        text = client.metrics_text()
+        (out_dir / "metrics.prom").write_text(text)
+        parsed = prom.parse_prometheus(text)
+        check(parsed["samples"], "prometheus exposition carried no samples")
+        prom.assert_snapshot_agreement(snapshot, text, ignore=VOLATILE)
 
         # 2 + 3. admission trip and queued-deadline miss --------------
         print("smoke: admission control + deadlines ...", flush=True)
@@ -109,6 +154,12 @@ def main() -> int:
         except AdmissionRejected as error:
             check(error.http_status == 429 and error.retry_after_s >= 1.0,
                   f"untyped admission rejection: {error!r}")
+            check(error.request_id is not None,
+                  "429 rejection carries no request ID")
+            rejected_trace = client.trace(error.request_id)
+            check(rejected_trace["state"] == "rejected"
+                  and rejected_trace["timeline"][-1]["event"] == "terminal",
+                  f"rejected request has no timeline: {rejected_trace}")
         final_doomed = client.status(doomed["id"], wait_s=120.0)
         check(final_doomed["state"] == "timed_out"
               and final_doomed["error"]["code"] == "deadline_exceeded",
@@ -163,6 +214,15 @@ def main() -> int:
           f"journal accounting {report.completed} != {expected}")
     check(report.total_submitted == sum(expected.values()),
           "journal total_submitted mismatch")
+
+    # 6. event-log replay matches the live timeline -------------------
+    print("smoke: event-log replay ...", flush=True)
+    check(event_log_path.exists(), "daemon wrote no event log")
+    replayed = timeline_from_events(replay_events(event_log_path),
+                                    detailed["id"])
+    check([entry["event"] for entry in replayed]
+          == [entry["event"] for entry in trace["timeline"]],
+          "event-log replay disagrees with the live timeline")
 
     print(f"service smoke OK: {report.total_submitted} requests, "
           f"each in exactly one terminal state "
