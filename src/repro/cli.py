@@ -415,7 +415,11 @@ def cmd_serve(arguments: argparse.Namespace) -> int:
         journal=arguments.journal, manifest_out=arguments.manifest_out,
         event_log=arguments.event_log,
         event_log_max_bytes=arguments.event_log_max_bytes,
-        trace_requests=not arguments.no_request_tracing)
+        trace_requests=not arguments.no_request_tracing,
+        verdict_cache_bytes=(0 if arguments.no_verdict_cache
+                             else arguments.verdict_cache_bytes),
+        quota_rps=arguments.quota_rps,
+        quota_burst=arguments.quota_burst)
 
     def announce(event: dict) -> None:
         print(json.dumps(event, sort_keys=True), flush=True)
@@ -450,6 +454,8 @@ def cmd_submit(arguments: argparse.Namespace) -> int:
         payload["deadline_s"] = arguments.deadline
     if arguments.attribution:
         payload["attribution"] = True
+    if arguments.no_cache:
+        payload["cache"] = False
     trace_id = arguments.trace_id or os.environ.get("REPRO_TRACE_ID") \
         or None
     request_id = None
@@ -498,6 +504,10 @@ def cmd_submit(arguments: argparse.Namespace) -> int:
     print(f"trace digest:  {result['trace_digest']}")
     print(f"engines:       {result['engines']} "
           f"(cache {'hit' if result['cache_hit'] else 'miss'})")
+    verdict_cache = result.get("verdict_cache") or {}
+    if verdict_cache.get("hit"):
+        print(f"verdict cache: hit "
+              f"(age {verdict_cache.get('age_s', 0.0):.3f} s)")
     print(f"wall time:     {result['wall_s']:.3f} s")
     return 0
 
@@ -694,6 +704,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable per-request span trees and "
                               "timelines (trace endpoints answer with "
                               "empty documents)")
+    p_serve.add_argument("--verdict-cache-bytes", type=int,
+                         dest="verdict_cache_bytes",
+                         default=32 * 1024 * 1024,
+                         help="LRU byte budget of the content-addressed "
+                              "verdict cache (default 32 MiB); repeat "
+                              "submissions of an identical request "
+                              "answer from memory, bit-identical")
+    p_serve.add_argument("--no-verdict-cache", action="store_true",
+                         dest="no_verdict_cache",
+                         help="disable the verdict cache (every request "
+                              "simulates, even exact repeats)")
+    p_serve.add_argument("--quota-rps", type=float, dest="quota_rps",
+                         default=None,
+                         help="per-tenant admission quota in requests/s "
+                              "(token bucket; default: no quota). "
+                              "Exceeding tenants get typed 429s with "
+                              "code quota_exceeded")
+    p_serve.add_argument("--quota-burst", type=float, dest="quota_burst",
+                         default=None,
+                         help="token-bucket burst capacity per tenant "
+                              "(default: 2x the quota rate)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_submit = subparsers.add_parser(
@@ -745,9 +776,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "the daemon mints one)")
     p_submit.add_argument("--retry-429", type=int, default=0,
                           dest="retry_429", metavar="N",
-                          help="re-submit up to N times on queue-full "
-                               "429s with capped jittered backoff "
-                               "honoring Retry-After (default 0)")
+                          help="re-submit up to N times on 429s (queue "
+                               "full or tenant quota) with capped "
+                               "jittered backoff honoring Retry-After "
+                               "(default 0)")
+    p_submit.add_argument("--no-cache", action="store_true",
+                          dest="no_cache",
+                          help="bypass the daemon's verdict cache and "
+                               "force a fresh simulation")
     p_submit.add_argument("--attribution", action="store_true",
                           help="collect per-PC energy attribution; "
                                "retrievable afterwards via "

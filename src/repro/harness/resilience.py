@@ -748,6 +748,12 @@ def _make_pool(workers: int):
         return None
 
 
+#: Pristine reference for the shared pool's factory-identity check:
+#: a monkeypatched ``_make_pool`` no longer matches, so injected pool
+#: refusals bypass the warm shared pool instead of being masked by it.
+_DEFAULT_POOL_FACTORY = _make_pool
+
+
 def _kill_pool(pool) -> None:
     """Forcibly stop a pool whose worker is wedged past its deadline."""
     processes = getattr(pool, "_processes", None) or {}
@@ -772,8 +778,15 @@ def _run_pool(state: _BatchState, pending: Sequence[int],
     from concurrent.futures import FIRST_COMPLETED, wait
     from concurrent.futures.process import BrokenProcessPool
 
+    from . import pool as pool_module
+
     workers = min(jobs, len(pending))
-    pool = _make_pool(workers)
+    # Lease the process-wide warm pool instead of forking a fresh
+    # executor per batch; the lease duck-types submit/kill/rebuild so
+    # every recovery path below is unchanged.  ``_make_pool`` is passed
+    # as the factory so a monkeypatched refusal still degrades to
+    # serial through a private lease.
+    pool = pool_module.acquire_lease(workers, factory=_make_pool)
     if pool is None:
         _run_serial(state, pending)
         return
@@ -804,10 +817,10 @@ def _run_pool(state: _BatchState, pending: Sequence[int],
             counter.inc()
         casualties = list(inflight.values())
         inflight.clear()
-        # _kill_pool, not a bare shutdown(wait=False): a broken pool can
+        # kill(), not a bare shutdown(wait=False): a broken pool can
         # strand its surviving workers blocked on the call queue, and the
         # non-daemon executor manager thread then hangs interpreter exit.
-        _kill_pool(pool)
+        pool.kill()
         if state.failure_policy == "raise":
             raise error
         for index, attempt, start in casualties:
@@ -825,16 +838,20 @@ def _run_pool(state: _BatchState, pending: Sequence[int],
             counter = _obs_counter("pool_serial_degradations")
             if counter is not None:
                 counter.inc()
+            pool.release()
             pool = None
-        else:
-            pool = _make_pool(workers)
+        elif not pool.rebuild():
+            pool.release()
+            pool = None
 
     try:
         while queue or inflight:
             signum = state.interrupt_check()
             if signum is not None:
-                _kill_pool(pool)
-                pool = None
+                if pool is not None:
+                    pool.kill()
+                    pool.release()
+                    pool = None
                 _finalize_interrupt(state, signum)
             if pool is None:
                 # Degraded: drain everything still queued serially.
@@ -900,7 +917,7 @@ def _run_pool(state: _BatchState, pending: Sequence[int],
                                          overdue, _handle_failure, _requeue)
     finally:
         if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            pool.release()
 
 
 def _reap_overdue(state: _BatchState, pool, workers: int, inflight: dict,
@@ -925,19 +942,22 @@ def _reap_overdue(state: _BatchState, pool, workers: int, inflight: dict,
                     "killed)",
             attempts=attempt, wall_time_s=time.monotonic() - start)
         if state.failure_policy == "raise":
-            _kill_pool(pool)
+            pool.kill()
             raise JobTimeout(state.job_timeout)
         _handle_failure(index, attempt, failure)
     for future, (index, attempt, start) in list(inflight.items()):
         if future not in overdue_futures:
             _requeue(index, attempt, 0.0)
     inflight.clear()
-    _kill_pool(pool)
+    pool.kill()
     rebuild_counter = _obs_counter("pool_rebuilds",
                                    "process pools rebuilt after breaking")
     if rebuild_counter is not None:
         rebuild_counter.inc()
-    return _make_pool(workers)
+    if pool.rebuild():
+        return pool
+    pool.release()
+    return None
 
 
 def _serial_from_attempt(state: _BatchState, index: int,

@@ -613,6 +613,24 @@ def dashboard_html(health: dict, snapshot: dict,
         stats[f"latency {name} (s)"] = _fmt(value)
     for state, count in (health.get("terminal") or {}).items():
         stats[f"terminal: {state}"] = count
+    cache = health.get("verdict_cache") or {}
+    if cache:
+        stats["verdict cache hits"] = (f'{cache.get("hits", 0)}'
+                                       f' (+{cache.get("coalesced", 0)}'
+                                       " coalesced)")
+        stats["verdict cache misses"] = cache.get("misses", 0)
+        stats["verdict cache entries"] = (
+            f'{cache.get("entries", 0)}'
+            f' ({cache.get("bytes", 0)} / {cache.get("max_bytes", 0)} B)')
+        stats["verdict cache evictions"] = cache.get("evictions", 0)
+    pool = health.get("pool") or {}
+    if pool:
+        stats["pool leases"] = (f'{pool.get("leases", 0)}'
+                                f' ({pool.get("warm_acquires", 0)} warm)')
+        stats["pool rebuilds"] = pool.get("rebuilds", 0)
+        stats["pool generation"] = (
+            f'{pool.get("generation", 0)}'
+            f' ({"live" if pool.get("live") else "down"})')
     body.append(_kv_table(stats, caption="service level"))
     if history:
         tiles = []

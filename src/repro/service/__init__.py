@@ -14,7 +14,9 @@ Layering (each importable alone)::
 
     errors      typed failure taxonomy (shared across transports)
     protocol    AssessRequest / RequestRecord lifecycle
-    queue       bounded, priority + client-fair admission queue
+    queue       bounded, priority + client-fair admission queue with
+                per-tenant token-bucket quotas
+    cache       content-addressed, single-flight verdict/result cache
     breaker     per-program circuit breaker
     journal     durable JSON-lines request journal + restart replay
     executor    request -> result on the batch engine (bit-identical
@@ -25,23 +27,26 @@ Layering (each importable alone)::
 """
 
 from .breaker import CircuitBreaker
+from .cache import VerdictCache, verdict_key
 from .client import ServiceClient
 from .core import LeakageService, ServiceConfig
 from .errors import (AdmissionRejected, DeadlineExceeded, InvalidRequest,
-                     ProgramQuarantined, RequestFailed, RequestNotFound,
-                     ServiceError, ShuttingDown, error_from_dict)
+                     ProgramQuarantined, QuotaExceeded, RequestFailed,
+                     RequestNotFound, ServiceError, ShuttingDown,
+                     error_from_dict)
 from .executor import execute_assessment
 from .journal import RecoveryReport, RequestJournal
 from .protocol import (AssessRequest, RequestRecord, TERMINAL_STATES)
-from .queue import AdmissionQueue
+from .queue import AdmissionQueue, RateLimiter, TokenBucket
 from .server import ServiceServer, serve
 
 __all__ = [
     "AdmissionQueue", "AdmissionRejected", "AssessRequest",
     "CircuitBreaker", "DeadlineExceeded", "InvalidRequest",
-    "LeakageService", "ProgramQuarantined", "RecoveryReport",
-    "RequestFailed", "RequestJournal", "RequestNotFound",
-    "RequestRecord", "ServiceClient", "ServiceConfig", "ServiceError",
-    "ServiceServer", "ShuttingDown", "TERMINAL_STATES",
-    "error_from_dict", "execute_assessment", "serve",
+    "LeakageService", "ProgramQuarantined", "QuotaExceeded",
+    "RateLimiter", "RecoveryReport", "RequestFailed", "RequestJournal",
+    "RequestNotFound", "RequestRecord", "ServiceClient",
+    "ServiceConfig", "ServiceError", "ServiceServer", "ShuttingDown",
+    "TERMINAL_STATES", "TokenBucket", "VerdictCache", "error_from_dict",
+    "execute_assessment", "serve", "verdict_key",
 ]

@@ -1,9 +1,10 @@
 """Stdlib HTTP client for the leakage-assessment daemon.
 
-:class:`ServiceClient` speaks the :mod:`repro.service.server` API with
-``urllib`` only, and decodes non-2xx answers back into the *same* typed
-exceptions the in-process service raises
-(:mod:`repro.service.errors`), so calling code is transport-agnostic::
+:class:`ServiceClient` speaks the :mod:`repro.service.server` API over
+**one persistent keep-alive connection** (``http.client``), and decodes
+non-2xx answers back into the *same* typed exceptions the in-process
+service raises (:mod:`repro.service.errors`), so calling code is
+transport-agnostic::
 
     client = ServiceClient("http://127.0.0.1:8734")
     try:
@@ -11,17 +12,25 @@ exceptions the in-process service raises
     except AdmissionRejected as busy:
         time.sleep(busy.retry_after_s or 1.0)
 
+The connection is lazily opened, reused across every call (poll loops
+no longer pay a TCP handshake per status check), and transparently
+re-opened **once** when a reused socket turns out to be stale (the
+server idled it out between polls) — a failure on a *fresh* connection
+raises immediately as a retryable :class:`ServiceError`.
+``connections_opened`` counts dials, so tests can assert reuse.
+
 Used by ``repro submit`` and by the smoke/chaos suites.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import random
+import threading
 import time
-import urllib.error
-import urllib.request
 from typing import Optional, Union
+from urllib.parse import urlsplit
 
 from .errors import AdmissionRejected, ServiceError, error_from_dict
 from .protocol import AssessRequest
@@ -63,8 +72,40 @@ class ServiceClient:
                  timeout_s: float = DEFAULT_TIMEOUT_S):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        split = urlsplit(self.base_url)
+        self._scheme = split.scheme or "http"
+        self._netloc = split.netloc or split.path
+        self._path_prefix = split.path.rstrip("/") if split.netloc else ""
+        #: Keep-alive connection, opened lazily, guarded by a lock so a
+        #: client instance is safe to share across threads (requests
+        #: serialize on the single socket).
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conn_lock = threading.Lock()
+        #: Dial count — 1 after any number of calls means keep-alive
+        #: reuse is working.
+        self.connections_opened = 0
+
+    def close(self) -> None:
+        """Drop the persistent connection (idempotent)."""
+        with self._conn_lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- transport ------------------------------------------------------
+
+    def _connect_locked(self) -> http.client.HTTPConnection:
+        conn_cls = http.client.HTTPSConnection \
+            if self._scheme == "https" else http.client.HTTPConnection
+        self._conn = conn_cls(self._netloc, timeout=self.timeout_s)
+        self.connections_opened += 1
+        return self._conn
 
     def _call_raw(self, method: str, path: str,
                   payload: Optional[dict] = None,
@@ -89,28 +130,49 @@ class ServiceClient:
                    timeout_s: Optional[float] = None,
                    headers: Optional[dict] = None) -> tuple[int, str]:
         """Round trip returning the raw body (HTML reports, Prometheus
-        text); non-2xx answers return, transport failures raise."""
+        text); non-2xx answers return, transport failures raise.
+
+        Runs over the persistent connection.  A connection-level failure
+        on a *reused* socket (the server idled out the keep-alive
+        between polls) reconnects and retries exactly once; a timeout or
+        a failure on a freshly-dialed socket raises immediately — the
+        request may already be executing server-side, and blind
+        re-submission would double it.
+        """
         body = json.dumps(payload).encode() if payload is not None \
             else None
         request_headers = {"Content-Type": "application/json"}
         request_headers.update(headers or {})
-        request = urllib.request.Request(
-            self.base_url + path, data=body, method=method,
-            headers=request_headers)
         timeout = self.timeout_s if timeout_s is None else timeout_s
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=timeout) as response:
-                return response.status, \
-                    (response.read() or b"").decode("utf-8")
-        except urllib.error.HTTPError as http_error:
-            return http_error.code, \
-                (http_error.read() or b"").decode("utf-8")
-        except urllib.error.URLError as network_error:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: "
-                f"{getattr(network_error, 'reason', network_error)}",
-                retry_after_s=1.0)
+        with self._conn_lock:
+            for attempt in (0, 1):
+                reused = self._conn is not None
+                conn = self._conn or self._connect_locked()
+                conn.timeout = timeout
+                if conn.sock is not None:
+                    conn.sock.settimeout(timeout)
+                try:
+                    conn.request(method, self._path_prefix + path,
+                                 body=body, headers=request_headers)
+                    response = conn.getresponse()
+                    text = (response.read() or b"").decode("utf-8")
+                    if response.will_close:
+                        conn.close()
+                        self._conn = None
+                    return response.status, text
+                except (http.client.HTTPException, ConnectionError,
+                        OSError) as error:
+                    conn.close()
+                    self._conn = None
+                    stale_keepalive = (reused and attempt == 0
+                                       and not isinstance(error,
+                                                          TimeoutError))
+                    if stale_keepalive:
+                        continue
+                    raise ServiceError(
+                        f"cannot reach service at {self.base_url}: "
+                        f"{error}", retry_after_s=1.0)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _call(self, method: str, path: str,
               payload: Optional[dict] = None,
@@ -263,6 +325,19 @@ class ServiceClient:
 
     def recovery(self) -> dict:
         return self._call("GET", "/v1/recovery")
+
+    def cache_stats(self) -> dict:
+        """Verdict-cache counters and gauges (``/v1/cache``)."""
+        return self._call("GET", "/v1/cache")["stats"]
+
+    def invalidate_cache(self,
+                         program_key: Optional[str] = None) -> int:
+        """Drop cached verdicts; a ``program_key`` restricts the drop to
+        one program variant.  Returns how many entries were removed."""
+        payload = {"program_key": program_key} \
+            if program_key is not None else {}
+        return self._call("POST", "/v1/cache/invalidate",
+                          payload)["invalidated"]
 
     def requests(self) -> list[dict]:
         return self._call("GET", "/v1/requests")["requests"]

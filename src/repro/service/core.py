@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from .. import obs
+from ..harness import pool as harness_pool
 from ..harness.engine import CompileCache, default_cache
 from ..obs import events as obs_events
 from ..obs.flamegraph import aggregate_spans
@@ -49,6 +50,7 @@ from ..obs.registry import MetricsRegistry
 from ..obs.spans import count_spans
 from . import protocol
 from .breaker import CircuitBreaker
+from .cache import DEFAULT_MAX_BYTES, VerdictCache, verdict_key
 from .errors import (RequestNotFound, ServiceError, ShuttingDown)
 from .executor import ExecutionFailed, execute_assessment
 from .journal import RequestJournal
@@ -98,6 +100,12 @@ class ServiceConfig:
     #: Span-forest node ceiling per request; larger forests are
     #: compacted into an aggregated frame tree to bound history memory.
     span_tree_limit: int = 2048
+    #: Verdict-cache byte budget; 0 disables the cache entirely.
+    verdict_cache_bytes: int = DEFAULT_MAX_BYTES
+    #: Per-tenant admission quota in requests/second (None = no quota).
+    quota_rps: Optional[float] = None
+    #: Token-bucket burst capacity (None = 2 × ``quota_rps``, min 1).
+    quota_burst: Optional[float] = None
 
 
 class LeakageService:
@@ -107,7 +115,11 @@ class LeakageService:
                  cache: Optional[CompileCache] = None):
         self.config = config or ServiceConfig()
         self.cache = cache if cache is not None else default_cache()
-        self.queue = AdmissionQueue(max_depth=self.config.queue_depth)
+        self.verdict_cache = VerdictCache(self.config.verdict_cache_bytes) \
+            if self.config.verdict_cache_bytes > 0 else None
+        self.queue = AdmissionQueue(max_depth=self.config.queue_depth,
+                                    quota_rps=self.config.quota_rps,
+                                    quota_burst=self.config.quota_burst)
         self.breaker = CircuitBreaker(
             threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_s)
@@ -161,6 +173,16 @@ class LeakageService:
                 "service_breaker_open",
                 "program variants currently quarantined") \
                 .set(self.breaker.open_count())
+            if self.verdict_cache is not None:
+                stats = self.verdict_cache.stats()
+                self.registry.gauge(
+                    "verdict_cache_entries",
+                    "result documents held by the verdict cache") \
+                    .set(stats["entries"])
+                self.registry.gauge(
+                    "verdict_cache_bytes",
+                    "bytes held by the verdict cache") \
+                    .set(stats["bytes"])
 
     # -- observability helpers ------------------------------------------
 
@@ -305,7 +327,7 @@ class LeakageService:
         self._observe("service_queue_seconds", queued_s,
                       "time from admission to execution start")
         try:
-            result = self._execute(record, deadline)
+            result = self._execute_cached(record, deadline)
         except ShuttingDown as error:
             self._finish(record, protocol.SHUTDOWN, error=error)
         except ServiceError as error:  # DeadlineExceeded, ExecutionFailed
@@ -331,6 +353,94 @@ class LeakageService:
         else:
             self.breaker.record_success(program_key)
             self._finish(record, protocol.DONE, result=result)
+
+    def _execute_cached(self, record: RequestRecord,
+                        deadline: Optional[float]) -> dict:
+        """Serve from / fill the verdict cache around :meth:`_execute`.
+
+        Bypass conditions: cache disabled, ``"cache": false`` on the
+        request, or attribution requested (the snapshot is per-run
+        observability, not part of the cacheable result).  Concurrent
+        identical requests coalesce single-flight: one leader computes,
+        joiners block on the flight (still honoring their own deadline
+        and the drain cancel event) and re-stamp the leader's document.
+        A failed leader wakes joiners empty-handed and each computes
+        independently — errors are never cached or propagated sideways.
+        """
+        request = record.request
+        cache = self.verdict_cache
+        if cache is None or not request.cache or request.attribution:
+            return self._execute(record, deadline)
+        key = verdict_key(request)
+        outcome, token = cache.begin(key)
+        if outcome == "hit":
+            self._transition("verdict_cache_hit", record)
+            self._count("verdict_cache_hits",
+                        "requests served from the verdict cache",
+                        source="direct")
+            return self._stamp_cached(record, token)
+        if outcome == "join":
+            document = self._await_flight(record, token, deadline)
+            if document is not None:
+                self._transition("verdict_cache_hit", record,
+                                 coalesced=True)
+                self._count("verdict_cache_hits",
+                            "requests served from the verdict cache",
+                            source="coalesced")
+                return self._stamp_cached(record, document)
+            self._transition("verdict_cache_miss", record,
+                             leader_failed=True)
+            self._count("verdict_cache_misses",
+                        "requests that had to simulate")
+            return self._execute(record, deadline)
+        self._transition("verdict_cache_miss", record)
+        self._count("verdict_cache_misses",
+                    "requests that had to simulate")
+        try:
+            result = self._execute(record, deadline)
+        except BaseException:
+            cache.abandon(key, token)
+            raise
+        evicted = cache.complete(key, token, result)
+        self._transition("verdict_cache_store", record)
+        if evicted:
+            self._count("verdict_cache_evictions",
+                        "entries evicted past the LRU byte budget",
+                        value=evicted)
+        return result
+
+    def _await_flight(self, record: RequestRecord, flight,
+                      deadline: Optional[float]) -> Optional[dict]:
+        """Wait on a coalesced flight without outliving the request."""
+        self._transition("verdict_cache_wait", record)
+        while True:
+            if self._cancel.is_set():
+                raise ShuttingDown(
+                    "request cancelled while coalesced on an identical "
+                    "computation (service draining)")
+            remaining = None if deadline is None \
+                else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                from .errors import DeadlineExceeded
+
+                raise DeadlineExceeded(
+                    "deadline exceeded while coalesced on an identical "
+                    "in-flight computation")
+            window = 0.25 if remaining is None else min(0.25, remaining)
+            if flight.event.wait(window):
+                return self.verdict_cache.wait(flight, timeout=0)
+            # flight still running; loop re-checks deadline/cancel
+
+    def _stamp_cached(self, record: RequestRecord, document: dict) -> dict:
+        """Per-request fields on a cached document: the stored result is
+        bit-identical (digest, verdict, totals); only the envelope —
+        requester identity, wall time — belongs to this request."""
+        info = document.setdefault("verdict_cache", {"hit": True})
+        info["hit"] = True
+        document["request"] = record.request.to_dict()
+        started = record.started_monotonic or time.monotonic()
+        document["wall_s"] = round(time.monotonic() - started, 6)
+        return document
 
     def _execute(self, record: RequestRecord,
                  deadline: Optional[float]) -> dict:
@@ -409,7 +519,7 @@ class LeakageService:
         for record in self.records():
             if record.terminal.is_set():
                 terminal[record.state] = terminal.get(record.state, 0) + 1
-        return {
+        health = {
             "status": "draining" if self._draining.is_set() else "ok",
             "uptime_s": round(time.monotonic() - self._started, 3),
             "queue_depth": self.queue.depth,
@@ -421,6 +531,12 @@ class LeakageService:
             "terminal": dict(sorted(terminal.items())),
             "breaker_open": self.breaker.open_count(),
         }
+        if self.verdict_cache is not None:
+            health["verdict_cache"] = self.verdict_cache.stats()
+        pool_stats = harness_pool.pool_stats()
+        if pool_stats is not None:
+            health["pool"] = pool_stats
+        return health
 
     def ready(self) -> tuple[bool, str]:
         """Readiness: accepting new work, with live executor threads."""
@@ -439,6 +555,26 @@ class LeakageService:
         if self.journal is None:
             return None
         return self.journal.recovery.to_dict()
+
+    # -- verdict cache --------------------------------------------------
+
+    def verdict_cache_stats(self) -> Optional[dict]:
+        """Verdict-cache accounting, or ``None`` when disabled."""
+        if self.verdict_cache is None:
+            return None
+        return self.verdict_cache.stats()
+
+    def invalidate_verdict_cache(
+            self, program_key: Optional[str] = None) -> int:
+        """Drop cached verdicts (all, or one program variant's)."""
+        if self.verdict_cache is None:
+            return 0
+        dropped = self.verdict_cache.invalidate(program_key)
+        if dropped:
+            self._count("verdict_cache_invalidations",
+                        "entries dropped by explicit invalidation",
+                        value=dropped)
+        return dropped
 
     # -- drain ----------------------------------------------------------
 
@@ -480,6 +616,12 @@ class LeakageService:
             for thread in self._threads:
                 thread.join(5.0)
         self._set_gauges()
+        # Executor threads are parked (or cancelled); every pool lease
+        # is released, so the shared pool drains deterministically —
+        # stranded_workers must be 0 in the summary and the manifest.
+        pool_summary = harness_pool.shutdown_shared_pool(
+            grace_s=max(grace, 0.0) if grace else 5.0)
+        harness_pool.reset_shared_pool()
         summary = {
             "drained": True,
             "queued_failed_typed": len(abandoned),
@@ -489,17 +631,47 @@ class LeakageService:
             "workers_alive": sum(1 for thread in self._threads
                                  if thread.is_alive()),
         }
+        if pool_summary is not None:
+            summary["pool"] = pool_summary
+        if self.verdict_cache is not None:
+            summary["verdict_cache"] = self.verdict_cache.stats()
         if self.config.manifest_out:
-            summary["manifest"] = str(self._write_manifest())
+            summary["manifest"] = str(self._write_manifest(pool_summary))
         if self.journal is not None:
             self.journal.close()
         if self.events is not None:
             self.events.close()
         return summary
 
-    def _write_manifest(self) -> Path:
-        """Publish the session's SLO metrics as a standard run manifest."""
+    def _write_manifest(
+            self, pool_summary: Optional[dict] = None) -> Path:
+        """Publish the session's SLO metrics as a standard run manifest.
+
+        ``pool_summary`` is the shared pool's final (post-shutdown)
+        accounting — recorded so a drain manifest proves zero stranded
+        workers and how much pool reuse the session got.
+        """
         health = self.health()
+        summary = {"uptime_s": health["uptime_s"],
+                   **{f"terminal_{state}": count
+                      for state, count in health["terminal"].items()}}
+        if pool_summary is not None:
+            summary.update({
+                "pool_stranded_workers":
+                    pool_summary.get("stranded_workers", 0),
+                "pool_leases": pool_summary.get("leases", 0),
+                "pool_warm_acquires":
+                    pool_summary.get("warm_acquires", 0),
+                "pool_rebuilds": pool_summary.get("rebuilds", 0),
+            })
+        if self.verdict_cache is not None:
+            stats = self.verdict_cache.stats()
+            summary.update({
+                "verdict_cache_hits": stats["hits"],
+                "verdict_cache_misses": stats["misses"],
+                "verdict_cache_coalesced": stats["coalesced"],
+                "verdict_cache_evictions": stats["evictions"],
+            })
         manifest = obs.build_manifest(
             experiment_id="service",
             config={"workers": self.config.workers,
@@ -507,10 +679,11 @@ class LeakageService:
                     "queue_depth": self.config.queue_depth,
                     "retries": self.config.retries,
                     "chunk_size": self.config.chunk_size,
-                    "breaker_threshold": self.config.breaker_threshold},
-            summary={"uptime_s": health["uptime_s"],
-                     **{f"terminal_{state}": count
-                        for state, count in health["terminal"].items()}},
+                    "breaker_threshold": self.config.breaker_threshold,
+                    "verdict_cache_bytes":
+                        self.config.verdict_cache_bytes,
+                    "quota_rps": self.config.quota_rps},
+            summary=summary,
             metrics=self.metrics_snapshot(), spans=[])
         return obs.write_manifest(manifest, self.config.manifest_out)
 

@@ -79,6 +79,20 @@ class AdmissionRejected(ServiceError):
     retryable = True
 
 
+class QuotaExceeded(AdmissionRejected):
+    """This tenant exhausted its rate quota (token bucket empty).
+
+    A subclass of :class:`AdmissionRejected` so generic 429 handling
+    (client ``--retry-429`` backoff honoring ``Retry-After``) applies
+    unchanged, while the distinct ``code`` tells a tenant the *service*
+    has capacity — only their own budget is spent.
+    """
+
+    code = "quota_exceeded"
+    http_status = 429
+    retryable = True
+
+
 class ProgramQuarantined(ServiceError):
     """The circuit breaker is open for this program variant.
 
@@ -117,8 +131,8 @@ class RequestFailed(ServiceError):
 ERROR_TYPES: dict[str, type] = {
     cls.code: cls
     for cls in (ServiceError, InvalidRequest, RequestNotFound,
-                AdmissionRejected, ProgramQuarantined, DeadlineExceeded,
-                ShuttingDown, RequestFailed)
+                AdmissionRejected, QuotaExceeded, ProgramQuarantined,
+                DeadlineExceeded, ShuttingDown, RequestFailed)
 }
 
 

@@ -100,6 +100,10 @@ class AssessRequest:
     #: Collect per-PC energy attribution for this request (observability
     #: only — the energy result stays bit-identical either way).
     attribution: bool = False
+    #: Allow the verdict cache to serve/store this request.  ``False``
+    #: forces a fresh simulation (and never stores the result).  Not
+    #: part of the result identity.
+    cache: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -148,6 +152,8 @@ class AssessRequest:
             raise InvalidRequest("client must be a non-empty string")
         if not isinstance(self.attribution, bool):
             raise InvalidRequest("attribution must be a boolean")
+        if not isinstance(self.cache, bool):
+            raise InvalidRequest("cache must be a boolean")
 
     # -- wire form ------------------------------------------------------
 
@@ -162,7 +168,7 @@ class AssessRequest:
             "budget_pj": self.budget_pj, "budget_t": self.budget_t,
             "max_cycles": self.max_cycles, "client": self.client,
             "priority": self.priority, "deadline_s": self.deadline_s,
-            "attribution": self.attribution,
+            "attribution": self.attribution, "cache": self.cache,
         }
 
     @classmethod

@@ -15,6 +15,14 @@ tails.  Scheduling is two-level:
   single request (it waits behind at most one request per other client,
   not fifty).
 
+On top of backpressure, admission enforces **per-tenant quotas**: each
+client owns a token bucket (``quota_rps`` refill, ``quota_burst``
+capacity) consulted *before* a queue slot is considered, so one tenant
+burning its budget raises a typed :class:`~repro.service.errors.\
+QuotaExceeded` — a 429 whose ``code`` distinguishes "your budget is
+spent" (``quota_exceeded``, Retry-After = time to the next token) from
+"the service is saturated" (``admission_rejected``).
+
 Everything is thread-safe behind one lock + condition; ``close()`` flips
 the queue into drain mode, where ``put`` raises
 :class:`~repro.service.errors.ShuttingDown` and ``drain()`` hands back
@@ -29,18 +37,83 @@ import time
 from collections import OrderedDict, deque
 from typing import Callable, Optional
 
-from .errors import AdmissionRejected, ShuttingDown
+from .errors import AdmissionRejected, QuotaExceeded, ShuttingDown
 from .protocol import PRIORITIES, RequestRecord
+
+#: Distinct tenants tracked by the rate limiter before LRU eviction
+#: (an evicted tenant simply starts over with a full bucket).
+MAX_TRACKED_TENANTS = 4096
+
+
+class TokenBucket:
+    """One tenant's admission budget: ``rate`` tokens/s, ``burst`` cap.
+
+    Clock-injectable and lock-free — the owning :class:`RateLimiter`
+    serializes access.  Buckets start full, so a tenant's first burst
+    is always admitted.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, now: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = now
+
+    def try_take(self, now: float) -> float:
+        """Take one token; 0.0 on success, else seconds until one
+        accrues (the typed Retry-After)."""
+        elapsed = max(now - self.updated, 0.0)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets with bounded tenant tracking."""
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"quota rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = max(1.0, float(burst) if burst is not None
+                         else max(1.0, 2.0 * rate))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def admit(self, client: str) -> float:
+        """One admission attempt; 0.0 when allowed, else the wait in
+        seconds until this tenant's next token."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+                while len(self._buckets) > MAX_TRACKED_TENANTS:
+                    self._buckets.popitem(last=False)
+            self._buckets.move_to_end(client)
+            return bucket.try_take(now)
 
 
 class AdmissionQueue:
     """Bounded, priority-bucketed, client-fair request queue."""
 
     def __init__(self, max_depth: int = 64,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 quota_rps: Optional[float] = None,
+                 quota_burst: Optional[float] = None):
         if max_depth < 1:
             raise ValueError(f"max_depth must be >= 1, got {max_depth}")
         self.max_depth = max_depth
+        self.limiter = RateLimiter(quota_rps, quota_burst, clock) \
+            if quota_rps else None
         self._clock = clock
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
@@ -66,6 +139,15 @@ class AdmissionQueue:
             if self._closed:
                 raise ShuttingDown("service is draining; request not "
                                    "admitted")
+            if self.limiter is not None:
+                wait_s = self.limiter.admit(record.request.client)
+                if wait_s > 0:
+                    raise QuotaExceeded(
+                        f"client {record.request.client!r} exceeded its "
+                        f"rate quota of {self.limiter.rate:g} "
+                        "requests/s; the service has capacity, but this "
+                        "tenant's budget is spent",
+                        retry_after_s=max(wait_s, 0.05))
             if self._depth >= self.max_depth:
                 raise AdmissionRejected(
                     f"admission queue is full "

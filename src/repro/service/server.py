@@ -27,6 +27,11 @@ service's own executor threads.  Endpoints:
 ``GET /dashboard``        self-contained auto-refreshing HTML SLO page.
 ``GET /v1/recovery``      restart journal accounting (what a previous,
                           killed daemon left behind).
+``GET /v1/cache``         verdict-cache stats (hits, misses, coalesces,
+                          evictions, live entry/byte gauges).
+``POST /v1/cache/invalidate``  drop cached verdicts; an optional JSON
+                          body ``{"program_key": ...}`` restricts the
+                          drop to one program variant.
 ========================  ==================================================
 
 ``serve()`` installs SIGTERM/SIGINT handlers that run the graceful
@@ -166,6 +171,9 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(200, {"journal": None})
                 else:
                     self._send_json(200, report)
+            elif parsed.path == "/v1/cache":
+                self._send_json(200, {
+                    "stats": self.service.verdict_cache_stats()})
             elif parsed.path == "/v1/requests":
                 self._send_json(200, {"requests": [
                     record.to_dict(include_request=False)
@@ -230,11 +238,6 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
         query = parse_qs(parsed.query)
-        if parsed.path != "/v1/requests":
-            self._send_json(404, {"error": {
-                "code": "not_found",
-                "message": f"no route POST {parsed.path}"}})
-            return
         try:
             length = int(self.headers.get("Content-Length", 0))
             if length > MAX_BODY_BYTES:
@@ -245,6 +248,18 @@ class _Handler(BaseHTTPRequestHandler):
                 from .errors import InvalidRequest
 
                 raise InvalidRequest(f"body is not valid JSON: {error}")
+            if parsed.path == "/v1/cache/invalidate":
+                program_key = payload.get("program_key") \
+                    if isinstance(payload, dict) else None
+                dropped = self.service.invalidate_verdict_cache(
+                    program_key)
+                self._send_json(200, {"invalidated": dropped})
+                return
+            if parsed.path != "/v1/requests":
+                self._send_json(404, {"error": {
+                    "code": "not_found",
+                    "message": f"no route POST {parsed.path}"}})
+                return
             record = self.service.submit(
                 payload, trace_id=self.headers.get(TRACE_HEADER))
         except ServiceError as error:

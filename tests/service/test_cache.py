@@ -1,0 +1,257 @@
+"""Verdict cache: keys, LRU, single-flight, service wiring, journal replay.
+
+The acceptance gate mirrors the batch engine's: a cache hit must be
+**bit-identical** to a cold run (same trace digest, same verdict), and a
+restarted daemon's journal accounting must fold cached completions
+exactly like simulated ones — one submitted + one terminal frame each,
+never double-counted.
+"""
+
+import json
+import threading
+import time
+
+from repro.service.cache import VerdictCache, verdict_key
+from repro.service.core import LeakageService, ServiceConfig
+from repro.service.protocol import DONE, AssessRequest
+
+from .conftest import pair_payload, population_payload
+
+
+def _request(**overrides) -> AssessRequest:
+    return AssessRequest.from_dict(pair_payload(**overrides))
+
+
+# -- key derivation ---------------------------------------------------------
+
+
+def test_key_ignores_scheduling_and_observability_fields():
+    base = _request()
+    same = _request(client="someone-else", priority="high",
+                    deadline_s=5.0, cache=False)
+    assert verdict_key(base) == verdict_key(same)
+
+
+def test_key_covers_trace_shaping_parameters():
+    base = verdict_key(_request())
+    assert verdict_key(_request(seed=999)) != base
+    assert verdict_key(_request(noise_sigma=0.5)) != base
+    assert verdict_key(_request(masking="none")) != base
+    assert verdict_key(_request(rounds=4)) != base
+
+
+def test_key_prefix_is_the_program_key_hash():
+    request = _request()
+    prefix = verdict_key(request).split(":")[0]
+    assert verdict_key(_request(seed=999)).startswith(prefix + ":")
+    assert not verdict_key(_request(masking="none")).startswith(prefix)
+
+
+# -- storage / LRU ----------------------------------------------------------
+
+
+def test_hit_decodes_a_fresh_object_with_age_stamp():
+    cache = VerdictCache(max_bytes=1 << 16)
+    cache.put("k", {"verdict": {"passed": True}})
+    first = cache.get("k")
+    first["verdict"]["passed"] = False  # mutating a hit must not
+    second = cache.get("k")             # corrupt the stored entry
+    assert second["verdict"]["passed"] is True
+    assert second["verdict_cache"]["hit"] is True
+    assert second["verdict_cache"]["age_s"] >= 0.0
+
+
+def test_lru_eviction_respects_byte_budget():
+    document = {"payload": "x" * 64}
+    size = len(json.dumps(document, sort_keys=True).encode())
+    cache = VerdictCache(max_bytes=3 * size)
+    for name in ("a", "b", "c"):
+        assert cache.put(name, document) == 0
+    cache.get("a")                      # refresh: "b" is now LRU
+    assert cache.put("d", document) == 1
+    assert cache.get("b") is None
+    assert cache.get("a") is not None
+    stats = cache.stats()
+    assert stats["entries"] == 3
+    assert stats["evictions"] == 1
+    assert stats["bytes"] <= cache.max_bytes
+
+
+def test_document_larger_than_budget_is_skipped_not_truncated():
+    cache = VerdictCache(max_bytes=8)
+    assert cache.put("k", {"payload": "x" * 64}) == 0
+    assert cache.get("k") is None
+    assert cache.stats()["uncacheable"] == 1
+
+
+def test_invalidate_by_program_key_prefix():
+    cache = VerdictCache(max_bytes=1 << 16)
+    key_a = verdict_key(_request())
+    key_b = verdict_key(_request(seed=999))          # same program
+    key_other = verdict_key(_request(masking="none"))  # different program
+    for key in (key_a, key_b, key_other):
+        cache.put(key, {"verdict": "v"})
+    assert cache.invalidate(_request().program_key()) == 2
+    assert cache.get(key_a) is None and cache.get(key_b) is None
+    assert cache.get(key_other) is not None
+    assert cache.invalidate() == 1                   # drop everything
+    assert cache.stats()["entries"] == 0
+
+
+# -- single-flight ----------------------------------------------------------
+
+
+def test_concurrent_identical_requests_coalesce_on_one_leader():
+    cache = VerdictCache(max_bytes=1 << 16)
+    outcome, leader_flight = cache.begin("k")
+    assert outcome == "lead"
+    joined = []
+
+    def join():
+        verb, flight = cache.begin("k")
+        assert verb == "join"
+        joined.append(cache.wait(flight, timeout=30.0))
+
+    threads = [threading.Thread(target=join) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let the joiners block on the flight
+    cache.complete("k", leader_flight, {"verdict": "computed-once"})
+    for thread in threads:
+        thread.join(30.0)
+    assert [doc["verdict"] for doc in joined] == ["computed-once"] * 3
+    stats = cache.stats()
+    assert stats["misses"] == 1 and stats["coalesced"] == 3
+    # After completion the entry is a plain hit, no flight left.
+    verb, document = cache.begin("k")
+    assert verb == "hit" and document["verdict"] == "computed-once"
+    assert stats["inflight"] == 0 or cache.stats()["inflight"] == 0
+
+
+def test_failed_leader_wakes_joiners_empty_handed():
+    cache = VerdictCache(max_bytes=1 << 16)
+    _, leader_flight = cache.begin("k")
+    verb, flight = cache.begin("k")
+    assert verb == "join"
+    cache.abandon("k", leader_flight)
+    assert cache.wait(flight, timeout=5.0) is None
+    assert cache.stats()["coalesced_misses"] == 1
+    assert cache.get("k") is None  # errors are never cached
+
+
+# -- service wiring ---------------------------------------------------------
+
+
+def test_repeat_submission_hits_cache_bit_identical(make_service):
+    service = make_service(workers=1)
+    cold = service.submit(pair_payload())
+    assert cold.wait(60.0) and cold.state == DONE
+    warm = service.submit(pair_payload())
+    assert warm.wait(60.0) and warm.state == DONE
+    assert warm.result["trace_digest"] == cold.result["trace_digest"]
+    assert warm.result["verdict"] == cold.result["verdict"]
+    assert warm.result["verdict_cache"]["hit"] is True
+    assert "verdict_cache" not in (cold.result or {})
+    stats = service.verdict_cache_stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    snapshot = service.metrics_snapshot()
+    assert "verdict_cache_hits" in snapshot
+    assert "verdict_cache_entries" in snapshot
+    # The cached envelope belongs to *this* request, not the cold one.
+    assert warm.result["request"]["client"] == "test"
+    assert "verdict_cache_hit" in [mark["event"]
+                                   for mark in warm.timeline]
+
+
+def test_concurrent_identical_submissions_coalesce(make_service):
+    service = make_service(workers=2)
+    first = service.submit(population_payload(n_traces=8))
+    second = service.submit(population_payload(n_traces=8))
+    assert first.wait(120.0) and second.wait(120.0)
+    assert first.state == DONE and second.state == DONE
+    assert first.result["trace_digest"] == second.result["trace_digest"]
+    stats = service.verdict_cache_stats()
+    # Exactly one simulation ran; the other request either coalesced
+    # onto it or (if it finished first) hit the stored entry.
+    assert stats["misses"] == 1
+    assert stats["hits"] + stats["coalesced"] >= 1
+
+
+def test_cache_false_and_attribution_bypass_the_cache(make_service):
+    service = make_service(workers=1)
+    for payload in (pair_payload(cache=False),
+                    pair_payload(cache=False),
+                    pair_payload(attribution=True)):
+        record = service.submit(payload)
+        assert record.wait(60.0) and record.state == DONE
+        assert "verdict_cache" not in record.result
+    stats = service.verdict_cache_stats()
+    assert stats["hits"] == 0 and stats["misses"] == 0
+    assert stats["entries"] == 0
+
+
+def test_disabled_cache_still_serves(make_service):
+    service = make_service(workers=1, verdict_cache_bytes=0)
+    record = service.submit(pair_payload())
+    assert record.wait(60.0) and record.state == DONE
+    assert service.verdict_cache_stats() is None
+    assert service.invalidate_verdict_cache() == 0
+
+
+def test_invalidation_forces_a_fresh_simulation(make_service):
+    service = make_service(workers=1)
+    cold = service.submit(pair_payload())
+    assert cold.wait(60.0)
+    program_key = AssessRequest.from_dict(pair_payload()).program_key()
+    assert service.invalidate_verdict_cache(program_key) == 1
+    warm = service.submit(pair_payload())
+    assert warm.wait(60.0) and warm.state == DONE
+    assert "verdict_cache" not in warm.result
+    assert warm.result["trace_digest"] == cold.result["trace_digest"]
+    stats = service.verdict_cache_stats()
+    assert stats["misses"] == 2 and stats["invalidations"] == 1
+
+
+# -- journal replay × verdict cache (restart accounting) --------------------
+
+
+def test_restarted_daemon_counts_cached_completions_once(tmp_path):
+    journal_path = tmp_path / "journal.jsonl"
+    service = LeakageService(ServiceConfig(workers=1,
+                                           journal=journal_path))
+    try:
+        cold = service.submit(pair_payload())
+        assert cold.wait(60.0) and cold.state == DONE
+        warm = service.submit(pair_payload())
+        assert warm.wait(60.0) and warm.state == DONE
+        assert warm.result["verdict_cache"]["hit"] is True
+    finally:
+        service.drain(grace_s=30.0)
+
+    restarted = LeakageService(ServiceConfig(workers=1,
+                                             journal=journal_path))
+    try:
+        report = restarted.recovery_report()
+        # Two submissions, two terminal frames: the cached completion is
+        # a first-class "done", counted exactly once, interrupting
+        # nothing.
+        assert report["completed"] == {"done": 2}
+        assert report["interrupted"] == []
+        assert report["total_submitted"] == 2
+    finally:
+        restarted.drain(grace_s=30.0)
+
+    frames = [json.loads(line)
+              for line in journal_path.read_text().splitlines()]
+    submitted = [frame for frame in frames
+                 if frame.get("event") == "submitted"]
+    terminal = [frame for frame in frames
+                if frame.get("event") == "terminal"]
+    assert len(submitted) == 2 and len(terminal) == 2
+    # The cached replay keeps its own identifiers: distinct request and
+    # trace IDs per submission, each matched by its own terminal frame.
+    assert len({frame["id"] for frame in submitted}) == 2
+    assert len({frame["trace_id"] for frame in submitted}) == 2
+    assert {frame["id"] for frame in terminal} \
+        == {frame["id"] for frame in submitted}
+    assert all(frame["state"] == "done" for frame in terminal)

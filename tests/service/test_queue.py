@@ -1,12 +1,14 @@
-"""Admission queue: bounds, priority, per-client fairness, drain."""
+"""Admission queue: bounds, priority, fairness, quotas, drain."""
 
 import threading
 
 import pytest
 
-from repro.service.errors import AdmissionRejected, ShuttingDown
+from repro.service.errors import (AdmissionRejected, QuotaExceeded,
+                                  ShuttingDown)
 from repro.service.protocol import AssessRequest, RequestRecord
-from repro.service.queue import AdmissionQueue
+from repro.service.queue import (MAX_TRACKED_TENANTS, AdmissionQueue,
+                                 RateLimiter, TokenBucket)
 
 
 def _record(client="c", priority="normal") -> RequestRecord:
@@ -111,3 +113,79 @@ def test_close_wakes_blocked_consumers():
 def test_invalid_depth_rejected():
     with pytest.raises(ValueError, match="max_depth"):
         AdmissionQueue(max_depth=0)
+
+
+# -- per-tenant quotas ------------------------------------------------------
+
+
+def test_token_bucket_refills_at_rate_and_caps_at_burst():
+    bucket = TokenBucket(rate=2.0, burst=2.0, now=0.0)
+    assert bucket.try_take(0.0) == 0.0
+    assert bucket.try_take(0.0) == 0.0
+    wait = bucket.try_take(0.0)          # empty: wait for 1 token @ 2/s
+    assert wait == pytest.approx(0.5)
+    assert bucket.try_take(0.6) == 0.0   # refilled past one token
+    assert bucket.try_take(100.0) == 0.0  # long idle caps at burst,
+    assert bucket.try_take(100.0) == 0.0  # not rate * elapsed
+    assert bucket.try_take(100.0) > 0.0
+
+
+def test_rate_limiter_isolates_tenants():
+    clock = [0.0]
+    limiter = RateLimiter(rate=1.0, burst=1.0, clock=lambda: clock[0])
+    assert limiter.admit("a") == 0.0
+    assert limiter.admit("a") > 0.0      # a's budget is spent...
+    assert limiter.admit("b") == 0.0     # ...b's is untouched
+    clock[0] = 1.0
+    assert limiter.admit("a") == 0.0     # refilled
+
+
+def test_rate_limiter_bounds_tracked_tenants():
+    clock = [0.0]
+    limiter = RateLimiter(rate=1.0, burst=1.0, clock=lambda: clock[0])
+    for index in range(MAX_TRACKED_TENANTS + 10):
+        limiter.admit(f"tenant-{index}")
+    assert len(limiter._buckets) == MAX_TRACKED_TENANTS
+    # The evicted (oldest) tenant starts over with a full bucket
+    # instead of leaking memory per tenant forever.
+    assert limiter.admit("tenant-0") == 0.0
+
+
+def test_quota_429_is_typed_and_distinct_from_backpressure():
+    clock = [0.0]
+    queue = AdmissionQueue(max_depth=8, clock=lambda: clock[0],
+                           quota_rps=1.0, quota_burst=1.0)
+    queue.put(_record(client="greedy"))
+    with pytest.raises(QuotaExceeded) as excinfo:
+        queue.put(_record(client="greedy"))
+    error = excinfo.value
+    assert error.code == "quota_exceeded"
+    assert error.http_status == 429 and error.retryable
+    assert error.retry_after_s == pytest.approx(1.0)
+    assert isinstance(error, AdmissionRejected)  # generic 429 handling
+    assert "greedy" in error.message
+    # Queue depth was untouched by the quota rejection, and another
+    # tenant still gets in: the service has capacity, the tenant's
+    # budget is what ran out.
+    assert queue.depth == 1
+    queue.put(_record(client="patient"))
+    assert queue.depth == 2
+    clock[0] = 1.5
+    queue.put(_record(client="greedy"))  # token accrued: admitted
+
+
+def test_quota_checked_before_depth_so_full_queue_reports_quota_first():
+    queue = AdmissionQueue(max_depth=1, quota_rps=100.0, quota_burst=1.0)
+    queue.put(_record(client="c"))
+    with pytest.raises(QuotaExceeded):
+        queue.put(_record(client="c"))   # quota, not queue-full
+    with pytest.raises(AdmissionRejected) as excinfo:
+        queue.put(_record(client="other"))
+    assert excinfo.value.code == "admission_rejected"
+
+
+def test_no_quota_configured_means_no_limiter():
+    queue = AdmissionQueue(max_depth=4)
+    assert queue.limiter is None
+    for _ in range(4):
+        queue.put(_record(client="burst"))

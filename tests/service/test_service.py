@@ -74,6 +74,9 @@ def test_drain_finishes_inflight_and_fails_queued_typed(make_service):
     assert summary["drained"]
     assert summary["queued_failed_typed"] == 2
     assert summary["workers_alive"] == 0
+    # The shared warm pool must drain deterministically with the
+    # service: no worker process may survive the drain.
+    assert summary.get("pool", {}).get("stranded_workers", 0) == 0
     assert inflight.state == DONE      # in-flight work finished
     for record in queued:
         assert record.state == SHUTDOWN

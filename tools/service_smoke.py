@@ -141,6 +141,24 @@ def main() -> int:
         check(parsed["samples"], "prometheus exposition carried no samples")
         prom.assert_snapshot_agreement(snapshot, text, ignore=VOLATILE)
 
+        # 1d. repeat submission hits the verdict cache ----------------
+        print("smoke: verdict cache ...", flush=True)
+        warm = client.assess_detailed(PAIR, timeout_s=300.0,
+                                      trace_id="tr-smoke-cache-hit")
+        check(warm["result"]["trace_digest"] == served["trace_digest"],
+              "cached verdict is not bit-identical to the cold result")
+        check(warm["result"].get("verdict_cache", {}).get("hit"),
+              f"repeat submission missed the verdict cache: "
+              f"{warm['result'].get('verdict_cache')}")
+        cache_stats = client.cache_stats()
+        check(cache_stats["hits"] >= 1 and cache_stats["misses"] >= 1,
+              f"cache stats did not record the hit: {cache_stats}")
+        cache_samples = prom.parse_prometheus(
+            client.metrics_text())["samples"]
+        check(any(name == "verdict_cache_hits" and value > 0
+                  for (name, _labels), value in cache_samples.items()),
+              "verdict_cache_hits carried no nonzero prometheus sample")
+
         # 2 + 3. admission trip and queued-deadline miss --------------
         print("smoke: admission control + deadlines ...", flush=True)
         slow = client.submit(SLOW)
@@ -171,7 +189,9 @@ def main() -> int:
 
         # 4. SIGTERM mid-load -----------------------------------------
         print("smoke: SIGTERM mid-load ...", flush=True)
-        slow2 = client.submit(SLOW)
+        # A distinct seed: the identical payload would be a verdict-cache
+        # hit and finish before SIGTERM could catch it mid-flight.
+        slow2 = client.submit(dict(SLOW, seed=2004))
         poll_until(lambda: client.status(slow2["id"])["state"] == "running",
                    60.0, "the second slow request to start")
         stranded = client.submit(PAIR)
@@ -209,7 +229,7 @@ def main() -> int:
     report = replay(journal_path)
     check(report.interrupted == [],
           f"journal lost requests: interrupted={report.interrupted}")
-    expected = {"done": 4, "rejected": 1, "timed_out": 1, "shutdown": 1}
+    expected = {"done": 5, "rejected": 1, "timed_out": 1, "shutdown": 1}
     check(report.completed == expected,
           f"journal accounting {report.completed} != {expected}")
     check(report.total_submitted == sum(expected.values()),
